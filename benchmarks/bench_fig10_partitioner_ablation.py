@@ -1,0 +1,21 @@
+"""E10 — partitioner-quality ablation for the oracle's pluggable partitioner.
+
+Claim reproduced: the multilevel (METIS-like) partitioner produces a far
+smaller edge-cut than hash/random placement at comparable balance — the
+quality gap that makes the graph-partitioned oracle's targets meaningful.
+"""
+
+from repro.harness.figures import figure10_partitioner_ablation
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig10_partitioner_ablation(benchmark):
+    figure = run_figure(benchmark, figure10_partitioner_ablation,
+                        n=4_000, k=4)
+    cut = {name: values[0] for name, values in figure.data.items()}
+    balance = {name: values[1] for name, values in figure.data.items()}
+
+    assert cut["multilevel"] < cut["hash"] / 2
+    assert cut["multilevel"] < cut["random"] / 2
+    assert balance["multilevel"] < 0.10

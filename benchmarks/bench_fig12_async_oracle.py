@@ -1,0 +1,25 @@
+"""E12 — blocking vs asynchronous oracle repartitioning.
+
+The paper's implementation section: "The oracle is multi-threaded, and can
+service requests while computing a new partitioning concurrently", with
+replicas switching consistently via an atomically multicast partitioning
+id. With frequent repartitions of a sizeable workload graph, the blocking
+oracle stalls every consult behind the computation; the asynchronous oracle
+keeps throughput and tail latency flat.
+"""
+
+from repro.harness.figures import figure12_async_oracle
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig12_async_oracle(benchmark):
+    figure = run_figure(benchmark, figure12_async_oracle,
+                        duration_ms=5_000.0, num_partitions=4,
+                        n_users=400, clients_per_partition=8,
+                        repartition_interval=60)
+    blocking = figure.data[False]
+    asynchronous = figure.data[True]
+
+    assert asynchronous.throughput > 1.5 * blocking.throughput
+    assert asynchronous.latency_p95_ms < blocking.latency_p95_ms

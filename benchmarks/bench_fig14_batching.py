@@ -1,0 +1,28 @@
+"""E14 — sequencer-log batching ablation.
+
+The classic ordered-log trade-off, quantified on our substrate: batching
+divides the decision fan-out message count by the achieved batch size at
+the cost of up to one batch window of added latency per entry.
+"""
+
+from repro.harness.figures import figure14_batching
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig14_batching(benchmark):
+    figure = run_figure(benchmark, figure14_batching,
+                        windows=(0.0, 1.0, 5.0))
+    data = figure.data
+
+    # Everything applied in every configuration.
+    applied = {w: outcome["applied"] for w, outcome in data.items()}
+    assert len(set(applied.values())) == 1
+
+    # Wider windows => fewer decision messages but higher latency.
+    assert data[5.0]["decisions"] < data[1.0]["decisions"] \
+        < data[0.0]["decisions"]
+    assert data[0.0]["latency_ms"] < data[1.0]["latency_ms"] \
+        < data[5.0]["latency_ms"]
+    # Latency penalty is bounded by roughly the window width.
+    assert data[5.0]["latency_ms"] < 5.0 + data[0.0]["latency_ms"] + 1.0

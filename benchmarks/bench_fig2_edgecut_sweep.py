@@ -1,0 +1,34 @@
+"""E2 — the main evaluation grid: throughput & latency vs partitions and
+edge-cut percentage, for S-SMR (optimal static), DS-SMR and the
+graph-partitioned oracle.
+
+Paper claims reproduced:
+* at 0% edge-cut all schemes scale with the number of partitions;
+* throughput decreases as the edge-cut percentage grows;
+* the static optimum upper-bounds the dynamic schemes under weak locality.
+"""
+
+from repro.harness.figures import figure2_edgecut_sweep
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig2_edgecut_sweep(benchmark):
+    figure = run_figure(benchmark, figure2_edgecut_sweep,
+                        duration_ms=5_000.0, partition_counts=(2, 4),
+                        edge_cuts=(0.0, 0.01, 0.05, 0.10),
+                        users_per_partition=100, clients_per_partition=8)
+    data = figure.data
+
+    # Scaling at strong locality: 4 partitions beat 2 for every scheme.
+    for scheme in ("ssmr", "dssmr", "dynastar"):
+        assert data[(0.0, 4, scheme)].throughput > \
+            1.2 * data[(0.0, 2, scheme)].throughput
+
+    # Locality erosion: for the static scheme, higher cut => lower tput.
+    assert data[(0.0, 4, "ssmr")].throughput > \
+        data[(0.10, 4, "ssmr")].throughput
+
+    # Static schemes never move state; dynamic ones do under weak locality.
+    assert data[(0.05, 4, "ssmr")].moves == 0
+    assert data[(0.05, 4, "dssmr")].moves > 0

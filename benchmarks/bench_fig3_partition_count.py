@@ -1,0 +1,31 @@
+"""E3 — one fixed social graph, partitioned into 2/4/6/8 parts.
+
+Paper claims reproduced: the edge-cut of the computed partitioning grows
+with the number of partitions (the paper reports 0.13% / 1.06% / 2.28% /
+2.67%), so throughput scales sub-linearly and eventually flattens.
+"""
+
+from repro.harness.figures import figure3_partition_count
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig3_partition_count(benchmark):
+    figure = run_figure(benchmark, figure3_partition_count,
+                        duration_ms=5_000.0, partition_counts=(2, 4, 8),
+                        n_users=480, clients_per_partition=8)
+    cuts = {k: cut for k, (cut, _metrics) in figure.data.items()}
+    tputs = {k: metrics.throughput
+             for k, (_cut, metrics) in figure.data.items()}
+    latency = {k: metrics.latency_mean_ms
+               for k, (_cut, metrics) in figure.data.items()}
+
+    # Edge-cut grows with partition count on a fixed graph (the paper's
+    # 0.13% -> 2.67% progression).
+    assert cuts[2] < cuts[4] < cuts[8]
+    # More partitions still help going 2 -> 4 (scaling regime) ...
+    assert tputs[4] > tputs[2]
+    # ... but the gains erode: 4 -> 8 is clearly sub-linear and per-command
+    # latency keeps climbing with the cut.
+    assert tputs[8] < 1.8 * tputs[4]
+    assert latency[8] > latency[4] > latency[2]

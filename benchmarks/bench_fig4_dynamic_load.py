@@ -1,0 +1,26 @@
+"""E4 — dynamic workload: users and follow edges created live.
+
+Paper claims reproduced: starting from an empty service, the oracle
+monitors the growing graph and repartitions when enough structural changes
+accumulate; each repartitioning improves the placement, so throughput
+climbs over the run while the move rate decays.
+"""
+
+from repro.harness.figures import figure4_dynamic_load
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig4_dynamic_load(benchmark):
+    figure = run_figure(benchmark, figure4_dynamic_load,
+                        duration_ms=8_000.0, n_users=240, clients=12,
+                        repartition_interval=300)
+    tput = figure.data["throughput"].values
+    moves = figure.data["moves"].values
+    assert figure.data["repartitions"] >= 1
+    # Throughput climbs from the cold start to the adapted steady state.
+    quarter = max(1, len(tput) // 4)
+    late = sum(tput[-quarter:]) / quarter
+    assert late > 1.5 * tput[0]
+    # Moves decay once the partitioning has converged.
+    assert sum(moves[-quarter:]) < sum(moves[:quarter])

@@ -1,0 +1,27 @@
+"""E5 — partitioner runtime and memory vs graph size.
+
+Paper claims reproduced: METIS "scales linearly in both memory and
+computation time"; our from-scratch multilevel partitioner is measured the
+same way (sizes scaled down from the paper's 10M vertices to what a pure
+Python implementation handles in seconds).
+"""
+
+from repro.harness.figures import figure5_partitioner_scaling
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig5_partitioner_scaling(benchmark):
+    figure = run_figure(benchmark, figure5_partitioner_scaling,
+                        sizes=(1_000, 3_000, 10_000, 30_000), k=4)
+    sizes = sorted(figure.data)
+    times = [figure.data[n][0] for n in sizes]
+    memories = [figure.data[n][1] for n in sizes]
+
+    # Roughly linear scaling: 30x more vertices costs well under 100x time
+    # (i.e. no quadratic blow-up), and memory grows monotonically.
+    assert times[-1] < 100 * max(times[0], 1e-3)
+    assert memories[-1] > memories[0]
+    # Quality stays sane at every size.
+    for n in sizes:
+        assert figure.data[n][2] < 0.5  # edge-cut fraction

@@ -1,0 +1,23 @@
+"""E6 — CPU load on the oracle over time, for varying partition counts.
+
+Paper claims reproduced: oracle load "is higher in the beginning of the
+experiment, when the clients had not yet cached the requests", then drops
+and stays low — the oracle is not a bottleneck.
+"""
+
+from repro.harness.figures import figure6_oracle_load
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig6_oracle_load(benchmark):
+    figure = run_figure(benchmark, figure6_oracle_load,
+                        duration_ms=6_000.0, partition_counts=(2, 4),
+                        users_per_partition=100, clients_per_partition=8)
+    for k, load in figure.data.items():
+        early = max(load.values[:4])
+        late = max(load.values[-4:])
+        # Warm caches: the late-run load is well below the early peak.
+        assert late < early
+        # And absolutely low: the oracle is not saturated.
+        assert late < 0.5

@@ -1,0 +1,26 @@
+"""E7 — location-cache ablation (the DS-SMR paper's key optimisation).
+
+Claim reproduced: without the client cache every command consults the
+oracle, multiplying oracle load and latency; with the cache most commands
+go straight to their partition.
+"""
+
+from repro.harness.figures import figure7_cache_ablation
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig7_cache_ablation(benchmark):
+    figure = run_figure(benchmark, figure7_cache_ablation,
+                        duration_ms=5_000.0, num_partitions=4,
+                        users_per_partition=100, clients_per_partition=8)
+    with_cache = figure.data[True]
+    without_cache = figure.data[False]
+
+    assert with_cache.cache_hits > 0
+    assert without_cache.cache_hits == 0
+    # The cache removes most consults and improves latency.
+    assert with_cache.consults < 0.7 * without_cache.consults
+    assert with_cache.latency_mean_ms < without_cache.latency_mean_ms
+    assert with_cache.oracle_busy_fraction < \
+        without_cache.oracle_busy_fraction

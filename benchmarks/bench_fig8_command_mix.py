@@ -1,0 +1,20 @@
+"""E8 — command mix: read-heavy (timeline-dominated) vs post-only.
+
+Claim reproduced: Chirper is designed so getTimeline is always a
+single-partition command; under the realistic read-heavy mix throughput is
+far higher than under the post-only stress workload for the dynamic scheme.
+"""
+
+from repro.harness.figures import figure8_command_mix
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig8_command_mix(benchmark):
+    figure = run_figure(benchmark, figure8_command_mix,
+                        duration_ms=5_000.0, num_partitions=4,
+                        users_per_partition=100, clients_per_partition=8)
+    data = figure.data
+    for scheme in ("ssmr", "dssmr"):
+        assert data[("mixed", scheme)].throughput > \
+            1.2 * data[("post-only", scheme)].throughput

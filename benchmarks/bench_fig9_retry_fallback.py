@@ -1,0 +1,24 @@
+"""E9 — ablation of the retry limit n (fallback to S-SMR execution).
+
+Claim reproduced: the fallback guarantees termination; the limit trades
+retry latency against expensive all-partition executions. Every
+configuration completes its commands (liveness), and fallbacks appear when
+the limit is small.
+"""
+
+from repro.harness.figures import figure9_retry_fallback
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig9_retry_fallback(benchmark):
+    figure = run_figure(benchmark, figure9_retry_fallback,
+                        duration_ms=4_000.0, num_partitions=4,
+                        users_per_partition=75, clients_per_partition=8,
+                        retry_limits=(0, 1, 3, 8))
+    for limit, metrics in figure.data.items():
+        assert metrics.completed > 0        # liveness at every limit
+    # Tight limits fall back more than generous ones.
+    assert figure.data[0].fallbacks >= figure.data[8].fallbacks
+    # Generous limits retry more than tight ones.
+    assert figure.data[8].retries >= figure.data[0].retries

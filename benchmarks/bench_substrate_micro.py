@@ -1,0 +1,100 @@
+"""Substrate microbenchmarks (simulator performance, not paper figures).
+
+These quantify the cost of the simulation substrate itself — useful when
+sizing experiments and for catching performance regressions in the kernel,
+network and ordering layers. Unlike the figure benches these run multiple
+rounds.
+"""
+
+import pytest
+
+from repro.net import FixedLatency, Network
+from repro.ordering import GroupDirectory, ProtocolNode, SequencerLog
+from repro.sim import Channel, Environment, SeedStream
+
+
+@pytest.mark.benchmark(group="micro")
+def test_kernel_event_throughput(benchmark):
+    """Raw DES events processed per run (timeout churn)."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(0.01)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == pytest.approx(100.0, rel=1e-6)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_channel_handoff_throughput(benchmark):
+    """Producer/consumer handoffs through a channel."""
+
+    def run():
+        env = Environment()
+        channel = Channel(env)
+        count = 5_000
+
+        def producer(env):
+            for i in range(count):
+                channel.put(i)
+                yield env.timeout(0)
+
+        def consumer(env):
+            total = 0
+            for _ in range(count):
+                total += yield channel.get()
+            return total
+
+        env.process(producer(env))
+        consumer_proc = env.process(consumer(env))
+        env.run()
+        return consumer_proc.value
+
+    total = benchmark(run)
+    assert total == sum(range(5_000))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_network_message_throughput(benchmark):
+    """Point-to-point sends through the simulated network."""
+
+    def run():
+        env = Environment()
+        net = Network(env, SeedStream(1), FixedLatency(0.05))
+        net.register("b")
+        for i in range(5_000):
+            net.send("a", "b", "k", payload=i)
+        env.run()
+        return net.messages_delivered
+
+    delivered = benchmark(run)
+    assert delivered == 5_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_ordered_log_throughput(benchmark):
+    """Entries sequenced and applied by a 3-member SequencerLog."""
+
+    def run():
+        env = Environment()
+        net = Network(env, SeedStream(2), FixedLatency(0.05))
+        directory = GroupDirectory({"g": ["m0", "m1", "m2"]})
+        logs = {}
+        for member in directory.members("g"):
+            node = ProtocolNode(env, net, member)
+            log = SequencerLog(node, directory, "g")
+            logs[member] = log
+        for i in range(1_000):
+            logs["m1"].submit({"uid": f"e{i}"})
+        env.run()
+        return logs["m2"].applied_count
+
+    applied = benchmark(run)
+    assert applied == 1_000

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one figure/table of the paper via
+:mod:`repro.harness.figures`, times it with pytest-benchmark (one round —
+these are simulations, not microbenchmarks), prints the reproduced
+series/rows, and archives the text under ``benchmarks/results/`` where
+EXPERIMENTS.md links to it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Time one figure run, print and archive its report."""
+    figure = benchmark.pedantic(lambda: figure_fn(**kwargs),
+                                rounds=1, iterations=1)
+    text = str(figure)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{figure.figure_id}.txt"
+    path.write_text(text + "\n")
+    return figure

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Chirper: the paper's Twitter-like application on DS-SMR.
+
+Loads a small Holme–Kim social network into a 4-partition deployment,
+drives a few users through follows, posts and timeline reads, then runs a
+burst of load and reports how the partitioning adapted.
+
+Run:  python examples/chirper_demo.py
+"""
+
+from repro.apps.chirper import user_key
+from repro.harness.cluster import ClusterConfig
+from repro.harness.experiment import ChirperDeployment
+from repro.workload import PostWorkload, holme_kim_graph
+
+
+def main():
+    graph = holme_kim_graph(n=200, m=3, triad_probability=0.7, seed=4)
+    print(f"social graph: {graph.num_vertices} users, "
+          f"{graph.num_edges} follow relations")
+
+    config = ClusterConfig(scheme="dssmr", num_partitions=4, seed=4)
+    deployment = ChirperDeployment(graph, config)
+    cluster = deployment.cluster
+
+    # -- a hand-driven session ------------------------------------------
+    alice = deployment.new_chirper_client()
+
+    def session(env):
+        poster = max(graph.vertices(), key=graph.degree)  # a celebrity
+        fans = sorted(graph.neighbours(poster))[:3]
+        print(f"user {poster} has {graph.degree(poster)} followers")
+        yield from alice.post(poster, "hello, fediverse!")
+        for fan in fans:
+            reply = yield from alice.timeline(fan)
+            newest = reply.value[-1] if reply.value else None
+            print(f"  timeline of follower {fan}: {newest}")
+        # A fresh user joins and follows the celebrity.
+        yield from alice.create_user(10_000)
+        yield from alice.follow(10_000, poster)
+        yield from alice.post(poster, "welcome, newcomer!")
+        reply = yield from alice.timeline(10_000)
+        print(f"  newcomer's timeline: {[e[2] for e in reply.value]}")
+
+    cluster.env.process(session(cluster.env))
+    cluster.run(until=5_000)
+
+    # -- a load burst ------------------------------------------------------
+    workload = PostWorkload(graph, seed=4)
+    deployment.start_closed_loop_clients(16, workload,
+                                         end_time_ms=15_000)
+    cluster.run(until=16_000)
+
+    completed = cluster.latency.count
+    print(f"\nburst: {completed} commands, "
+          f"mean latency {cluster.latency.mean():.2f} ms, "
+          f"p95 {cluster.latency.percentile(95):.2f} ms")
+    print(f"moves while adapting: {cluster.moves_total()}, "
+          f"retries: {cluster.total_retries()}, "
+          f"consults: {cluster.total_consults()}, "
+          f"cache hits: {cluster.total_cache_hits()}")
+    sizes = {p: len(cluster.servers[f'{p}s0'].store)
+             for p in cluster.partitions}
+    print(f"variables per partition after adaptation: {sizes}")
+    print("note: on a well-connected scale-free graph the decentralised "
+          "majority\npolicy concentrates state (every post pulls its "
+          "neighbourhood together).\nThat is exactly the weakness the "
+          "graph-partitioned oracle fixes — try\nre-running with "
+          "scheme='dynastar' in the ClusterConfig above.")
+
+
+if __name__ == "__main__":
+    main()

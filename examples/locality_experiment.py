@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's core experiment, self-contained: strong vs weak locality.
+
+Compares S-SMR with the optimal static partitioning, decentralised DS-SMR
+and DS-SMR with the graph-partitioned oracle on planted-community workloads
+with 0% and 5% edge-cut, printing throughput/latency tables and
+moves-over-time sparklines — a miniature of Figures 1 and 2.
+
+Run:  python examples/locality_experiment.py        (~1-2 minutes)
+"""
+
+from repro.harness.experiment import (run_chirper_experiment,
+                                      static_assignment_for)
+from repro.harness.figures import FIGURE_EXECUTION
+from repro.harness.metrics import ExperimentMetrics
+from repro.harness.report import format_sparkline, format_table
+from repro.workload import clustered_graph
+
+PARTITIONS = 4
+SCHEMES = ("ssmr", "dssmr", "dynastar")
+
+
+def run_locality(edge_cut: float):
+    graph, planted = clustered_graph(n=400, k=PARTITIONS, intra_degree=6,
+                                     edge_cut_fraction=edge_cut, seed=3)
+    rows, sparks = [], []
+    for scheme in SCHEMES:
+        kwargs = {}
+        if scheme == "ssmr":
+            kwargs["initial_assignment"] = static_assignment_for(
+                graph, PARTITIONS, planted)
+        if scheme == "dynastar":
+            kwargs["repartition_interval"] = 100
+        result = run_chirper_experiment(
+            scheme, graph, num_partitions=PARTITIONS,
+            clients_per_partition=8, duration_ms=6_000.0,
+            warmup_ms=2_000.0, seed=5, bucket_ms=400.0,
+            execution=FIGURE_EXECUTION, **kwargs)
+        rows.append(result.metrics.row())
+        sparks.append((scheme, result.throughput, result.moves))
+    print(format_table(ExperimentMetrics.ROW_HEADERS, rows))
+    print()
+    for scheme, throughput, moves in sparks:
+        print(f"{scheme:9s} tput  {format_sparkline(throughput)}")
+        print(f"{'':9s} moves {format_sparkline(moves)}")
+
+
+def main():
+    for edge_cut, label in ((0.0, "STRONG locality (perfectly "
+                                  "partitionable)"),
+                            (0.05, "WEAK locality (5% edge-cut)")):
+        print(f"\n=== {label} ===")
+        run_locality(edge_cut)
+    print("\nReading the results: under strong locality all three schemes "
+          "converge\nto the same throughput (moves stop). Under weak "
+          "locality the static optimum\nleads, the graph-partitioned "
+          "oracle follows, and decentralised DS-SMR pays\nfor moving "
+          "variables back and forth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Parameter sweep: explore scaling beyond the paper's configurations.
+
+Uses the harness's sweep utility to run a factorial grid (scheme ×
+partition count) over a weak-locality Chirper workload, print the table,
+and export ``sweep_results.csv`` for external plotting.
+
+Run:  python examples/sweep_scaling.py        (~2-3 minutes)
+"""
+
+from repro.harness.experiment import (run_chirper_experiment,
+                                      static_assignment_for)
+from repro.harness.figures import FIGURE_EXECUTION
+from repro.harness.sweep import sweep
+from repro.workload import clustered_graph
+
+EDGE_CUT = 0.01
+
+
+def run_config(scheme, num_partitions):
+    graph, planted = clustered_graph(n=80 * num_partitions,
+                                     k=num_partitions, intra_degree=6,
+                                     edge_cut_fraction=EDGE_CUT, seed=3)
+    kwargs = {}
+    if scheme == "ssmr":
+        kwargs["initial_assignment"] = static_assignment_for(
+            graph, num_partitions, planted)
+    result = run_chirper_experiment(
+        scheme, graph, num_partitions=num_partitions,
+        clients_per_partition=6, duration_ms=3_000.0, warmup_ms=1_000.0,
+        seed=5, execution=FIGURE_EXECUTION, **kwargs)
+    return result.metrics
+
+
+def main():
+    print(f"sweeping scheme x partitions at {EDGE_CUT:.0%} edge-cut ...")
+    result = sweep(
+        run_config,
+        {"scheme": ["ssmr", "dssmr", "dynastar"],
+         "num_partitions": [2, 4]},
+        on_row=lambda row: print(f"  done: {row['scheme']} "
+                                 f"x{row['num_partitions']} -> "
+                                 f"{row['throughput']:.0f} ops/s"))
+    print()
+    print(result.to_table())
+    result.to_csv("sweep_results.csv")
+    print("\nwrote sweep_results.csv")
+    best = result.best("throughput")
+    print(f"best configuration: {best['scheme']} with "
+          f"{best['num_partitions']} partitions "
+          f"({best['throughput']:.0f} ops/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a full reproduction of Dynamic Scalable State Machine Replication.
+
+This package implements the DS-SMR protocol (DSN 2016) together with every
+substrate it depends on: a deterministic discrete-event simulation kernel, a
+cluster network model, reliable and atomic multicast (including a from-scratch
+Paxos), classic SMR, static S-SMR, the dynamic replicated oracle of DS-SMR, a
+graph-partitioning oracle extension, a METIS-like multilevel graph
+partitioner, the Chirper social-network application, workload generators, and
+an experiment harness that regenerates every figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro.harness import ClusterBuilder
+
+    cluster = ClusterBuilder(scheme="dssmr", num_partitions=2, seed=7).build()
+    client = cluster.new_client()
+    cluster.run_until_idle()
+
+See ``examples/quickstart.py`` for a complete runnable example.
+"""
+
+from repro.sim import Environment
+from repro.version import __version__
+
+__all__ = ["Environment", "__version__"]

@@ -1,0 +1,24 @@
+"""Chirper — the paper's Twitter-like social network service.
+
+Users follow/unfollow each other, post 140-character messages, and read
+their timelines. The state is one variable per user, holding the user's
+follower/following sets and timeline; timelines are *pushed*: a post appends
+to every follower's variable. Consequently ``getTimeline`` is always a
+single-partition command (the paper designed Chirper this way because reads
+dominate social workloads), while posts and follows span partitions and are
+the commands that trigger moves under DS-SMR.
+"""
+
+from repro.apps.chirper.service import (
+    ChirperStateMachine,
+    TIMELINE_LIMIT,
+    user_key,
+)
+from repro.apps.chirper.client import ChirperClient
+
+__all__ = [
+    "ChirperClient",
+    "ChirperStateMachine",
+    "TIMELINE_LIMIT",
+    "user_key",
+]

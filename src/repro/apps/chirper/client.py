@@ -1,0 +1,136 @@
+"""Chirper application client.
+
+Wraps any protocol client proxy (classic SMR, S-SMR or DS-SMR — they all
+expose the same ``run_command`` generator) with the Chirper operations. The
+client holds a *social view* — the follower sets it needs to declare a
+post's variable set up front. In the benchmark harness the view comes from
+the workload's social graph (the driver generated the follows, so it knows
+them); in the dynamic-workload experiment clients build the view as they
+issue follow commands.
+
+When pointed at a graph-partitioned oracle deployment the client also sends
+workload *hints* so the oracle can learn the social graph (the paper:
+"clients inform the oracle upon submitting structural operations").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.smr.command import Command, CommandType, Reply, ReplyStatus
+from repro.apps.chirper.service import TIMELINE_LIMIT, user_key
+
+HINT_NONE = "none"
+HINT_STRUCTURAL = "structural"   # hint on follow/unfollow only
+HINT_ALL = "all"                 # additionally hint post access patterns
+
+
+class ChirperClient:
+    """Issues Chirper operations through a protocol client proxy."""
+
+    def __init__(self, proxy, social_view: Optional[dict] = None,
+                 hint_mode: str = HINT_NONE):
+        if hint_mode not in (HINT_NONE, HINT_STRUCTURAL, HINT_ALL):
+            raise ValueError(f"unknown hint mode: {hint_mode!r}")
+        self.proxy = proxy
+        self.social_view = social_view if social_view is not None else {}
+        self.hint_mode = hint_mode
+        self._post_counter = 0
+        self._hinted_degree: dict[int, int] = {}
+        self.ops_completed = 0
+        self.ops_failed = 0
+
+    # -- operations (all generators used inside client processes) -----------
+
+    def create_user(self, user: int):
+        """Generator: register a new user."""
+        command = Command(op="create_user", ctype=CommandType.CREATE,
+                          variables=(user_key(user),))
+        reply = yield from self.proxy.run_command(command)
+        if reply.status is ReplyStatus.OK:
+            self.social_view.setdefault(user, set())
+        return self._count(reply)
+
+    def delete_user(self, user: int):
+        """Generator: remove a user from the service (DELETE command)."""
+        command = Command(op="delete_user", ctype=CommandType.DELETE,
+                          variables=(user_key(user),))
+        reply = yield from self.proxy.run_command(command)
+        if reply.status is ReplyStatus.OK:
+            self.social_view.pop(user, None)
+            for followers in self.social_view.values():
+                followers.discard(user)
+        return self._count(reply)
+
+    def post(self, user: int, text: str):
+        """Generator: post a message to the user's followers' timelines."""
+        followers = sorted(self.social_view.get(user, ()))
+        variables = (user_key(user),) + tuple(user_key(f) for f in followers)
+        self._post_counter += 1
+        command = Command(op="post", variables=variables,
+                          writes=variables,
+                          args={"user": user, "text": text,
+                                "post_id": f"{self.name}/{self._post_counter}"})
+        reply = yield from self.proxy.run_command(command)
+        if self.hint_mode == HINT_ALL and reply.status is ReplyStatus.OK:
+            self._hint_post(user, followers)
+        return self._count(reply)
+
+    def follow(self, follower: int, followee: int):
+        """Generator: ``follower`` starts following ``followee``."""
+        return (yield from self._follow_op("follow", follower, followee))
+
+    def unfollow(self, follower: int, followee: int):
+        """Generator: ``follower`` stops following ``followee``."""
+        return (yield from self._follow_op("unfollow", follower, followee))
+
+    def timeline(self, user: int, limit: int = TIMELINE_LIMIT):
+        """Generator: read a user's timeline (single-partition by design)."""
+        command = Command(op="timeline", variables=(user_key(user),),
+                          args={"user": user, "limit": limit})
+        reply = yield from self.proxy.run_command(command)
+        return self._count(reply)
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.proxy.name
+
+    def _follow_op(self, op: str, follower: int, followee: int):
+        variables = (user_key(follower), user_key(followee))
+        command = Command(op=op, variables=variables, writes=variables,
+                          args={"follower": follower, "followee": followee})
+        reply = yield from self.proxy.run_command(command)
+        if reply.status is ReplyStatus.OK:
+            followers = self.social_view.setdefault(followee, set())
+            if op == "follow":
+                followers.add(follower)
+            else:
+                followers.discard(follower)
+            if self.hint_mode != HINT_NONE:
+                self._send_hint([user_key(follower), user_key(followee)],
+                                [(user_key(follower), user_key(followee))])
+        return self._count(reply)
+
+    def _hint_post(self, user: int, followers: Iterable[int]) -> None:
+        """Hint the poster's star once per observed degree (deduplicated)."""
+        followers = list(followers)
+        if self._hinted_degree.get(user) == len(followers):
+            return
+        self._hinted_degree[user] = len(followers)
+        author = user_key(user)
+        self._send_hint([author] + [user_key(f) for f in followers],
+                        [(author, user_key(f)) for f in followers])
+
+    def _send_hint(self, vertices, edges) -> None:
+        send = getattr(self.proxy, "send_hint", None)
+        if send is not None:
+            send(vertices, edges)
+
+    def _count(self, reply: Reply) -> Reply:
+        if reply.status is ReplyStatus.OK:
+            self.ops_completed += 1
+        else:
+            self.ops_failed += 1
+        return reply

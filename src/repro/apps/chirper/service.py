@@ -1,0 +1,95 @@
+"""The Chirper state machine.
+
+State layout: one variable per user, keyed ``u<N>``, holding::
+
+    {"following": [ids], "followers": [ids], "timeline": [(post_id, author, text)]}
+
+Operations (all deterministic):
+
+* ``post(user, text, post_id)`` — reads the poster's variable, appends the
+  message to the timeline of every follower *declared in the command's
+  variable set* (the client proxy declares poster + followers, which is how
+  the Eyrie prototype works: the access set must be known at submission).
+* ``follow(follower, followee)`` / ``unfollow`` — update both users' sets.
+* ``timeline(user, limit)`` — return the newest posts; single-variable.
+
+Timelines are capped at :data:`TIMELINE_LIMIT` entries, as a real feed
+service would cap materialised feeds.
+"""
+
+from __future__ import annotations
+
+from repro.smr.command import Command
+from repro.smr.state_machine import ExecutionView, StateMachine
+
+TIMELINE_LIMIT = 50
+MAX_POST_CHARS = 140
+
+
+def user_key(user: int) -> str:
+    """State-variable key for a user id."""
+    return f"u{user}"
+
+
+def _fresh_user() -> dict:
+    return {"following": [], "followers": [], "timeline": []}
+
+
+class ChirperStateMachine(StateMachine):
+    """Deterministic Chirper application logic."""
+
+    def initial_value(self, key, args: dict):
+        return _fresh_user()
+
+    def apply(self, command: Command, view: ExecutionView):
+        op = command.op
+        args = command.args
+        if op == "post":
+            return self._post(command, view)
+        if op == "follow":
+            return self._follow(args, view, add=True)
+        if op == "unfollow":
+            return self._follow(args, view, add=False)
+        if op == "timeline":
+            return self._timeline(args, view)
+        raise ValueError(f"unknown Chirper operation: {op!r}")
+
+    def _post(self, command: Command, view: ExecutionView):
+        args = command.args
+        text = args["text"][:MAX_POST_CHARS]
+        entry = (args["post_id"], args["user"], text)
+        # The command's variable set is: author first, follower keys after;
+        # the post lands on every declared timeline (author's included).
+        delivered = 0
+        for key in command.variables:
+            record = dict(view.read(key))
+            timeline = list(record["timeline"])
+            timeline.append(entry)
+            record["timeline"] = timeline[-TIMELINE_LIMIT:]
+            view.write(key, record)
+            delivered += 1
+        return {"delivered": delivered}
+
+    def _follow(self, args: dict, view: ExecutionView, add: bool):
+        follower_key = user_key(args["follower"])
+        followee_key = user_key(args["followee"])
+        follower = dict(view.read(follower_key))
+        followee = dict(view.read(followee_key))
+        following = set(follower["following"])
+        followers = set(followee["followers"])
+        if add:
+            following.add(args["followee"])
+            followers.add(args["follower"])
+        else:
+            following.discard(args["followee"])
+            followers.discard(args["follower"])
+        follower["following"] = sorted(following)
+        followee["followers"] = sorted(followers)
+        view.write(follower_key, follower)
+        view.write(followee_key, followee)
+        return {"following": len(follower["following"])}
+
+    def _timeline(self, args: dict, view: ExecutionView):
+        record = view.read(user_key(args["user"]))
+        limit = args.get("limit", TIMELINE_LIMIT)
+        return list(record["timeline"][-limit:])

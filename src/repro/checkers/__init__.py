@@ -1,0 +1,22 @@
+"""Correctness checkers used by the test suite.
+
+The centrepiece is a Wing–Gong linearizability checker: tests drive
+concurrent clients against a deployment, record the invocation/response
+history, and the checker searches for a legal sequential witness that
+respects real-time order — the paper's correctness criterion (Section 2.2).
+"""
+
+from repro.checkers.history import History, Operation
+from repro.checkers.linearizability import (
+    KvSequentialSpec,
+    SequentialSpec,
+    check_linearizable,
+)
+
+__all__ = [
+    "History",
+    "KvSequentialSpec",
+    "Operation",
+    "SequentialSpec",
+    "check_linearizable",
+]

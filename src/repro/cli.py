@@ -1,0 +1,158 @@
+"""Command-line interface: run experiments and figures without writing code.
+
+Examples::
+
+    python -m repro figure fig1 --duration-ms 6000
+    python -m repro experiment --scheme dssmr --partitions 4 \
+        --edge-cut 0.05 --duration-ms 5000
+    python -m repro partition --vertices 5000 --parts 4
+    python -m repro list-figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+
+def _figure_registry() -> dict[str, Callable]:
+    from repro.harness import figures
+    return {
+        "fig1": figures.figure1_motivation,
+        "fig2": figures.figure2_edgecut_sweep,
+        "fig3": figures.figure3_partition_count,
+        "fig4": figures.figure4_dynamic_load,
+        "fig5": figures.figure5_partitioner_scaling,
+        "fig6": figures.figure6_oracle_load,
+        "fig7": figures.figure7_cache_ablation,
+        "fig8": figures.figure8_command_mix,
+        "fig9": figures.figure9_retry_fallback,
+        "fig10": figures.figure10_partitioner_ablation,
+        "fig11": figures.figure11_message_complexity,
+        "fig12": figures.figure12_async_oracle,
+        "fig13": figures.figure13_multicast_comparison,
+        "fig14": figures.figure14_batching,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DS-SMR reproduction: experiments and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("figure_id", help="fig1..fig12 (see list-figures)")
+    figure.add_argument("--seed", type=int, default=5)
+    figure.add_argument("--duration-ms", type=float, default=None,
+                        help="virtual run length per configuration")
+
+    sub.add_parser("list-figures", help="list reproducible figures")
+
+    experiment = sub.add_parser(
+        "experiment", help="one Chirper experiment configuration")
+    experiment.add_argument("--scheme", default="dssmr",
+                            choices=["smr", "ssmr", "dssmr", "dynastar"])
+    experiment.add_argument("--partitions", type=int, default=2)
+    experiment.add_argument("--users", type=int, default=200)
+    experiment.add_argument("--edge-cut", type=float, default=0.0)
+    experiment.add_argument("--clients-per-partition", type=int, default=8)
+    experiment.add_argument("--duration-ms", type=float, default=5_000.0)
+    experiment.add_argument("--seed", type=int, default=5)
+
+    partition = sub.add_parser(
+        "partition", help="run the multilevel partitioner on a demo graph")
+    partition.add_argument("--vertices", type=int, default=5_000)
+    partition.add_argument("--parts", type=int, default=4)
+    partition.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def cmd_figure(args) -> int:
+    registry = _figure_registry()
+    figure_fn = registry.get(args.figure_id)
+    if figure_fn is None:
+        print(f"unknown figure {args.figure_id!r}; "
+              f"try: {', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    kwargs = {"seed": args.seed}
+    if args.duration_ms is not None:
+        kwargs["duration_ms"] = args.duration_ms
+    if args.figure_id in ("fig5", "fig10", "fig13", "fig14"):
+        # figures without duration parameters
+        kwargs = {"seed": args.seed} if args.figure_id in ("fig13", "fig14") else {}
+    started = time.perf_counter()
+    print(figure_fn(**kwargs))
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)")
+    return 0
+
+
+def cmd_list_figures(_args) -> int:
+    from repro.harness import figures as figures_module
+    registry = _figure_registry()
+    for figure_id in sorted(registry, key=lambda f: int(f[3:])):
+        doc = (registry[figure_id].__doc__ or "").strip().splitlines()[0]
+        print(f"{figure_id:6s} {doc}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.harness.experiment import (run_chirper_experiment,
+                                          static_assignment_for)
+    from repro.harness.figures import FIGURE_EXECUTION
+    from repro.harness.metrics import ExperimentMetrics
+    from repro.harness.report import format_sparkline, format_table
+    from repro.workload import clustered_graph
+
+    graph, planted = clustered_graph(
+        n=args.users, k=max(args.partitions, 1), intra_degree=6,
+        edge_cut_fraction=args.edge_cut, seed=3)
+    kwargs = {}
+    if args.scheme == "ssmr":
+        kwargs["initial_assignment"] = static_assignment_for(
+            graph, args.partitions, planted)
+    result = run_chirper_experiment(
+        args.scheme, graph, num_partitions=args.partitions,
+        clients_per_partition=args.clients_per_partition,
+        duration_ms=args.duration_ms, warmup_ms=args.duration_ms / 3,
+        seed=args.seed, execution=FIGURE_EXECUTION, **kwargs)
+    print(format_table(ExperimentMetrics.ROW_HEADERS,
+                       [result.metrics.row()]))
+    print(f"\ntput/s over time: {format_sparkline(result.throughput)}")
+    print(f"moves/s over time: {format_sparkline(result.moves)}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from repro.graph import (MultilevelPartitioner, edge_cut_fraction,
+                             imbalance)
+    from repro.workload import holme_kim_graph
+
+    graph = holme_kim_graph(args.vertices, m=3, triad_probability=0.7,
+                            seed=args.seed)
+    started = time.perf_counter()
+    assignment = MultilevelPartitioner().partition(graph, args.parts)
+    elapsed = time.perf_counter() - started
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"parts: {args.parts}  time: {elapsed:.2f}s  "
+          f"edge-cut: {edge_cut_fraction(graph, assignment):.1%}  "
+          f"imbalance: {imbalance(graph, assignment, args.parts):.2%}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figure": cmd_figure,
+        "list-figures": cmd_list_figures,
+        "experiment": cmd_experiment,
+        "partition": cmd_partition,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

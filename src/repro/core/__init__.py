@@ -1,0 +1,38 @@
+"""DS-SMR — Dynamic Scalable State Machine Replication (the paper's core).
+
+DS-SMR replaces S-SMR's static variable→partition mapping with a *dynamic*
+mapping managed by a replicated oracle service:
+
+* Clients **consult** the oracle (or their location cache) to learn where a
+  command's variables live.
+* Commands whose variables span several partitions trigger **move**
+  commands that first gather all variables in one destination partition;
+  the command then executes there as a cheap single-partition command.
+* Partitions answer **retry** when a command arrives after its variables
+  moved away; after a bounded number of retries the client **falls back**
+  to S-SMR-style execution across all partitions, guaranteeing termination.
+* A client-side **location cache** lets most commands skip the oracle
+  entirely.
+
+Over time, variables that are accessed together gravitate to the same
+partition, turning multi-partition workloads into single-partition ones —
+the source of DS-SMR's scalability.
+"""
+
+from repro.core.prophecy import Prophecy, ProphecyStatus
+from repro.core.policy import LeastLoadedCreatePolicy, MajorityTargetPolicy, OraclePolicy
+from repro.core.oracle import OracleReplica, ORACLE_GROUP
+from repro.core.server_proxy import DssmrServer
+from repro.core.client_proxy import DssmrClient
+
+__all__ = [
+    "DssmrClient",
+    "DssmrServer",
+    "LeastLoadedCreatePolicy",
+    "MajorityTargetPolicy",
+    "ORACLE_GROUP",
+    "OraclePolicy",
+    "OracleReplica",
+    "Prophecy",
+    "ProphecyStatus",
+]

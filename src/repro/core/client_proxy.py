@@ -1,0 +1,216 @@
+"""DS-SMR client proxy (Algorithm 2 of the paper + the location cache).
+
+The proxy hides partitioning from the application: it consults the oracle
+(or the local cache), triggers moves for multi-partition commands, retries
+when a partition replies that variables moved away, and falls back to
+S-SMR-style all-partition execution after ``max_retries`` attempts so that
+every command terminates.
+
+Metrics counted per client (and aggregated by the harness): consults, cache
+hits, retries, moves initiated and fallbacks — the quantities behind the
+motivation and oracle-load figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import Message, Network
+from repro.ordering import GroupDirectory
+from repro.sim import Environment, LatencyRecorder
+from repro.smr.client import BaseClient
+from repro.smr.command import Command, CommandType, Reply, ReplyStatus, new_command_id
+from repro.core.oracle import ORACLE_GROUP, PROPHECY_KIND
+from repro.core.prophecy import Prophecy, ProphecyStatus
+
+
+class DssmrClient(BaseClient):
+    """Client of a DS-SMR deployment."""
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, name: str,
+                 partitions: tuple[str, ...],
+                 max_retries: int = 3,
+                 use_cache: bool = True,
+                 latency: Optional[LatencyRecorder] = None,
+                 broadcast_submit: bool = False):
+        super().__init__(env, network, directory, name, latency,
+                         broadcast_submit=broadcast_submit)
+        self.partitions = tuple(partitions)
+        self.max_retries = max_retries
+        self.use_cache = use_cache
+        self.location_cache: dict = {}
+        self._prophecy_waits: dict[str, object] = {}
+        # Metrics.
+        self.consult_count = 0
+        self.cache_hits = 0
+        self.retry_count = 0
+        self.fallback_count = 0
+        self.moves_initiated = 0
+        self.node.on(PROPHECY_KIND, self._on_prophecy)
+
+    # -- prophecy plumbing -----------------------------------------------------
+
+    def _on_prophecy(self, message: Message) -> None:
+        payload = message.payload
+        event = self._prophecy_waits.pop(payload["cid"], None)
+        if event is not None:
+            event.succeed(payload["prophecy"])
+
+    def _consult(self, command: Command, attempt: int):
+        """Generator: ask the oracle about ``command``; returns the prophecy."""
+        self.consult_count += 1
+        consult_cid = f"{command.cid}:c{attempt}"
+        consult = Command(op="consult", ctype=CommandType.CONSULT,
+                          variables=command.variables,
+                          args={"inner_ctype": command.ctype.value},
+                          cid=consult_cid, client=self.name)
+        event = self.env.event()
+        self._prophecy_waits[consult_cid] = event
+        self.mcast.multicast([ORACLE_GROUP],
+                             {"command": consult},
+                             size=consult.payload_size(),
+                             uid=f"am:{consult_cid}")
+        prophecy: Prophecy = yield event
+        return prophecy
+
+    # -- main entry point -----------------------------------------------------
+
+    def run_command(self, command: Command):
+        """Generator: execute one command; returns the final :class:`Reply`.
+
+        Implements the do/while loop of Algorithm 2, including the cache
+        fast path and the S-SMR fallback.
+        """
+        command.client = self.name
+        start = self.env.now
+        attempt = 0
+        fell_back = False
+        while True:
+            attempt += 1
+            if attempt > self.max_retries + 1:
+                reply = yield from self._fallback(command, attempt)
+                fell_back = True
+                break
+            route = yield from self._route(command, attempt)
+            if isinstance(route, Reply):
+                reply = route       # terminal answer from the oracle
+                break
+            reply = yield from self._attempt(command, route, attempt)
+            if reply.status is not ReplyStatus.RETRY:
+                break
+            self.retry_count += 1
+            self._invalidate_cache(command)
+        if (reply.status is ReplyStatus.OK
+                and command.ctype is CommandType.ACCESS
+                and not fell_back and reply.partition):
+            # A fallback execution leaves variables spread across
+            # partitions, so its reply must not populate the cache.
+            for key in command.variables:
+                self.location_cache[key] = reply.partition
+        self.latency.record(self.env.now, self.env.now - start)
+        return reply
+
+    # -- routing: cache or oracle ------------------------------------------------
+
+    def _route(self, command: Command, attempt: int):
+        """Generator: decide dests; returns envelope info or a terminal Reply."""
+        if (self.use_cache and command.ctype is CommandType.ACCESS
+                and command.variables):
+            cached = {self.location_cache.get(key)
+                      for key in command.variables}
+            if None not in cached and len(cached) == 1:
+                self.cache_hits += 1
+                return {"dests": [cached.pop()]}
+        prophecy = yield from self._consult(command, attempt)
+        if prophecy.status is ProphecyStatus.NOK:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value=prophecy.reason, sender=ORACLE_GROUP)
+        if prophecy.status is ProphecyStatus.OK:
+            return Reply(cid=command.cid, status=ReplyStatus.OK,
+                         value=prophecy.reason, sender=ORACLE_GROUP)
+        self.location_cache.update(prophecy.tuples)
+        if command.ctype in (CommandType.CREATE, CommandType.DELETE):
+            return {"dests": [prophecy.target or
+                              next(iter(prophecy.partitions))],
+                    "with_oracle": True}
+        dests = sorted(prophecy.partitions)
+        if len(dests) <= 1:
+            return {"dests": dests}
+        # Multi-partition access: gather everything at the target first.
+        target = prophecy.target
+        if prophecy.sync:
+            # The oracle already issued the move; wait for the destination
+            # partition's acknowledgement.
+            reply = yield self.wait_reply(prophecy.move_cid)
+            for key in command.variables:
+                self.location_cache[key] = target
+            return {"dests": [target]}
+        yield from self._move(command, prophecy, target, attempt)
+        return {"dests": [target]}
+
+    def _move(self, command: Command, prophecy: Prophecy, target: str,
+              attempt: int):
+        """Generator: client-issued move of the command's variables."""
+        variables = tuple(v for v, p in prophecy.tuples.items()
+                          if p != target)
+        sources = sorted({p for p in prophecy.tuples.values()
+                          if p != target})
+        move_cid = f"{command.cid}:m{attempt}"
+        move = Command(op="move", ctype=CommandType.MOVE,
+                       variables=variables,
+                       args={"sources": sources, "dest": target,
+                             "notify": self.name},
+                       cid=move_cid, client=self.name)
+        self.moves_initiated += len(variables)
+        dests = sorted({ORACLE_GROUP, target, *sources})
+        event = self.wait_reply(move_cid)
+        self.mcast.multicast(dests, {"command": move, "dests": dests},
+                             size=move.payload_size(), uid=f"am:{move_cid}")
+        yield event  # destination partition confirms the variables arrived
+        for key in variables:
+            self.location_cache[key] = target
+
+    # -- attempts ------------------------------------------------------------------
+
+    def _attempt(self, command: Command, route: dict, attempt: int):
+        """Generator: one multicast of the command itself."""
+        dests = list(route["dests"])
+        groups = sorted(set(dests) | ({ORACLE_GROUP}
+                                      if route.get("with_oracle") else set()))
+        if command.ctype in (CommandType.CREATE, CommandType.DELETE):
+            command.args = dict(command.args, partition=dests[0])
+        envelope = {"command": command, "dests": dests, "attempt": attempt}
+        event = self.wait_reply(command.cid, attempt=attempt)
+        self.mcast.multicast(groups, envelope, size=command.payload_size(),
+                             uid=f"am:{command.cid}:a{attempt}")
+        reply: Reply = yield event
+        return reply
+
+    def _fallback(self, command: Command, attempt: int):
+        """Generator: S-SMR-style execution across all partitions."""
+        self.fallback_count += 1
+        dests = sorted(self.partitions)
+        envelope = {"command": command, "dests": dests, "mode": "fallback",
+                    "attempt": attempt}
+        event = self.wait_reply(command.cid, attempt=attempt)
+        self.mcast.multicast(dests, envelope, size=command.payload_size(),
+                             uid=f"am:{command.cid}:a{attempt}")
+        reply: Reply = yield event
+        return reply
+
+    # -- cache ---------------------------------------------------------------------
+
+    def _invalidate_cache(self, command: Command) -> None:
+        for key in command.variables:
+            self.location_cache.pop(key, None)
+
+    # -- hints (used by graph-partitioned oracle deployments) ---------------------
+
+    def send_hint(self, vertices, edges) -> None:
+        """Inform the oracle's workload graph (fire-and-forget, ordered)."""
+        hint_cid = new_command_id(self.name)
+        self.mcast.multicast([ORACLE_GROUP], {
+            "hint": {"vertices": list(vertices),
+                     "edges": [list(edge) for edge in edges]},
+        }, size=96 + 16 * len(edges), uid=f"am:{hint_cid}")

@@ -1,0 +1,332 @@
+"""The replicated DS-SMR oracle (Algorithm 4 of the paper).
+
+The oracle is a replicated service in its own server group. It maintains the
+dynamic variable→partition mapping and answers consults:
+
+* **Task 1 — consult.** For a create, pick the new variable's partition
+  (policy) and tell the client where to multicast. For an access, return the
+  involved partitions; when they span several partitions, pick the gather
+  destination (policy) and — if the oracle is configured to issue moves
+  itself (the graph-partitioned extension) — atomically multicast the move
+  and tell the client to synchronise on it.
+* **Task 2 — create.** Update the mapping and exchange a signal with the
+  creating partition (the linearizability coordination of multi-partition
+  commands, specialised to {oracle, partition}).
+* **Task 3 — move.** Update the mapping; no coordination needed — a move
+  cannot interleave with a create, and racing moves merely cause client
+  retries.
+* **Tasks 5/6 — hints & repartitioning.** Ingest workload hints and
+  periodically recompute an ideal partitioning (policy; deterministic on
+  every replica because hints arrive through the ordered log).
+
+The oracle replica charges simulated CPU time per request into a
+:class:`~repro.sim.monitor.BusyTracker` — the measurement behind the
+"oracle CPU load" experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import Network
+from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
+                            ProtocolNode, ReliableMulticast, SequencerLog)
+from repro.sim import BusyTracker, Channel, Counter, Environment, Interrupted
+from repro.smr.command import Command, CommandType, Reply, ReplyStatus, new_command_id
+from repro.smr.replica import REPLY_KIND
+from repro.core.policy import MajorityTargetPolicy, OraclePolicy
+from repro.core.prophecy import Prophecy, ProphecyStatus
+from repro.ssmr.exchange import ExchangeBuffer
+
+ORACLE_GROUP = "oracle"
+PROPHECY_KIND = "prophecy"
+
+
+class OracleReplica:
+    """One replica of the DS-SMR partitioning oracle."""
+
+    #: Simulated CPU cost of oracle request handling, in ms.
+    CONSULT_COST = 0.02
+    PER_VARIABLE_COST = 0.004
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, name: str,
+                 partitions: tuple[str, ...],
+                 policy: Optional[OraclePolicy] = None,
+                 oracle_issues_moves: bool = False,
+                 async_repartition: bool = False,
+                 log_factory=SequencerLog,
+                 speaker_only: bool = True):
+        self.env = env
+        self.partitions = tuple(partitions)
+        self.directory = directory
+        self.node = ProtocolNode(env, network, name)
+        self.log = log_factory(self.node, directory, ORACLE_GROUP)
+        self.amcast = AtomicMulticast(self.node, directory, self.log,
+                                      speaker_only=speaker_only)
+        self.rmcast = ReliableMulticast(self.node, directory)
+        self.exchange = ExchangeBuffer(env, self.rmcast, ORACLE_GROUP)
+        self.policy = policy or MajorityTargetPolicy()
+        self.oracle_issues_moves = oracle_issues_moves
+        # Asynchronous repartitioning (paper, implementation section): the
+        # oracle is "multi-threaded, and can service requests while
+        # computing a new partitioning concurrently"; replicas switch to
+        # the new partitioning consistently by atomically multicasting its
+        # unique id. Requires a policy with ingest/compute/install split
+        # (the graph-partitioned policy).
+        self.async_repartition = (async_repartition
+                                  and hasattr(self.policy, "ingest_hint"))
+        self._next_partitioning_id = 0
+        self._pending_ideals: dict[int, dict] = {}
+        self._repartition_inflight = False
+
+        # The dynamic mapping: variable key -> partition name, plus the
+        # incrementally maintained variable count per partition.
+        self.location: dict = {}
+        self.partition_sizes: dict[str, int] = {p: 0 for p in self.partitions}
+
+        # Metrics.
+        self.busy = BusyTracker(f"{name}/busy")
+        self.busy_background = BusyTracker(f"{name}/busy-background")
+        self.consults = Counter(f"{name}/consults")
+        self.moves_issued = Counter(f"{name}/moves")
+        self.repartitions = Counter(f"{name}/repartitions")
+
+        self._deliveries = Channel(env, name=f"{name}/deliveries")
+        self.amcast.on_deliver(self._deliveries.put)
+        self._executor = env.process(self._execute_loop(),
+                                     name=f"{name}/executor")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def crash(self) -> None:
+        self.node.crash()
+        self._executor.interrupt("crash")
+
+    def preload_locations(self, location: dict) -> None:
+        """Install an initial mapping (used when state is bulk-loaded)."""
+        for key, partition in location.items():
+            self._relocate(key, partition)
+
+    def _relocate(self, key, partition) -> None:
+        """Point ``key`` at ``partition``, keeping the size counters true."""
+        old = self.location.get(key)
+        if old == partition:
+            return
+        if old is not None:
+            self.partition_sizes[old] -= 1
+        self.location[key] = partition
+        self.partition_sizes[partition] += 1
+
+    def _forget(self, key) -> None:
+        old = self.location.pop(key, None)
+        if old is not None:
+            self.partition_sizes[old] -= 1
+
+    # -- executor ---------------------------------------------------------------
+
+    def _execute_loop(self):
+        try:
+            while True:
+                delivery: AmcastDelivery = yield self._deliveries.get()
+                started = self.env.now
+                yield from self._handle_delivery(delivery)
+                if self.env.now > started:
+                    self.busy.add_busy(started, self.env.now - started)
+        except Interrupted:
+            return
+
+    def _handle_delivery(self, delivery: AmcastDelivery):
+        envelope = delivery.payload
+        if "hint" in envelope:
+            yield from self._task_hint(envelope["hint"])
+            return
+        if "activate_partitioning" in envelope:
+            self._task_activate(envelope["activate_partitioning"])
+            return
+        command: Command = envelope["command"]
+        cost = self.CONSULT_COST + self.PER_VARIABLE_COST * len(
+            command.variables)
+        yield self.env.timeout(cost)
+        if command.ctype is CommandType.CONSULT:
+            self._task_consult(command)
+        elif command.ctype is CommandType.CREATE:
+            yield from self._task_create(command)
+        elif command.ctype is CommandType.DELETE:
+            yield from self._task_delete(command)
+        elif command.ctype is CommandType.MOVE:
+            self._task_move(command)
+        else:
+            raise ValueError(
+                f"oracle cannot execute {command.ctype.value!r} commands")
+
+    # -- Task 1: consult ----------------------------------------------------
+
+    def _task_consult(self, command: Command) -> None:
+        self.consults.increment(self.env.now)
+        inner_ctype = command.args["inner_ctype"]
+        if inner_ctype == "create":
+            prophecy = self._consult_create(command)
+        else:
+            prophecy = self._consult_access(command)
+        self._send_prophecy(command, prophecy)
+
+    def _consult_create(self, command: Command) -> Prophecy:
+        key = command.variables[0]
+        if key in self.location:
+            return Prophecy(status=ProphecyStatus.NOK,
+                            reason="variable already exists")
+        target = self.policy.partition_for_create(key, self.location,
+                                                  self.partitions,
+                                                  self.partition_sizes)
+        return Prophecy(status=ProphecyStatus.LOCATIONS,
+                        tuples={key: target}, target=target)
+
+    def _consult_access(self, command: Command) -> Prophecy:
+        missing = [v for v in command.variables if v not in self.location]
+        if missing:
+            return Prophecy(status=ProphecyStatus.NOK,
+                            reason=f"unknown variables: {missing[:3]}")
+        tuples = {v: self.location[v] for v in command.variables}
+        dests = set(tuples.values())
+        if len(dests) <= 1:
+            return Prophecy(status=ProphecyStatus.LOCATIONS, tuples=tuples)
+        target = self.policy.target_for_access(command.variables,
+                                               self.location, self.partitions,
+                                               self.partition_sizes)
+        prophecy = Prophecy(status=ProphecyStatus.LOCATIONS, tuples=tuples,
+                            target=target)
+        if self.oracle_issues_moves:
+            move_cid = f"{command.cid}:omove"
+            self._issue_move(command, tuples, target, move_cid)
+            prophecy.sync = True
+            prophecy.move_cid = move_cid
+        return prophecy
+
+    def _issue_move(self, command: Command, tuples: dict, target: str,
+                    move_cid: str) -> None:
+        """Oracle-issued move (graph-partitioned mode, Algorithm 4 Task 1)."""
+        variables = tuple(v for v, p in tuples.items() if p != target)
+        sources = sorted({p for v, p in tuples.items() if p != target})
+        move = Command(op="move", ctype=CommandType.MOVE,
+                       variables=variables,
+                       args={"sources": sources, "dest": target,
+                             "notify": command.client},
+                       cid=move_cid, client=command.client)
+        dests = [ORACLE_GROUP, target] + sources
+        envelope = {"command": move, "dests": sorted(set(dests))}
+        # Every oracle replica multicasts with the same uid; the ordered
+        # logs deduplicate, so exactly one move is ordered.
+        self.amcast.multicast(sorted(set(dests)), envelope,
+                              size=move.payload_size(), uid=f"am:{move_cid}")
+        self.moves_issued.increment(self.env.now, len(variables))
+
+    # -- Task 2: create / delete ----------------------------------------------
+
+    def _task_create(self, command: Command):
+        key = command.variables[0]
+        partition = command.args["partition"]
+        # The verdict rides on the signal: a create that lost the race
+        # against another create must still unblock the waiting partition,
+        # which only installs the variable on an "ok" verdict.
+        verdict = "nok" if key in self.location else "ok"
+        self.exchange.send([partition], command.cid, {"verdict": verdict})
+        yield from self.exchange.wait(command.cid, {partition})
+        self.exchange.collect(command.cid)
+        if verdict == "ok":
+            self._relocate(key, partition)
+            self.policy.on_create(key, partition)
+            self._reply(command, ReplyStatus.OK, "created")
+        else:
+            self._reply(command, ReplyStatus.NOK, "exists")
+
+    def _task_delete(self, command: Command):
+        key = command.variables[0]
+        partition = command.args["partition"]
+        current = self.location.get(key)
+        verdict = "ok" if current == partition else "nok"
+        self.exchange.send([partition], command.cid, {"verdict": verdict})
+        yield from self.exchange.wait(command.cid, {partition})
+        self.exchange.collect(command.cid)
+        if verdict == "ok":
+            self._forget(key)
+            self.policy.on_delete(key)
+            self._reply(command, ReplyStatus.OK, "deleted")
+        else:
+            self._reply(command, ReplyStatus.NOK, "missing")
+
+    # -- Task 3: move -----------------------------------------------------------
+
+    def _task_move(self, command: Command) -> None:
+        dest = command.args["dest"]
+        for key in command.variables:
+            if key in self.location:
+                self._relocate(key, dest)
+        if not self.oracle_issues_moves:
+            self.moves_issued.increment(self.env.now,
+                                        len(command.variables))
+
+    # -- Tasks 5/6: hints and repartitioning ------------------------------------
+
+    def _task_hint(self, hint: dict):
+        vertices = hint.get("vertices", ())
+        edges = hint.get("edges", ())
+        if not self.async_repartition:
+            repartition_cost = self.policy.on_hint(vertices, edges,
+                                                   self.location)
+            if repartition_cost:
+                self.repartitions.increment(self.env.now)
+                yield self.env.timeout(float(repartition_cost))
+            else:
+                yield self.env.timeout(self.CONSULT_COST)
+            return
+        # Asynchronous mode: ingest on the critical path, compute off it.
+        due = self.policy.ingest_hint(vertices, edges)
+        yield self.env.timeout(self.CONSULT_COST)
+        if due and not self._repartition_inflight:
+            self._start_background_repartition()
+
+    def _start_background_repartition(self) -> None:
+        self._repartition_inflight = True
+        partitioning_id = self._next_partitioning_id
+        self._next_partitioning_id += 1
+        ideal, cost = self.policy.compute_ideal(self.location)
+        self._pending_ideals[partitioning_id] = ideal
+        self.busy_background.add_busy(self.env.now, float(cost))
+        # The "background thread" finishes after `cost` ms and announces
+        # the new partitioning's id; all replicas announce the same id with
+        # the same multicast uid, so the logs deduplicate to one activation.
+        self.env.schedule_callback(
+            float(cost),
+            lambda: self._announce_partitioning(partitioning_id))
+
+    def _announce_partitioning(self, partitioning_id: int) -> None:
+        if self.node.crashed:
+            return
+        self.amcast.multicast(
+            [ORACLE_GROUP], {"activate_partitioning": partitioning_id},
+            size=96, uid=f"am:activate:{partitioning_id}")
+
+    def _task_activate(self, partitioning_id: int) -> None:
+        ideal = self._pending_ideals.pop(partitioning_id, None)
+        if ideal is None:
+            return  # already activated (duplicate) or unknown id
+        self.policy.install_ideal(ideal)
+        self._repartition_inflight = False
+        self.repartitions.increment(self.env.now)
+
+    # -- replies -------------------------------------------------------------
+
+    def _send_prophecy(self, command: Command, prophecy: Prophecy) -> None:
+        if command.client:
+            self.node.send(command.client, PROPHECY_KIND,
+                           {"cid": command.cid, "prophecy": prophecy},
+                           size=128 + 32 * len(prophecy.tuples))
+
+    def _reply(self, command: Command, status: ReplyStatus,
+               value) -> None:
+        if command.client:
+            self.node.send(command.client, REPLY_KIND,
+                           Reply(cid=command.cid, status=status, value=value,
+                                 sender=self.node.name,
+                                 partition=ORACLE_GROUP), size=128)

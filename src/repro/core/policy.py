@@ -1,0 +1,97 @@
+"""Oracle policies: where to create variables and where to gather them.
+
+The oracle is parameterised by a policy object so the decentralised DS-SMR
+heuristics and the graph-partitioned extension (:mod:`repro.dynastar`) plug
+into the same replicated oracle. Policies must be **deterministic**: every
+oracle replica runs the same policy on the same delivered state and must
+make identical choices.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.graph.baselines import stable_hash
+
+Key = Hashable
+
+
+class OraclePolicy(ABC):
+    """Decides destination partitions for creates and multi-partition moves.
+
+    ``sizes`` is the oracle's incrementally maintained variable count per
+    partition — policies use it for load-aware decisions without an O(n)
+    scan of the location map on every consult.
+    """
+
+    @abstractmethod
+    def partition_for_create(self, key: Key, location: Mapping[Key, str],
+                             partitions: Sequence[str],
+                             sizes: Mapping[str, int]) -> str:
+        """Partition where a new variable should be created."""
+
+    @abstractmethod
+    def target_for_access(self, variables: Iterable[Key],
+                          location: Mapping[Key, str],
+                          partitions: Sequence[str],
+                          sizes: Mapping[str, int]) -> str:
+        """Partition where a multi-partition command's variables gather."""
+
+    def on_hint(self, vertices: Iterable[Key],
+                edges: Iterable[tuple[Key, Key]],
+                location: Mapping[Key, str]) -> float:
+        """Ingest a workload hint.
+
+        ``location`` is the oracle's current variable→partition mapping
+        (read-only). Returns the simulated CPU cost (ms) of any
+        repartitioning the hint triggered, or 0.0. The base policies ignore
+        hints — only the graph-partitioned oracle extension uses them.
+        """
+        return 0.0
+
+    def on_create(self, key: Key, partition: str) -> None:
+        """Notification that ``key`` was created in ``partition``."""
+
+    def on_delete(self, key: Key) -> None:
+        """Notification that ``key`` was deleted."""
+
+
+class LeastLoadedCreatePolicy:
+    """Mixin: create new variables in the currently smallest partition.
+
+    Deterministic and keeps partitions balanced, which is what the DS-SMR
+    prototype's default creation rule does. Sizes are maintained by the
+    oracle from the delivered command sequence, so every replica computes
+    the same answer.
+    """
+
+    def partition_for_create(self, key: Key, location: Mapping[Key, str],
+                             partitions: Sequence[str],
+                             sizes: Mapping[str, int]) -> str:
+        return min(partitions, key=lambda p: (sizes.get(p, 0), p))
+
+
+class MajorityTargetPolicy(LeastLoadedCreatePolicy, OraclePolicy):
+    """Decentralised DS-SMR heuristic: gather variables where most already are.
+
+    The destination of a multi-partition command is the involved partition
+    holding the largest share of the command's variables (fewest values to
+    ship). Ties go to the least-loaded involved partition (then a stable
+    hash of the variable set) — a fixed favourite partition would win every
+    early tie and snowball the whole state into one partition.
+    """
+
+    def target_for_access(self, variables: Iterable[Key],
+                          location: Mapping[Key, str],
+                          partitions: Sequence[str],
+                          sizes: Mapping[str, int]) -> str:
+        variables = list(variables)
+        holders = Counter(location[v] for v in variables if v in location)
+        if not holders:
+            return partitions[0]
+        salt = stable_hash(tuple(sorted(map(repr, variables))))
+        return min(holders,
+                   key=lambda p: (-holders[p], sizes.get(p, 0),
+                                  stable_hash(p) ^ salt))

@@ -1,0 +1,44 @@
+"""Prophecies: the oracle's answers to consult commands.
+
+A prophecy tells the client where a command's variables live and what to do
+next. Following the paper, it is either a terminal verdict (``OK``/``NOK``,
+e.g. "that variable already exists") or a location answer: variable→partition
+tuples, the destination partition, and a ``sync`` flag — set when the oracle
+itself has issued the move commands (graph-partitioned oracle mode), telling
+the client to wait for the destination partition to receive the variables
+before multicasting the command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class ProphecyStatus(str, Enum):
+    OK = "ok"          # terminal: nothing to execute (e.g. delete of absent)
+    NOK = "nok"        # terminal: command cannot execute (e.g. unknown var)
+    LOCATIONS = "locations"
+
+
+@dataclass
+class Prophecy:
+    """Oracle reply to a consult."""
+
+    status: ProphecyStatus
+    # Mapping variable -> partition for every variable of the command.
+    tuples: dict = field(default_factory=dict)
+    # Destination partition chosen by the oracle's target policy (set when
+    # the command spans multiple partitions, or for a create).
+    target: Optional[str] = None
+    # True when the oracle already issued the moves; the client must wait
+    # for the move acknowledgement from the destination partition.
+    sync: bool = False
+    # Id of the oracle-issued move the client must wait for (sync mode).
+    move_cid: Optional[str] = None
+    reason: str = ""
+
+    @property
+    def partitions(self) -> set[str]:
+        return set(self.tuples.values())

@@ -1,0 +1,156 @@
+"""DS-SMR partition server proxy (Algorithm 3 of the paper).
+
+Extends the S-SMR server with the dynamic-partitioning behaviours:
+
+* **access** — executes only if *all* the command's variables are stored
+  locally; otherwise replies ``retry`` (the variables moved away since the
+  client consulted). Commands arriving with ``mode="fallback"`` take the
+  S-SMR multi-partition path instead, which is how termination is
+  guaranteed after repeated retries.
+* **move** — a source partition ships its share of the moved variables to
+  the destination partition via reliable multicast and forgets them; the
+  destination waits for one transfer message per source, installs the
+  values, and acknowledges to the client that triggered the move.
+* **create / delete** — executed in coordination with the oracle: partition
+  and oracle exchange signals so creates and deletes serialize correctly
+  against each other (Task 2/3 of the oracle algorithm).
+"""
+
+from __future__ import annotations
+
+from repro.ordering import AmcastDelivery
+from repro.sim import Counter
+from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.replica import REPLY_KIND
+from repro.ssmr.server import SsmrServer
+from repro.core.oracle import ORACLE_GROUP
+
+
+class DssmrServer(SsmrServer):
+    """One replica of one DS-SMR partition."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.retries_sent = Counter(f"{self.node.name}/retries")
+        self.moves_in = Counter(f"{self.node.name}/moves-in")
+        self.moves_out = Counter(f"{self.node.name}/moves-out")
+
+    def _handle_delivery(self, delivery: AmcastDelivery):
+        envelope = delivery.payload
+        command: Command = envelope["command"]
+        if command.ctype.value == "move":
+            yield from self._exec_move(command)
+            return
+        if (command.ctype.value == "access"
+                and envelope.get("mode") != "fallback"):
+            yield from self._exec_single_partition_access(
+                command, envelope.get("attempt", 1))
+            return
+        # create/delete and fallback accesses reuse the S-SMR machinery,
+        # with the oracle joining the signal exchange for create/delete.
+        yield from super()._handle_delivery(delivery)
+
+    # -- access (single-partition fast path) ---------------------------------
+
+    def _exec_single_partition_access(self, command: Command,
+                                      attempt: int = 1):
+        cached = self._replies.get(command.cid)
+        if cached is not None:
+            from dataclasses import replace
+            self._send_reply(command, replace(cached, attempt=attempt))
+            return
+        missing = [key for key in command.variables
+                   if key not in self.store]
+        if missing:
+            # Variables moved away since the client consulted: retry.
+            self.retries_sent.increment(self.env.now)
+            self._send_reply(command, Reply(
+                cid=command.cid, status=ReplyStatus.RETRY,
+                value={"missing": missing}, sender=self.node.name,
+                partition=self.partition, attempt=attempt))
+            return
+        yield self.env.timeout(self.execution.cost(command))
+        from repro.smr.state_machine import ExecutionView
+        view = ExecutionView(self.store)
+        try:
+            value = self.state_machine.apply(command, view)
+            status = ReplyStatus.OK
+        except KeyError as error:
+            # Undeclared variable access (see SsmrServer._exec_access).
+            value = f"undeclared variable access: {error}"
+            status = ReplyStatus.NOK
+        reply = Reply(cid=command.cid, status=status, value=value,
+                      sender=self.node.name, partition=self.partition,
+                      attempt=attempt)
+        self._replies[command.cid] = reply
+        self.executed.append(command.cid)
+        self._send_reply(command, reply)
+
+    # -- move --------------------------------------------------------------------
+
+    def _exec_move(self, command: Command):
+        sources = set(command.args["sources"])
+        dest = command.args["dest"]
+        notify = command.args.get("notify")
+        if self.partition in sources:
+            # Ship whatever we still hold (possibly nothing, if an earlier
+            # move already took these variables) and forget it.
+            shipped = {}
+            for key in command.variables:
+                if key in self.store:
+                    shipped[key] = self.store.pop(key)
+            self.moves_out.increment(self.env.now, len(shipped))
+            self.exchange.send([dest], command.cid, shipped)
+            yield self.env.timeout(self.execution.base_ms)
+            return
+        if self.partition == dest:
+            cached = self._replies.get(command.cid)
+            if cached is not None:
+                if notify:
+                    self.node.send(notify, REPLY_KIND, cached, size=128)
+                return
+            yield from self.exchange.wait(command.cid, sources)
+            received = self.exchange.collect(command.cid)
+            for key, value in received.items():
+                self.store.write(key, value)
+            self.moves_in.increment(self.env.now, len(received))
+            yield self.env.timeout(self.execution.base_ms)
+            reply = Reply(cid=command.cid, status=ReplyStatus.OK,
+                          value={"moved": len(received)},
+                          sender=self.node.name, partition=self.partition)
+            self._replies[command.cid] = reply
+            if notify:
+                self.node.send(notify, REPLY_KIND, reply, size=128)
+
+    # -- create / delete (coordinated with the oracle) -----------------------
+
+    def _exec_create(self, command: Command, dests: tuple):
+        key = command.variables[0]
+        # Signal exchange with the oracle (both sides send, then wait); the
+        # oracle's signal carries the verdict of the create/create race.
+        self.exchange.send([ORACLE_GROUP], command.cid, {})
+        yield from self.exchange.wait(command.cid, {ORACLE_GROUP})
+        verdict = self.exchange.collect(command.cid).get("verdict")
+        if verdict != "ok" or key in self.store:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value="exists", sender=self.node.name,
+                         partition=self.partition)
+        self.store.create(
+            key, self.state_machine.initial_value(key, command.args))
+        yield self.env.timeout(self.execution.cost(command))
+        return Reply(cid=command.cid, status=ReplyStatus.OK, value="created",
+                     sender=self.node.name, partition=self.partition)
+
+    def _exec_delete(self, command: Command, dests: tuple):
+        key = command.variables[0]
+        self.exchange.send([ORACLE_GROUP], command.cid, {})
+        yield from self.exchange.wait(command.cid, {ORACLE_GROUP})
+        verdict = self.exchange.collect(command.cid).get("verdict")
+        if verdict != "ok" or key not in self.store:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value="missing", sender=self.node.name,
+                         partition=self.partition)
+        self.store.delete(key)
+        yield self.env.timeout(self.execution.cost(command))
+        return Reply(cid=command.cid, status=ReplyStatus.OK, value="deleted",
+                     sender=self.node.name, partition=self.partition)

@@ -1,0 +1,20 @@
+"""Graph-partitioned oracle extension ("DynaStar-style" policy).
+
+The supplied paper draft extends DS-SMR with a *locality-aware* oracle: it
+builds a workload graph on the fly from client hints (vertices = state
+variables, edges = commands that accessed the variables together),
+periodically computes an "ideal" partitioning with a static graph
+partitioner (our METIS substitute), and gathers the variables of a
+multi-partition command at the partition that the ideal partitioning —
+rather than the current majority — calls for. Under weak locality this
+stops the back-and-forth moving that destabilises plain DS-SMR.
+
+The extension is purely a policy: plug :class:`GraphTargetPolicy` into
+:class:`repro.core.OracleReplica` (with ``oracle_issues_moves=True`` to get
+the oracle-driven move variant of the draft's Algorithm 4).
+"""
+
+from repro.dynastar.workload_graph import WorkloadGraph
+from repro.dynastar.policy import GraphTargetPolicy
+
+__all__ = ["GraphTargetPolicy", "WorkloadGraph"]

@@ -1,0 +1,165 @@
+"""The graph-partitioned oracle policy (Tasks 5/6 + ``target()``).
+
+Implements the draft's oracle behaviour on top of the pluggable
+:class:`~repro.core.policy.OraclePolicy` interface:
+
+* hints grow the workload graph; every ``repartition_interval`` hints the
+  policy recomputes the ideal partitioning with the multilevel partitioner
+  (deterministic, so all oracle replicas transition identically — the
+  draft's Task 6);
+* the computed ideal part indices are *aligned* to the live partitions by
+  maximum overlap with the current locations, so a repartition renames
+  parts to whatever minimises immediate moves;
+* ``target()`` sends a multi-partition command's variables to the partition
+  the ideal assignment prefers (majority vote over the command's variables),
+  tie-broken by the fewest moves given current locations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.policy import LeastLoadedCreatePolicy, OraclePolicy
+from repro.dynastar.workload_graph import WorkloadGraph
+from repro.graph import MultilevelPartitioner, Partitioner
+
+Key = Hashable
+
+
+class GraphTargetPolicy(LeastLoadedCreatePolicy, OraclePolicy):
+    """Locality-aware oracle policy driven by workload-graph partitioning."""
+
+    #: Simulated cost of one repartition, per graph element (vertex + edge),
+    #: in ms. Calibrated so a 10k-vertex/30k-edge graph costs ~40 ms —
+    #: the same order as the METIS runs in the paper's oracle experiment.
+    REPARTITION_COST_PER_ELEMENT = 0.001
+
+    def __init__(self, partitions: Sequence[str],
+                 partitioner: Optional[Partitioner] = None,
+                 repartition_interval: int = 200):
+        if repartition_interval < 1:
+            raise ValueError("repartition_interval must be >= 1")
+        self.partitions = tuple(partitions)
+        self.partitioner = partitioner or MultilevelPartitioner()
+        self.repartition_interval = repartition_interval
+        self.workload = WorkloadGraph()
+        self.ideal: dict[Key, str] = {}
+        self.repartition_count = 0
+        self._hints_since_repartition = 0
+
+    # -- hints / repartitioning (Tasks 5 & 6) -------------------------------
+
+    def on_hint(self, vertices: Iterable[Key],
+                edges: Iterable[tuple[Key, Key]],
+                location: Mapping[Key, str]) -> float:
+        """Synchronous mode: ingest, and repartition in-line when due."""
+        if not self.ingest_hint(vertices, edges):
+            return 0.0
+        return self.repartition(location)
+
+    def ingest_hint(self, vertices: Iterable[Key],
+                    edges: Iterable[tuple[Key, Key]]) -> bool:
+        """Grow the workload graph; True when a repartition is due.
+
+        Used directly by the oracle's *asynchronous* repartitioning mode
+        (the paper's multi-threaded oracle), which computes the new
+        partitioning off the critical path and activates it via an
+        atomically multicast partitioning id.
+        """
+        self.workload.add_hint(vertices, [tuple(e) for e in edges])
+        self._hints_since_repartition += 1
+        if self._hints_since_repartition < self.repartition_interval:
+            return False
+        self._hints_since_repartition = 0
+        return True
+
+    def compute_ideal(self, location: Mapping[Key, str]) \
+            -> tuple[dict, float]:
+        """Compute (but do not install) a new ideal partitioning.
+
+        Returns ``(ideal_mapping, simulated_cost_ms)``. Deterministic for a
+        given workload graph and location map, so every oracle replica
+        computes the same candidate for the same partitioning id.
+        """
+        graph = self.workload.graph
+        if graph.num_vertices == 0:
+            return {}, 0.0
+        assignment = self.partitioner.partition(graph, len(self.partitions))
+        names = self._align_parts(assignment, location)
+        ideal = {key: names[index] for key, index in assignment.items()}
+        cost = self.REPARTITION_COST_PER_ELEMENT * (
+            graph.num_vertices + graph.num_edges)
+        return ideal, cost
+
+    def install_ideal(self, ideal: dict) -> None:
+        """Switch to a previously computed ideal partitioning."""
+        self.ideal = dict(ideal)
+        self.repartition_count += 1
+
+    def repartition(self, location: Mapping[Key, str]) -> float:
+        """Compute and install in one step; returns the simulated cost."""
+        ideal, cost = self.compute_ideal(location)
+        if ideal:
+            self.install_ideal(ideal)
+        return cost
+
+    def _align_parts(self, assignment: Mapping[Key, int],
+                     location: Mapping[Key, str]) -> dict[int, str]:
+        """Greedy max-overlap renaming of ideal part indices to partitions."""
+        k = len(self.partitions)
+        overlap: dict[tuple[int, str], int] = Counter()
+        for key, index in assignment.items():
+            current = location.get(key)
+            if current is not None:
+                overlap[(index, current)] += 1
+        pairs = sorted(overlap.items(),
+                       key=lambda item: (-item[1], item[0][0], item[0][1]))
+        names: dict[int, str] = {}
+        taken: set[str] = set()
+        for (index, partition), _count in pairs:
+            if index in names or partition in taken:
+                continue
+            names[index] = partition
+            taken.add(partition)
+        remaining = [p for p in self.partitions if p not in taken]
+        for index in range(k):
+            if index not in names:
+                names[index] = remaining.pop(0)
+        return names
+
+    # -- target selection -------------------------------------------------------
+
+    def target_for_access(self, variables: Iterable[Key],
+                          location: Mapping[Key, str],
+                          partitions: Sequence[str],
+                          sizes: Mapping[str, int]) -> str:
+        variables = list(variables)
+        votes = Counter(self.ideal[v] for v in variables if v in self.ideal)
+        if not votes:
+            # No ideal assignment yet: fall back to the DS-SMR heuristic.
+            votes = Counter(location[v] for v in variables if v in location)
+        if not votes:
+            return partitions[0]
+        already_there = Counter(location[v] for v in variables
+                                if v in location)
+
+        def rank(partition: str):
+            return (-votes[partition], -already_there.get(partition, 0),
+                    sizes.get(partition, 0), partition)
+
+        return min(votes, key=rank)
+
+    # -- create / delete bookkeeping --------------------------------------------
+
+    def partition_for_create(self, key: Key, location: Mapping[Key, str],
+                             partitions: Sequence[str],
+                             sizes: Mapping[str, int]) -> str:
+        ideal = self.ideal.get(key)
+        if ideal is not None:
+            return ideal
+        return super().partition_for_create(key, location, partitions, sizes)
+
+    def on_delete(self, key: Key) -> None:
+        self.workload.remove_variable(key)
+        self.ideal.pop(key, None)

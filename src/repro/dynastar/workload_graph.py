@@ -1,0 +1,45 @@
+"""The oracle's workload graph (Task 5 of the oracle algorithm).
+
+Vertices are state variables, edges connect variables accessed by the same
+command; edge weights count co-accesses. The graph is built incrementally
+from hints submitted through the oracle's ordered log, so every oracle
+replica holds an identical copy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graph import Graph
+
+Key = Hashable
+
+
+class WorkloadGraph:
+    """Incrementally maintained variable co-access graph."""
+
+    def __init__(self):
+        self.graph = Graph()
+        self.hints_ingested = 0
+
+    def add_hint(self, vertices: Iterable[Key],
+                 edges: Iterable[tuple[Key, Key]]) -> None:
+        """Ingest one hint: ensure vertices exist, accumulate edge weights."""
+        for vertex in vertices:
+            if vertex not in self.graph:
+                self.graph.add_vertex(vertex)
+        for u, v in edges:
+            self.graph.add_edge(u, v)
+        self.hints_ingested += 1
+
+    def remove_variable(self, key: Key) -> None:
+        if key in self.graph:
+            self.graph.remove_vertex(key)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges

@@ -1,0 +1,48 @@
+"""Deterministic k-way graph partitioning (the METIS substitute).
+
+The paper's oracle uses METIS to compute an "ideal" partitioning of the
+workload graph. METIS is not available offline, so this package implements
+the same multilevel scheme from scratch:
+
+1. **Coarsening** — repeated heavy-edge matching contracts the graph until
+   it is small;
+2. **Initial partitioning** — greedy region growing assigns the coarsest
+   vertices to k balanced parts;
+3. **Uncoarsening + refinement** — each projection back is polished with
+   Kernighan–Lin/Fiduccia–Mattheyses boundary moves that reduce edge-cut
+   while honouring the balance constraint.
+
+Everything is deterministic for a given seed — a hard requirement from the
+paper: every oracle replica recomputes the partitioning independently and
+must reach the same result.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.partitioner import (
+    MultilevelPartitioner,
+    Partitioner,
+)
+from repro.graph.baselines import (
+    HashPartitioner,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+)
+from repro.graph.quality import (
+    edge_cut_fraction,
+    imbalance,
+    moved_vertices,
+    validate_assignment,
+)
+
+__all__ = [
+    "Graph",
+    "HashPartitioner",
+    "MultilevelPartitioner",
+    "Partitioner",
+    "RandomPartitioner",
+    "RoundRobinPartitioner",
+    "edge_cut_fraction",
+    "imbalance",
+    "moved_vertices",
+    "validate_assignment",
+]

@@ -1,0 +1,47 @@
+"""Baseline partitioners used for ablations.
+
+These implement the same :class:`~repro.graph.partitioner.Partitioner`
+interface as the multilevel algorithm, so the oracle can be configured with
+any of them — used by the partitioner-ablation benchmark (E10) to show how
+much of DS-SMR's benefit comes from partitioning quality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.graph.graph import Graph, Vertex
+from repro.graph.partitioner import Assignment, Partitioner
+
+
+class HashPartitioner(Partitioner):
+    """Stable hash of the vertex id modulo k (what static sharding does)."""
+
+    def partition(self, graph: Graph, k: int) -> Assignment:
+        return {v: stable_hash(v) % k for v in graph.vertices()}
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deterministic round-robin over sorted vertices (perfectly balanced)."""
+
+    def partition(self, graph: Graph, k: int) -> Assignment:
+        return {v: i % k
+                for i, v in enumerate(graph.sorted_vertices())}
+
+
+class RandomPartitioner(Partitioner):
+    """Uniform random assignment from a fixed seed (worst-case locality)."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, graph: Graph, k: int) -> Assignment:
+        rng = random.Random(self.seed)
+        return {v: rng.randrange(k) for v in graph.sorted_vertices()}
+
+
+def stable_hash(v: Vertex) -> int:
+    """Deterministic hash, stable across processes (unlike ``hash``)."""
+    digest = hashlib.md5(repr(v).encode()).digest()
+    return int.from_bytes(digest[:8], "big")

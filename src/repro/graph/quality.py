@@ -1,0 +1,65 @@
+"""Partition-quality metrics: edge-cut, balance, moves.
+
+These are the quantities the paper reports: workloads are characterised by
+their *edge-cut percentage* ("a graph with a 5% edge cut means that 5% of
+the total edges have endpoints in different partitions"), and the oracle's
+objective when relocating variables is to minimise the number of *moves*
+between the current and the ideal assignment.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph, Vertex
+
+Assignment = dict[Vertex, int]
+
+
+def validate_assignment(graph: Graph, assignment: Assignment,
+                        k: int) -> None:
+    """Raise ``ValueError`` unless every vertex maps to exactly one part."""
+    missing = [v for v in graph.vertices() if v not in assignment]
+    if missing:
+        raise ValueError(f"{len(missing)} vertices unassigned, "
+                         f"e.g. {missing[:3]}")
+    bad = {v: p for v, p in assignment.items()
+           if v in graph and not 0 <= p < k}
+    if bad:
+        raise ValueError(f"parts out of range(0..{k - 1}): "
+                         f"{dict(list(bad.items())[:3])}")
+
+
+def edge_cut_fraction(graph: Graph, assignment: Assignment) -> float:
+    """Fraction of edge weight crossing parts (the paper's edge-cut %)."""
+    total = graph.total_edge_weight
+    if total == 0:
+        return 0.0
+    cut = sum(weight for u, v, weight in graph.edges()
+              if assignment[u] != assignment[v])
+    return cut / total
+
+
+def imbalance(graph: Graph, assignment: Assignment, k: int) -> float:
+    """Max part weight over ideal part weight, minus one.
+
+    0.0 means perfectly balanced; 0.05 means the heaviest part is 5% above
+    the ideal ``total/k``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    weights = [0] * k
+    for v in graph.vertices():
+        weights[assignment[v]] += graph.vertex_weight(v)
+    total = sum(weights)
+    if total == 0:
+        return 0.0
+    return max(weights) / (total / k) - 1.0
+
+
+def moved_vertices(old: Assignment, new: Assignment) -> int:
+    """How many vertices change part between two assignments.
+
+    Vertices present in only one assignment don't count — they are creations
+    or deletions, not moves.
+    """
+    return sum(1 for v, part in new.items()
+               if v in old and old[v] != part)

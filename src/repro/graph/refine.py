@@ -1,0 +1,125 @@
+"""Kernighan–Lin / Fiduccia–Mattheyses style boundary refinement.
+
+Given a k-way assignment, sweep the vertices in a deterministic order and
+greedily move each one to the neighbouring part where it has the strongest
+pull, when the move reduces edge-cut and keeps part weights within the
+balance constraint. A few sweeps converge in practice; in the multilevel
+setting (where initial assignments come from a coarser level) one or two
+sweeps per level already recover most of the METIS-quality cut.
+
+The sweep variant applies moves immediately (rather than searching for the
+single globally best move), making each pass O(E) — essential for the
+hundred-thousand-vertex workload graphs of the oracle experiments.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph, Vertex
+
+Assignment = dict[Vertex, int]
+
+
+def part_weights(graph: Graph, assignment: Assignment, k: int) -> list[int]:
+    """Total vertex weight per part."""
+    weights = [0] * k
+    for v in graph.vertices():
+        weights[assignment[v]] += graph.vertex_weight(v)
+    return weights
+
+
+def cut_weight(graph: Graph, assignment: Assignment) -> int:
+    """Total weight of edges crossing parts."""
+    cut = 0
+    for u, v, weight in graph.edges():
+        if assignment[u] != assignment[v]:
+            cut += weight
+    return cut
+
+
+def _best_target(graph: Graph, assignment: Assignment, v: Vertex, k: int,
+                 weights: list[int], ceiling: float,
+                 allow_zero_gain: bool) -> tuple[int, int]:
+    """Best part to move ``v`` to and the cut gain; ``(home, 0)`` if none."""
+    home = assignment[v]
+    conn = [0] * k
+    for neighbour, weight in graph.neighbours(v).items():
+        conn[assignment[neighbour]] += weight
+    internal = conn[home]
+    v_weight = graph.vertex_weight(v)
+    best, best_key = home, None
+    for target in range(k):
+        if target == home:
+            continue
+        gain = conn[target] - internal
+        if gain < 0:
+            continue
+        if gain == 0:
+            if not allow_zero_gain or conn[target] == 0:
+                continue
+            if weights[target] + v_weight >= weights[home]:
+                continue  # zero-gain moves only drift toward lighter parts
+        if weights[target] + v_weight > ceiling:
+            continue
+        key = (-gain, weights[target], target)
+        if best_key is None or key < best_key:
+            best, best_key = target, key
+    gain = (conn[best] - internal) if best != home else 0
+    return best, gain
+
+
+def refine(graph: Graph, assignment: Assignment, k: int,
+           imbalance_tolerance: float = 0.05,
+           max_passes: int = 6) -> int:
+    """Greedy sweep refinement in place; returns the final cut weight."""
+    if k <= 1:
+        return 0
+    weights = part_weights(graph, assignment, k)
+    total = sum(weights)
+    ceiling = (1 + imbalance_tolerance) * total / k
+    order = sorted(graph.vertices(), key=repr)
+
+    for pass_index in range(max_passes):
+        # Zero-gain drift on even passes only, to guarantee termination.
+        allow_zero_gain = pass_index % 2 == 0
+        improved = False
+        for v in order:
+            home = assignment[v]
+            target, gain = _best_target(graph, assignment, v, k, weights,
+                                        ceiling, allow_zero_gain)
+            if target == home:
+                continue
+            assignment[v] = target
+            v_weight = graph.vertex_weight(v)
+            weights[home] -= v_weight
+            weights[target] += v_weight
+            if gain > 0:
+                improved = True
+        if not improved and not allow_zero_gain:
+            break
+    return cut_weight(graph, assignment)
+
+
+def rebalance(graph: Graph, assignment: Assignment, k: int,
+              imbalance_tolerance: float = 0.05) -> None:
+    """Force the assignment within the balance ceiling.
+
+    Used after projecting a coarse assignment whose super-vertex weights do
+    not split evenly: moves the weakest-attached vertices out of overweight
+    parts into the lightest parts.
+    """
+    weights = part_weights(graph, assignment, k)
+    total = sum(weights)
+    ceiling = (1 + imbalance_tolerance) * total / k
+    for v in sorted(graph.vertices(), key=repr):
+        home = assignment[v]
+        if weights[home] <= ceiling:
+            continue
+        conn = [0] * k
+        for neighbour, weight in graph.neighbours(v).items():
+            conn[assignment[neighbour]] += weight
+        target = min(range(k), key=lambda p: (weights[p], -conn[p], p))
+        if target != home:
+            assignment[v] = target
+            v_weight = graph.vertex_weight(v)
+            weights[home] -= v_weight
+            weights[target] += v_weight

@@ -1,0 +1,237 @@
+"""Cluster builder: assemble a full deployment of any scheme.
+
+``build_cluster`` wires up the simulation environment, the two-switch
+network, the server groups (plus the oracle group for the dynamic schemes),
+and returns a :class:`Cluster` handle that creates clients, preloads state
+and exposes the metrics the experiments need.
+
+Schemes:
+
+* ``"smr"``      — classic SMR: one group, full replication.
+* ``"ssmr"``     — S-SMR with a static partition map.
+* ``"dssmr"``    — DS-SMR with the decentralised majority policy
+  (client-issued moves), the paper's core protocol.
+* ``"dynastar"`` — DS-SMR with the graph-partitioned oracle policy
+  (oracle-issued moves + workload hints), the draft's extension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core import (DssmrClient, DssmrServer, MajorityTargetPolicy,
+                        ORACLE_GROUP, OracleReplica)
+from repro.dynastar import GraphTargetPolicy
+from repro.net import Network, SwitchedClusterLatency, paper_cluster_topology
+from repro.ordering import GroupDirectory
+from repro.sim import Environment, LatencyRecorder, SeedStream
+from repro.smr import (ExecutionModel, KeyValueStateMachine, SmrClient,
+                       SmrReplica, StateMachine)
+from repro.ssmr import SsmrClient, SsmrServer, StaticOracle, StaticPartitionMap
+
+SCHEMES = ("smr", "ssmr", "dssmr", "dynastar")
+
+
+@dataclass
+class ClusterConfig:
+    """Parameters of a deployment."""
+
+    scheme: str = "dssmr"
+    num_partitions: int = 2
+    replicas_per_partition: int = 2
+    oracle_replicas: int = 2
+    seed: int = 1
+    max_retries: int = 3
+    use_cache: bool = True
+    repartition_interval: int = 200
+    # Asynchronous (multi-threaded-oracle) repartitioning, dynastar only.
+    async_repartition: bool = False
+    # Override the graph policy's simulated repartition cost (ms per graph
+    # element); None keeps the policy default. Used by the E12 ablation.
+    repartition_cost_per_element: Optional[float] = None
+    execution: ExecutionModel = field(default_factory=ExecutionModel)
+    state_machine_factory: Callable[[], StateMachine] = KeyValueStateMachine
+    # Static assignment for the ssmr scheme and for preloading: maps
+    # variable key -> partition index. Unmapped keys fall back to hashing.
+    initial_assignment: Optional[dict] = None
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; "
+                             f"pick one of {SCHEMES}")
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.scheme == "smr":
+            self.num_partitions = 1
+
+
+class Cluster:
+    """A running deployment plus its measurement instruments."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.env = Environment()
+        self.seeds = SeedStream(config.seed)
+        self.partitions = tuple(f"p{i}"
+                                for i in range(config.num_partitions))
+        self._client_counter = itertools.count()
+
+        groups: dict[str, list[str]] = {}
+        for partition in self.partitions:
+            groups[partition] = [
+                f"{partition}s{j}"
+                for j in range(config.replicas_per_partition)]
+        self._dynamic = config.scheme in ("dssmr", "dynastar")
+        if self._dynamic:
+            groups[ORACLE_GROUP] = [f"or{j}"
+                                    for j in range(config.oracle_replicas)]
+        self.directory = GroupDirectory(groups)
+
+        server_names = [m for p in self.partitions
+                        for m in self.directory.members(p)]
+        oracle_names = (self.directory.members(ORACLE_GROUP)
+                        if self._dynamic else ())
+        topology = paper_cluster_topology(server_names, oracle_names)
+        self.network = Network(self.env, self.seeds.child("net"),
+                               SwitchedClusterLatency(topology))
+
+        self.partition_map = StaticPartitionMap(
+            self.partitions, assignment=config.initial_assignment)
+        self.servers: dict[str, object] = {}
+        self.oracles: list[OracleReplica] = []
+        self._build_servers()
+
+        # Shared measurement: virtual time is global and monotonic, so one
+        # recorder serves every client.
+        self.latency = LatencyRecorder("cluster")
+        self.clients: list = []
+
+    # -- construction ------------------------------------------------------
+
+    def _build_servers(self) -> None:
+        config = self.config
+        for partition in self.partitions:
+            for name in self.directory.members(partition):
+                self.servers[name] = self._make_server(partition, name)
+        if self._dynamic:
+            policy_factory = self._policy_factory()
+            for name in self.directory.members(ORACLE_GROUP):
+                self.oracles.append(OracleReplica(
+                    self.env, self.network, self.directory, name,
+                    self.partitions, policy=policy_factory(),
+                    oracle_issues_moves=config.scheme == "dynastar",
+                    async_repartition=config.async_repartition))
+
+    def _make_server(self, partition: str, name: str):
+        config = self.config
+        state_machine = config.state_machine_factory()
+        if config.scheme == "smr":
+            return SmrReplica(self.env, self.network, self.directory,
+                              partition, name, state_machine,
+                              execution=config.execution)
+        if config.scheme == "ssmr":
+            return SsmrServer(self.env, self.network, self.directory,
+                              partition, name, state_machine,
+                              execution=config.execution)
+        return DssmrServer(self.env, self.network, self.directory,
+                           partition, name, state_machine,
+                           execution=config.execution)
+
+    def _policy_factory(self):
+        config = self.config
+        if config.scheme == "dynastar":
+            def make_policy():
+                policy = GraphTargetPolicy(
+                    self.partitions,
+                    repartition_interval=config.repartition_interval)
+                if config.repartition_cost_per_element is not None:
+                    policy.REPARTITION_COST_PER_ELEMENT = \
+                        config.repartition_cost_per_element
+                return policy
+            return make_policy
+        return MajorityTargetPolicy
+
+    # -- state loading --------------------------------------------------------
+
+    def preload(self, initial_values: dict) -> None:
+        """Install initial state before the run starts.
+
+        Variables are placed according to the static partition map (i.e.
+        ``config.initial_assignment``, with hash fallback); the dynamic
+        schemes' oracles learn the same placement.
+        """
+        by_partition: dict[str, dict] = {p: {} for p in self.partitions}
+        location: dict = {}
+        for key, value in initial_values.items():
+            partition = self.partition_map.partition_of(key)
+            by_partition[partition][key] = value
+            location[key] = partition
+        for partition in self.partitions:
+            for name in self.directory.members(partition):
+                self.servers[name].load_state(by_partition[partition])
+        for oracle in self.oracles:
+            oracle.preload_locations(location)
+
+    # -- clients -----------------------------------------------------------------
+
+    def new_client(self, name: Optional[str] = None):
+        """Create a protocol client proxy appropriate for the scheme."""
+        config = self.config
+        name = name or f"c{next(self._client_counter)}"
+        if config.scheme == "smr":
+            client = SmrClient(self.env, self.network, self.directory, name,
+                               self.partitions[0], latency=self.latency)
+        elif config.scheme == "ssmr":
+            client = SsmrClient(self.env, self.network, self.directory, name,
+                                StaticOracle(self.partition_map),
+                                latency=self.latency)
+        else:
+            client = DssmrClient(self.env, self.network, self.directory,
+                                 name, self.partitions,
+                                 max_retries=config.max_retries,
+                                 use_cache=config.use_cache,
+                                 latency=self.latency)
+        self.clients.append(client)
+        return client
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to virtual time ``until`` (ms)."""
+        self.env.run(until=until)
+
+    # -- metrics access ------------------------------------------------------------
+
+    @property
+    def oracle(self) -> Optional[OracleReplica]:
+        return self.oracles[0] if self.oracles else None
+
+    def moves_total(self) -> int:
+        """Total variables moved between partitions (0 for static schemes)."""
+        if not self.oracles:
+            return 0
+        return self.oracles[0].moves_issued.total
+
+    def moves_series(self):
+        if not self.oracles:
+            return None
+        return self.oracles[0].moves_issued.events
+
+    def total_retries(self) -> int:
+        return sum(getattr(c, "retry_count", 0) for c in self.clients)
+
+    def total_consults(self) -> int:
+        return sum(getattr(c, "consult_count", 0) for c in self.clients)
+
+    def total_cache_hits(self) -> int:
+        return sum(getattr(c, "cache_hits", 0) for c in self.clients)
+
+    def total_fallbacks(self) -> int:
+        return sum(getattr(c, "fallback_count", 0) for c in self.clients)
+
+
+def build_cluster(**kwargs) -> Cluster:
+    """Convenience: ``build_cluster(scheme="dssmr", num_partitions=4, ...)``."""
+    return Cluster(ClusterConfig(**kwargs))

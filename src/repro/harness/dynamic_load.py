@@ -1,0 +1,108 @@
+"""Dynamic-workload driver (the paper's "adding nodes and repartitioning").
+
+Starts from an *empty* service. Clients continuously create users, follow
+each other (mostly within their own affinity group, occasionally across)
+and post. The oracle starts with no knowledge: new users are placed
+least-loaded (scattering affinity groups across partitions), follows feed
+the workload graph via hints, and every ``repartition_interval`` hints the
+oracle recomputes the ideal partitioning — after which moves gather each
+group and throughput climbs. This is the experiment behind the paper's
+"dynamic load" figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.chirper import ChirperClient
+from repro.apps.chirper.client import HINT_STRUCTURAL
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.metrics import moves_rate_series, throughput_series
+from repro.harness.report import format_sparkline
+from repro.smr import ExecutionModel
+from repro.apps.chirper import ChirperStateMachine
+
+
+def run_dynamic_load_experiment(seed: int = 5,
+                                duration_ms: float = 12_000.0,
+                                num_partitions: int = 4,
+                                n_users: int = 300,
+                                clients: int = 16,
+                                repartition_interval: int = 150,
+                                execution: ExecutionModel | None = None,
+                                cross_group_fraction: float = 0.1):
+    """Run the growing-graph experiment; returns a FigureData."""
+    from repro.harness.figures import FigureData  # avoid import cycle
+
+    config = ClusterConfig(scheme="dynastar", num_partitions=num_partitions,
+                           seed=seed,
+                           repartition_interval=repartition_interval,
+                           state_machine_factory=ChirperStateMachine,
+                           execution=execution or ExecutionModel())
+    cluster = Cluster(config)
+    env = cluster.env
+    users_per_client = max(2, n_users // clients)
+
+    target_degree = 6
+    buildup_ms = duration_ms * 0.35
+
+    def client_loop(index: int):
+        rng = random.Random(f"{seed}/dynamic/{index}")
+        proxy = cluster.new_client()
+        chirper = ChirperClient(proxy, hint_mode=HINT_STRUCTURAL)
+        mine: list[int] = []
+        degree: dict[int, int] = {}
+        post_count = 0
+        neighbour_base = ((index + 1) % clients) * 100_000
+        while env.now < duration_ms:
+            building = env.now < buildup_ms
+            need_users = len(mine) < users_per_client
+            need_edges = mine and min(degree.values()) < target_degree
+            if building and need_users:
+                user = index * 100_000 + len(mine)
+                reply = yield from chirper.create_user(user)
+                if reply.status.value == "ok":
+                    mine.append(user)
+                    degree[user] = 0
+                continue
+            if mine and (building or rng.random() < 0.05) and need_edges:
+                follower = min(mine, key=lambda u: (degree[u], u))
+                if rng.random() < cross_group_fraction:
+                    followee = neighbour_base + rng.randrange(
+                        users_per_client)
+                else:
+                    followee = rng.choice(mine)
+                if follower != followee:
+                    reply = yield from chirper.follow(follower, followee)
+                    if reply.status.value == "ok":
+                        degree[follower] += 1
+                continue
+            if not mine:
+                yield env.timeout(1.0)  # nothing to post yet; back off
+                continue
+            poster = rng.choice(mine)
+            post_count += 1
+            yield from chirper.post(poster, f"dyn {index}/{post_count}")
+
+    for index in range(clients):
+        env.process(client_loop(index), name=f"dyn-client-{index}")
+    cluster.run(until=duration_ms + 2_000.0)
+
+    bucket = duration_ms / 24
+    tput = throughput_series(cluster, bucket, duration_ms)
+    moves = moves_rate_series(cluster, bucket, duration_ms)
+    oracle = cluster.oracle
+    repartitions = oracle.repartitions.total if oracle else 0
+    policy = oracle.policy if oracle else None
+    lines = [
+        f"ops/s   {format_sparkline(tput)} "
+        f"first={tput.values[0]:.0f} final={tput.values[-1]:.0f}",
+        f"moves/s {format_sparkline(moves)} total={cluster.moves_total()}",
+        f"repartitions: {repartitions}; workload graph: "
+        f"{getattr(getattr(policy, 'workload', None), 'num_vertices', 0)} vertices, "
+        f"{getattr(getattr(policy, 'workload', None), 'num_edges', 0)} edges",
+    ]
+    return FigureData("fig4", "Dynamic load: growth + on-line repartitioning",
+                      "\n".join(lines),
+                      {"throughput": tput, "moves": moves,
+                       "repartitions": repartitions})

@@ -1,0 +1,155 @@
+"""Chirper experiment driver.
+
+Builds a cluster, loads the social graph as Chirper state, starts
+closed-loop clients (the paper used 100 clients per partition; the count is
+a parameter here), runs for a fixed stretch of virtual time and returns the
+aggregated metrics plus the time series behind the over-time figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.chirper import ChirperClient, ChirperStateMachine, user_key
+from repro.apps.chirper.client import HINT_ALL, HINT_NONE
+from repro.graph import Graph, MultilevelPartitioner
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.metrics import (ExperimentMetrics, moves_rate_series,
+                                   summarize, throughput_series)
+from repro.sim import TimeSeries
+from repro.workload import PostWorkload, WorkloadOp
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produces."""
+
+    metrics: ExperimentMetrics
+    throughput: TimeSeries
+    moves: TimeSeries
+    latency_over_time: TimeSeries
+    oracle_load: Optional[TimeSeries] = None
+    extra: dict = field(default_factory=dict)
+
+
+class ChirperDeployment:
+    """A cluster with Chirper state loaded and client plumbing ready."""
+
+    def __init__(self, graph: Graph, config: ClusterConfig,
+                 hint_mode: Optional[str] = None):
+        self.graph = graph
+        config.state_machine_factory = ChirperStateMachine
+        self.cluster = Cluster(config)
+        self.hint_mode = hint_mode if hint_mode is not None else (
+            HINT_ALL if config.scheme == "dynastar" else HINT_NONE)
+        # Social view shared by all clients: followers(u) = neighbours(u)
+        # (the paper treats social edges as mutual follow relations).
+        self.social_view = {u: set(graph.neighbours(u))
+                            for u in graph.vertices()}
+        self._load_state()
+        self.chirper_clients: list[ChirperClient] = []
+
+    def _load_state(self) -> None:
+        initial = {}
+        for u in self.graph.vertices():
+            initial[user_key(u)] = {
+                "following": sorted(self.graph.neighbours(u)),
+                "followers": sorted(self.graph.neighbours(u)),
+                "timeline": [],
+            }
+        self.cluster.preload(initial)
+
+    def new_chirper_client(self) -> ChirperClient:
+        proxy = self.cluster.new_client()
+        client = ChirperClient(proxy, social_view=self.social_view,
+                               hint_mode=self.hint_mode)
+        self.chirper_clients.append(client)
+        return client
+
+    def start_closed_loop_clients(self, count: int, workload,
+                                  end_time_ms: float) -> None:
+        """Spawn ``count`` client processes issuing ops until ``end_time_ms``."""
+        for index in range(count):
+            client = self.new_chirper_client()
+            stream = workload.stream(index)
+            self.cluster.env.process(
+                _client_loop(self.cluster.env, client, stream, end_time_ms),
+                name=f"client-loop-{index}")
+
+
+def _client_loop(env, client: ChirperClient, stream, end_time_ms: float):
+    for op in stream:
+        if env.now >= end_time_ms:
+            return
+        yield from _dispatch(client, op)
+
+
+def _dispatch(client: ChirperClient, op: WorkloadOp):
+    if op.op == "post":
+        return (yield from client.post(op.user, op.text))
+    if op.op == "timeline":
+        return (yield from client.timeline(op.user))
+    if op.op == "follow":
+        return (yield from client.follow(op.user, op.other))
+    if op.op == "unfollow":
+        return (yield from client.unfollow(op.user, op.other))
+    raise ValueError(f"unknown workload op: {op.op!r}")
+
+
+def static_assignment_for(graph: Graph, num_partitions: int,
+                          planted: Optional[dict] = None) -> dict:
+    """The "optimized static" assignment: planted communities when the
+    workload has them, otherwise the multilevel partitioner's output.
+    Keys are translated to Chirper variable keys."""
+    if planted is not None:
+        assignment = planted
+    else:
+        assignment = MultilevelPartitioner().partition(graph, num_partitions)
+    return {user_key(u): part for u, part in assignment.items()}
+
+
+def run_chirper_experiment(scheme: str, graph: Graph, num_partitions: int,
+                           clients_per_partition: int = 10,
+                           duration_ms: float = 10_000.0,
+                           warmup_ms: float = 2_000.0,
+                           seed: int = 1,
+                           initial_assignment: Optional[dict] = None,
+                           workload=None,
+                           bucket_ms: float = 1_000.0,
+                           grace_ms: float = 2_000.0,
+                           **config_kwargs) -> ExperimentResult:
+    """Run one configuration end to end and aggregate everything.
+
+    ``initial_assignment`` maps Chirper variable keys to partition indices
+    (see :func:`static_assignment_for`); when omitted, variables are placed
+    by stable hashing — the cold-start situation the dynamic schemes are
+    designed for.
+    """
+    # A bucket wider than the run would produce empty series.
+    bucket_ms = min(bucket_ms, duration_ms / 4)
+    config = ClusterConfig(scheme=scheme, num_partitions=num_partitions,
+                           seed=seed,
+                           initial_assignment=initial_assignment,
+                           **config_kwargs)
+    deployment = ChirperDeployment(graph, config)
+    cluster = deployment.cluster
+    workload = workload or PostWorkload(graph, seed=seed)
+    total_clients = clients_per_partition * config.num_partitions
+    deployment.start_closed_loop_clients(total_clients, workload,
+                                         duration_ms)
+    cluster.run(until=duration_ms + grace_ms)
+
+    metrics = summarize(cluster, duration_ms, warmup_ms=warmup_ms)
+    oracle_load = None
+    if cluster.oracle is not None:
+        oracle_load = cluster.oracle.busy.load_series(bucket_ms, duration_ms)
+    return ExperimentResult(
+        metrics=metrics,
+        throughput=throughput_series(cluster, bucket_ms, duration_ms),
+        moves=moves_rate_series(cluster, bucket_ms, duration_ms),
+        latency_over_time=cluster.latency.windowed_mean(bucket_ms,
+                                                        duration_ms),
+        oracle_load=oracle_load,
+        extra={"deployment": deployment},
+    )

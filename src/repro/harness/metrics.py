@@ -1,0 +1,126 @@
+"""Aggregated experiment metrics.
+
+One :class:`ExperimentMetrics` summarises a run: the throughput/latency
+numbers of the paper's main figures plus the protocol-internal counters
+(moves, retries, consults, cache hits, fallbacks, oracle load) behind the
+motivation and oracle experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim import TimeSeries
+
+
+@dataclass
+class ExperimentMetrics:
+    """Summary of one experiment run (times in ms, rates in ops/second)."""
+
+    scheme: str
+    num_partitions: int
+    duration_ms: float
+    completed: int
+    throughput: float            # commands per second of virtual time
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    moves: int = 0
+    retries: int = 0
+    consults: int = 0
+    cache_hits: int = 0
+    fallbacks: int = 0
+    oracle_busy_fraction: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def row(self) -> list:
+        """Fixed-order row for the report tables."""
+        return [
+            self.scheme,
+            self.num_partitions,
+            self.completed,
+            round(self.throughput, 1),
+            round(self.latency_mean_ms, 3),
+            round(self.latency_p95_ms, 3),
+            self.moves,
+            self.retries,
+        ]
+
+    ROW_HEADERS = ["scheme", "parts", "cmds", "tput/s", "lat-mean",
+                   "lat-p95", "moves", "retries"]
+
+
+def summarize(cluster, duration_ms: float, warmup_ms: float = 0.0,
+              extra: Optional[dict] = None) -> ExperimentMetrics:
+    """Build metrics from a finished cluster run.
+
+    ``warmup_ms`` excludes the initial transient from throughput/latency
+    (the paper's steady-state numbers do the same); counters like moves and
+    retries cover the whole run.
+    """
+    recorder = cluster.latency
+    times = recorder.completions.times
+    values = recorder.completions.values
+    window = [v for t, v in zip(times, values) if t >= warmup_ms]
+    measured_ms = duration_ms - warmup_ms
+    completed = len(window)
+    throughput = completed / measured_ms * 1000.0 if measured_ms > 0 else 0.0
+
+    def pct(p: float) -> float:
+        if not window:
+            return math.nan
+        ordered = sorted(window)
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    oracle_busy = 0.0
+    if cluster.oracle is not None and duration_ms > 0:
+        oracle_busy = cluster.oracle.busy.busy_fraction(0.0, duration_ms)
+    return ExperimentMetrics(
+        scheme=cluster.config.scheme,
+        num_partitions=cluster.config.num_partitions,
+        duration_ms=duration_ms,
+        completed=completed,
+        throughput=throughput,
+        latency_mean_ms=(sum(window) / completed) if completed else math.nan,
+        latency_p50_ms=pct(50),
+        latency_p95_ms=pct(95),
+        moves=cluster.moves_total(),
+        retries=cluster.total_retries(),
+        consults=cluster.total_consults(),
+        cache_hits=cluster.total_cache_hits(),
+        fallbacks=cluster.total_fallbacks(),
+        oracle_busy_fraction=oracle_busy,
+        extra=dict(extra or {}),
+    )
+
+
+def throughput_series(cluster, bucket_ms: float,
+                      end_ms: float) -> TimeSeries:
+    """Completed commands per second, per time bucket."""
+    counts = TimeSeries("completions")
+    for t in cluster.latency.completions.times:
+        counts.record(t, 1.0)
+    rate = counts.bucketed_rate(bucket_ms, end=end_ms)
+    scaled = TimeSeries("throughput-ops-per-s")
+    for t, v in rate:
+        scaled.record(t, v * 1000.0)
+    return scaled
+
+
+def moves_rate_series(cluster, bucket_ms: float, end_ms: float) -> TimeSeries:
+    """Variables moved per second, per time bucket (0-series if static)."""
+    series = cluster.moves_series()
+    out = TimeSeries("moves-per-s")
+    if series is None:
+        edge = bucket_ms
+        while edge <= end_ms + 1e-9:
+            out.record(edge, 0.0)
+            edge += bucket_ms
+        return out
+    rate = series.bucketed_rate(bucket_ms, end=end_ms)
+    for t, v in rate:
+        out.record(t, v * 1000.0)
+    return out

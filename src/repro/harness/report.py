@@ -1,0 +1,68 @@
+"""Plain-text reporting: tables and series, as the benchmarks print them.
+
+The benchmark harness reproduces the paper's figures as printed rows and
+series rather than images — EXPERIMENTS.md pairs each printed series with
+the corresponding figure of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sim import TimeSeries
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: TimeSeries, label: str = "",
+                  time_unit: str = "ms", precision: int = 1) -> str:
+    """One-line-per-sample rendering of a time series."""
+    label = label or series.name
+    lines = [f"# {label}"]
+    for t, v in series:
+        lines.append(f"{t:>10.0f} {time_unit}  {v:>12.{precision}f}")
+    return "\n".join(lines)
+
+
+def format_sparkline(series: TimeSeries, width: int = 60) -> str:
+    """Unicode sparkline — a quick visual of a series' shape in terminals."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = series.values
+    if not values:
+        return "(empty)"
+    if len(values) > width:
+        # Downsample by averaging consecutive chunks.
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):max(int(i * chunk) + 1,
+                                          int((i + 1) * chunk))])
+            / max(1, int((i + 1) * chunk) - int(i * chunk))
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(blocks[min(len(blocks) - 1,
+                              int((v - low) / span * (len(blocks) - 1)))]
+                   for v in values)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,111 @@
+"""Parameter sweeps: factorial experiment grids with CSV export.
+
+The figure experiments cover the paper's configurations; this utility is
+for *exploring beyond them* — any callable that returns an
+:class:`~repro.harness.metrics.ExperimentMetrics` (or a plain dict) can be
+swept over a cartesian parameter grid, and the collected rows exported as
+CSV or rendered as a table.
+
+Example::
+
+    from repro.harness.sweep import sweep
+
+    def run(num_partitions, edge_cut):
+        ...
+        return metrics
+
+    result = sweep(run, {"num_partitions": [2, 4, 8],
+                         "edge_cut": [0.0, 0.05]})
+    result.to_csv("sweep.csv")
+    print(result.to_table())
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.harness.report import format_table
+
+
+@dataclass
+class SweepResult:
+    """Rows collected from one sweep (one dict per configuration)."""
+
+    param_names: list[str]
+    rows: list[dict] = field(default_factory=list)
+
+    def columns(self) -> list[str]:
+        """Parameter columns first, then result columns, insertion order."""
+        seen: dict[str, None] = {name: None for name in self.param_names}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def to_table(self) -> str:
+        columns = self.columns()
+        return format_table(columns,
+                            [[row.get(col, "") for col in columns]
+                             for row in self.rows])
+
+    def to_csv(self, path) -> None:
+        columns = self.columns()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns,
+                                    extrasaction="ignore")
+            writer.writeheader()
+            writer.writerows(self.rows)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def best(self, metric: str, maximize: bool = True) -> dict:
+        """The row with the best value of ``metric``."""
+        if not self.rows:
+            raise ValueError("empty sweep")
+        chooser = max if maximize else min
+        return chooser(self.rows, key=lambda row: row.get(metric, 0))
+
+
+def _flatten(value: Any) -> dict:
+    """Turn a run result into a flat dict of columns."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for field_info in dataclasses.fields(value):
+            item = getattr(value, field_info.name)
+            if isinstance(item, (int, float, str, bool)):
+                out[field_info.name] = item
+        return out
+    if isinstance(value, Mapping):
+        return {key: item for key, item in value.items()
+                if isinstance(item, (int, float, str, bool))}
+    raise TypeError(f"sweep functions must return a dataclass or mapping, "
+                    f"got {type(value).__name__}")
+
+
+def sweep(run: Callable[..., Any], grid: Mapping[str, Sequence],
+          fixed: Optional[Mapping[str, Any]] = None,
+          on_row: Optional[Callable[[dict], None]] = None) -> SweepResult:
+    """Run ``run(**params)`` for every combination of ``grid`` values.
+
+    ``fixed`` parameters are passed to every run; ``on_row`` (if given) is
+    called with each completed row — handy for printing progress during
+    long sweeps.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    names = list(grid)
+    result = SweepResult(param_names=names)
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        outcome = run(**params, **dict(fixed or {}))
+        row = {**params, **_flatten(outcome)}
+        result.rows.append(row)
+        if on_row is not None:
+            on_row(row)
+    return result

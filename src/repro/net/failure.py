@@ -1,0 +1,86 @@
+"""Failure injection utilities.
+
+Built on the :class:`~repro.net.transport.Network` hooks: crash/recover
+nodes at given times, drop a random fraction of messages, or partition the
+network into isolated islands for a time window. Used by the fault-tolerance
+tests to check that the protocols keep their guarantees under failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.net.message import Message
+from repro.net.transport import Network
+from repro.sim import Environment, SeedStream
+
+
+class FailureInjector:
+    """Schedules failures against a network.
+
+    All schedules are set up before ``env.run()``; the injector registers
+    callbacks on the simulation clock.
+    """
+
+    def __init__(self, env: Environment, network: Network,
+                 seeds: SeedStream | None = None):
+        self.env = env
+        self.network = network
+        self._rng: random.Random = (seeds or SeedStream(0)).stream("failure")
+
+    def crash_at(self, time: float, node: str) -> None:
+        """Crash ``node`` at virtual time ``time``."""
+        self._at(time, lambda: self.network.crash(node))
+
+    def recover_at(self, time: float, node: str) -> None:
+        """Recover ``node`` at virtual time ``time``."""
+        self._at(time, lambda: self.network.recover(node))
+
+    def drop_fraction(self, fraction: float,
+                      kinds: Sequence[str] | None = None) -> None:
+        """Drop a random ``fraction`` of messages (optionally only ``kinds``).
+
+        Installs the rule immediately and permanently.
+        """
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction out of range: {fraction}")
+        kind_set = set(kinds) if kinds is not None else None
+
+        def rule(message: Message) -> bool:
+            if kind_set is not None and message.kind not in kind_set:
+                return False
+            return self._rng.random() < fraction
+
+        self.network.add_drop_rule(rule)
+
+    def partition_between(self, start: float, end: float,
+                          island_a: Iterable[str],
+                          island_b: Iterable[str]) -> None:
+        """Cut all links between two islands during ``[start, end)``."""
+        if end <= start:
+            raise ValueError("partition window must have positive length")
+        set_a, set_b = set(island_a), set(island_b)
+
+        def rule(message: Message) -> bool:
+            crosses = ((message.src in set_a and message.dst in set_b)
+                       or (message.src in set_b and message.dst in set_a))
+            return crosses
+
+        remover_holder: list = []
+
+        def install() -> None:
+            remover_holder.append(self.network.add_drop_rule(rule))
+
+        def uninstall() -> None:
+            if remover_holder:
+                remover_holder[0]()
+
+        self._at(start, install)
+        self._at(end, uninstall)
+
+    def _at(self, time: float, action) -> None:
+        delay = time - self.env.now
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: t={time}")
+        self.env.schedule_callback(delay, action)

@@ -1,0 +1,165 @@
+"""Message transport: endpoints, delivery scheduling and drop rules.
+
+The :class:`Network` owns one :class:`Endpoint` (an inbox channel) per node.
+``send`` stamps the message, consults the latency model and schedules
+delivery. Quasi-reliable links: messages between correct nodes are delivered
+exactly once, possibly reordered (latency is per-message); failure injection
+can drop messages or disconnect nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Optional
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import DEFAULT_MESSAGE_SIZE, Message
+from repro.sim import Channel, Environment, SeedStream
+
+DropRule = Callable[[Message], bool]
+
+
+class Endpoint:
+    """A node's attachment point to the network: a named inbox."""
+
+    def __init__(self, env: Environment, name: str):
+        self.name = name
+        self.inbox = Channel(env, name=f"{name}/inbox")
+
+    def receive(self):
+        """Event yielding the next inbound :class:`Message`."""
+        return self.inbox.get()
+
+
+class Network:
+    """The simulated network connecting all nodes.
+
+    Example::
+
+        net = Network(env, seeds.child("net"))
+        a = net.register("a")
+        b = net.register("b")
+        net.send("a", "b", kind="ping")
+        msg = yield b.receive()
+    """
+
+    def __init__(self, env: Environment, seeds: SeedStream,
+                 latency: Optional[LatencyModel] = None):
+        self.env = env
+        self.latency = latency or FixedLatency(0.1)
+        self._rng: random.Random = seeds.stream("latency")
+        self._endpoints: dict[str, Endpoint] = {}
+        self._crashed: set[str] = set()
+        self._drop_rules: list[DropRule] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+        # Per-kind traffic accounting (message counts and bytes), used by
+        # the message-complexity experiment.
+        self.sent_by_kind: dict[str, int] = {}
+        self.bytes_by_kind: dict[str, int] = {}
+        self._tracer = None
+
+    # -- observability ------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Record every send/delivery/drop into ``tracer`` (see
+        :mod:`repro.net.trace`). Pass None to detach."""
+        self._tracer = tracer
+
+    def _trace(self, event: str, message: Message) -> None:
+        if self._tracer is not None:
+            self._tracer.record(self.env.now, event, message.src,
+                                message.dst, message.kind, message.size,
+                                message.msg_id)
+
+    # -- membership -------------------------------------------------------
+
+    def register(self, name: str) -> Endpoint:
+        """Create (or return) the endpoint for ``name``."""
+        if name not in self._endpoints:
+            self._endpoints[name] = Endpoint(self.env, name)
+        return self._endpoints[name]
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(f"unknown node: {name!r}") from None
+
+    def node_names(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    # -- failure injection --------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        """Mark ``name`` as crashed: it neither sends nor receives.
+
+        Pending inbox getters are discarded: the crashed node's dispatch
+        loop is about to die, and a dead getter would otherwise swallow the
+        first message addressed to a recovered successor of this name.
+        """
+        self._crashed.add(name)
+        endpoint = self._endpoints.get(name)
+        if endpoint is not None:
+            endpoint.inbox._getters.clear()
+
+    def recover(self, name: str) -> None:
+        self._crashed.discard(name)
+
+    def is_crashed(self, name: str) -> bool:
+        return name in self._crashed
+
+    def add_drop_rule(self, rule: DropRule) -> Callable[[], None]:
+        """Install a predicate dropping matching messages; returns a remover."""
+        self._drop_rules.append(rule)
+
+        def remove() -> None:
+            if rule in self._drop_rules:
+                self._drop_rules.remove(rule)
+
+        return remove
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: Any = None,
+             size: int = DEFAULT_MESSAGE_SIZE) -> Optional[Message]:
+        """Send a message; returns it, or None if it was dropped at the source.
+
+        Unknown destinations are registered on the fly: their inbox buffers
+        the message until the destination node attaches and starts reading.
+        """
+        endpoint = self.register(dst)
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          size=size, sent_at=self.env.now)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+        if src in self._crashed:
+            self._trace("dropped", message)
+            return None
+        if any(rule(message) for rule in self._drop_rules):
+            self._trace("dropped", message)
+            return None
+        self._trace("sent", message)
+        delay = self.latency.delay(src, dst, size, self._rng)
+        self.env.schedule_callback(delay,
+                                   lambda: self._deliver(endpoint, message))
+        return message
+
+    def send_all(self, src: str, dsts: Iterable[str], kind: str,
+                 payload: Any = None,
+                 size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        """Send the same logical message to several destinations."""
+        for dst in sorted(set(dsts)):
+            self.send(src, dst, kind, payload, size)
+
+    def _deliver(self, endpoint: Endpoint, message: Message) -> None:
+        # Crash may have happened while the message was in flight.
+        if endpoint.name in self._crashed:
+            self._trace("dropped", message)
+            return
+        self._trace("delivered", message)
+        self.messages_delivered += 1
+        endpoint.inbox.put(message)

@@ -1,0 +1,49 @@
+"""Group communication: reliable multicast, ordered logs and atomic multicast.
+
+This package provides the two one-to-many primitives the paper's protocols
+are built on (Section 2 of the text):
+
+* **Reliable multicast** (`rmcast`): validity, agreement, integrity. Used for
+  exchanging variables and signals between partitions — cheap, unordered.
+* **Atomic multicast** (`amcast`): adds uniform agreement, atomic order and
+  prefix order. Used whenever commands must be consistently ordered within
+  and across partitions.
+
+Atomic multicast is implemented as a Skeen-style timestamp protocol layered
+on a per-group *ordered log*; two interchangeable log implementations are
+provided — a fixed-sequencer log (fast, used in large benchmarks) and a full
+Multi-Paxos log (fault tolerant, used by the failure tests). Atomic
+broadcast is the single-group special case.
+"""
+
+from repro.ordering.group import GroupDirectory
+from repro.ordering.node import ProtocolNode
+from repro.ordering.reliable_multicast import ReliableMulticast
+from repro.ordering.log import GroupLog, LogClient, SequencerLog
+from repro.ordering.paxos import PaxosLog
+from repro.ordering.atomic_multicast import (
+    AmcastDelivery,
+    AtomicMulticast,
+    MulticastClient,
+)
+from repro.ordering.centralized_multicast import (
+    CentralizedAtomicMulticast,
+    CentralizedMulticastClient,
+    GlobalSequencer,
+)
+
+__all__ = [
+    "AmcastDelivery",
+    "AtomicMulticast",
+    "CentralizedAtomicMulticast",
+    "CentralizedMulticastClient",
+    "GlobalSequencer",
+    "GroupDirectory",
+    "GroupLog",
+    "LogClient",
+    "MulticastClient",
+    "PaxosLog",
+    "ProtocolNode",
+    "ReliableMulticast",
+    "SequencerLog",
+]

@@ -1,0 +1,267 @@
+"""Genuine atomic multicast (Section 2.4 of the paper).
+
+Skeen-style timestamp protocol layered on per-group ordered logs:
+
+1. *Propose* — the initiator submits the message to the ordered log of every
+   destination group. When a group applies the propose entry it advances its
+   logical clock and assigns the message a local timestamp.
+2. *Timestamp exchange* — the group's speaker submits the local timestamp to
+   the log of every destination group (including its own). Applying a
+   timestamp entry bumps the local clock to at least that value, which is
+   what makes the final order acyclic.
+3. *Finalise & deliver* — once timestamps from all destination groups are
+   known, the final timestamp is their maximum. A group member delivers the
+   pending message with the smallest ``(timestamp, uid)`` key once that
+   message is final; a pending non-final message with a smaller provisional
+   key blocks delivery (its final timestamp can only grow, never shrink
+   below the provisional one).
+
+Because every step is driven by applying ordered-log entries, all members of
+a group make identical delivery decisions — the group behaves as one logical
+process, which is exactly the abstraction the SMR layers above need.
+Single-group messages (atomic broadcast) finalise immediately at proposal
+time and pay no timestamp exchange.
+
+Properties delivered (tested in ``tests/ordering`` and property-tested with
+hypothesis): validity, uniform agreement, integrity, atomic order and prefix
+order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.ordering.group import GroupDirectory
+from repro.ordering.log import GroupLog, LogClient
+from repro.ordering.node import ProtocolNode
+
+_am_counter = itertools.count()
+
+DeliverCallback = Callable[["AmcastDelivery"], None]
+
+
+@dataclass
+class AmcastDelivery:
+    """A message delivered by atomic multicast to one group member."""
+
+    uid: str
+    payload: Any
+    groups: tuple[str, ...]
+    origin: str                # node that multicast the message
+    timestamp: tuple[float, str]  # final (timestamp, uid) order key
+    local_seq: int             # per-member delivery index
+
+
+@dataclass
+class _Pending:
+    groups: tuple[str, ...]
+    payload: Any = None
+    origin: str = ""
+    size: int = 0
+    proposed: bool = False
+    local_ts: int = 0
+    group_ts: dict = field(default_factory=dict)   # group -> ts
+    final_ts: Optional[int] = None
+
+    @property
+    def current_ts(self) -> int:
+        return self.final_ts if self.final_ts is not None else self.local_ts
+
+
+def new_amcast_uid(origin: str) -> str:
+    """Globally unique multicast message id."""
+    return f"am-{origin}-{next(_am_counter)}"
+
+
+class AtomicMulticast:
+    """One group member's endpoint of the atomic multicast protocol.
+
+    Construct with the member's ordered log. ``speaker_only=True`` (default)
+    has only the group's designated speaker emit timestamp announcements —
+    the efficient configuration; set it to False when the speaker may crash,
+    in which case every member announces and the logs deduplicate.
+    """
+
+    TS_SIZE = 96  # wire size of a timestamp announcement
+
+    def __init__(self, node: ProtocolNode, directory: GroupDirectory,
+                 log: GroupLog, speaker_only: bool = True):
+        self.node = node
+        self.directory = directory
+        self.log = log
+        self.group = log.group
+        self.speaker_only = speaker_only
+        self._log_client = LogClient(node, directory,
+                                     broadcast=not speaker_only)
+        self._pending: dict[str, _Pending] = {}
+        self._clock = 0
+        self._delivered_uids: set[str] = set()
+        self._callbacks: list[DeliverCallback] = []
+        self._deliver_count = 0
+        self.delivery_log: list[str] = []  # uids in delivery order (tests)
+        log.on_decide(self._apply)
+
+    # -- API ------------------------------------------------------------------
+
+    def on_deliver(self, callback: DeliverCallback) -> None:
+        self._callbacks.append(callback)
+
+    def multicast(self, groups: Iterable[str], payload: Any,
+                  size: int = 256, uid: Optional[str] = None) -> str:
+        """Atomically multicast ``payload`` to ``groups``; returns the uid."""
+        groups = tuple(sorted(set(groups)))
+        if not groups:
+            raise ValueError("amcast needs at least one destination group")
+        uid = uid or new_amcast_uid(self.node.name)
+        entry = _propose_entry(uid, groups, payload, self.node.name, size)
+        for group in groups:
+            if group == self.group:
+                self.log.submit(entry)
+            else:
+                self._log_client.submit(group, entry, size=size + 128)
+        return uid
+
+    # -- log application (replicated deterministic state machine) -----------
+
+    def _apply(self, seq: int, entry: dict) -> None:
+        kind = entry["kind"]
+        if kind == "am-propose":
+            self._apply_propose(entry)
+        elif kind == "am-ts":
+            self._apply_ts(entry)
+        else:
+            raise ValueError(f"unknown amcast log entry kind: {kind!r}")
+
+    def _apply_propose(self, entry: dict) -> None:
+        muid = entry["muid"]
+        if muid in self._delivered_uids:
+            return
+        state = self._pending.setdefault(muid, _Pending(groups=()))
+        # The pending record may predate the propose (a timestamp from a
+        # faster remote group can be applied first), so fill it in fully.
+        state.groups = tuple(entry["groups"])
+        state.payload = entry["payload"]
+        state.origin = entry["origin"]
+        state.size = entry["size"]
+        state.proposed = True
+        self._clock_tick()
+        state.local_ts = self._clock
+        if len(state.groups) == 1:
+            state.final_ts = state.local_ts
+        else:
+            state.group_ts[self.group] = state.local_ts
+            self._announce_ts(muid, state)
+            self._maybe_finalize(state)
+        self._try_deliver()
+
+    def _announce_ts(self, muid: str, state: _Pending) -> None:
+        announcing = (not self.speaker_only
+                      or self.directory.speaker(self.group) == self.node.name)
+        if not announcing:
+            return
+        for group in state.groups:
+            entry = {
+                "uid": f"ts:{muid}:{self.group}:{group}",
+                "kind": "am-ts",
+                "muid": muid,
+                "from_group": self.group,
+                "ts": state.local_ts,
+            }
+            if group == self.group:
+                self.log.submit(entry)
+            else:
+                self._log_client.submit(group, entry, size=self.TS_SIZE)
+
+    def _apply_ts(self, entry: dict) -> None:
+        muid = entry["muid"]
+        ts = entry["ts"]
+        self._clock_bump(ts)
+        if muid in self._delivered_uids:
+            return
+        state = self._pending.setdefault(muid, _Pending(groups=()))
+        state.group_ts[entry["from_group"]] = ts
+        self._maybe_finalize(state)
+        self._try_deliver()
+
+    def _maybe_finalize(self, state: _Pending) -> None:
+        if not state.proposed or state.final_ts is not None:
+            return
+        if all(group in state.group_ts for group in state.groups):
+            state.final_ts = max(state.group_ts.values())
+
+    # -- logical clock ----------------------------------------------------
+
+    def _clock_tick(self) -> None:
+        self._clock += 1
+
+    def _clock_bump(self, ts: int) -> None:
+        self._clock = max(self._clock, ts)
+
+    # -- delivery -----------------------------------------------------------
+
+    def _try_deliver(self) -> None:
+        while True:
+            candidates = [(state.current_ts, muid, state)
+                          for muid, state in self._pending.items()
+                          if state.proposed]
+            if not candidates:
+                return
+            ts, muid, state = min(candidates, key=lambda c: (c[0], c[1]))
+            if state.final_ts is None:
+                return  # the head of the queue is not final yet
+            del self._pending[muid]
+            self._delivered_uids.add(muid)
+            delivery = AmcastDelivery(
+                uid=muid,
+                payload=state.payload,
+                groups=state.groups,
+                origin=state.origin,
+                timestamp=(state.final_ts, muid),
+                local_seq=self._deliver_count,
+            )
+            self._deliver_count += 1
+            self.delivery_log.append(muid)
+            for callback in list(self._callbacks):
+                callback(delivery)
+
+
+def _propose_entry(muid: str, groups: tuple[str, ...], payload: Any,
+                   origin: str, size: int) -> dict:
+    return {
+        "uid": f"prop:{muid}",
+        "kind": "am-propose",
+        "muid": muid,
+        "groups": list(groups),
+        "payload": payload,
+        "origin": origin,
+        "size": size,
+    }
+
+
+class MulticastClient:
+    """Atomic multicast initiator for processes outside all groups.
+
+    Clients in the paper's protocols amcast commands to partitions and the
+    oracle; they never deliver, so this helper only implements the propose
+    step.
+    """
+
+    def __init__(self, node: ProtocolNode, directory: GroupDirectory,
+                 broadcast_submit: bool = False):
+        self.node = node
+        self.directory = directory
+        self._log_client = LogClient(node, directory,
+                                     broadcast=broadcast_submit)
+
+    def multicast(self, groups: Iterable[str], payload: Any,
+                  size: int = 256, uid: Optional[str] = None) -> str:
+        groups = tuple(sorted(set(groups)))
+        if not groups:
+            raise ValueError("amcast needs at least one destination group")
+        uid = uid or new_amcast_uid(self.node.name)
+        entry = _propose_entry(uid, groups, payload, self.node.name, size)
+        for group in groups:
+            self._log_client.submit(group, entry, size=size + 128)
+        return uid

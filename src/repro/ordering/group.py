@@ -1,0 +1,72 @@
+"""Group membership directory.
+
+Server processes are organised into disjoint groups (Section 2.1): one group
+per state partition, plus one group for the replicated oracle. The directory
+is static over a run — the paper does not consider membership reconfiguration
+(explicitly called orthogonal in its related-work section).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class GroupDirectory:
+    """Immutable-by-convention mapping from group name to member node names.
+
+    Member lists are kept sorted so every node derives the same
+    deterministic choices (e.g. who the group's sequencer or speaker is).
+    """
+
+    def __init__(self, groups: Mapping[str, Sequence[str]] | None = None):
+        self._members: dict[str, tuple[str, ...]] = {}
+        if groups:
+            for name, members in groups.items():
+                self.add_group(name, members)
+
+    def add_group(self, name: str, members: Iterable[str]) -> None:
+        members = tuple(sorted(members))
+        if not members:
+            raise ValueError(f"group {name!r} must have at least one member")
+        if name in self._members:
+            raise ValueError(f"duplicate group: {name!r}")
+        seen: set[str] = set()
+        for existing in self._members.values():
+            seen.update(existing)
+        overlap = seen.intersection(members)
+        if overlap:
+            raise ValueError(f"groups must be disjoint; reused: {overlap}")
+        self._members[name] = members
+
+    def groups(self) -> list[str]:
+        return sorted(self._members)
+
+    def members(self, group: str) -> tuple[str, ...]:
+        try:
+            return self._members[group]
+        except KeyError:
+            raise KeyError(f"unknown group: {group!r}") from None
+
+    def group_of(self, node: str) -> str | None:
+        """Group containing ``node``, or None (e.g. for clients)."""
+        for name, members in self._members.items():
+            if node in members:
+                return name
+        return None
+
+    def all_members(self, groups: Iterable[str]) -> list[str]:
+        """Union of the members of ``groups``, sorted."""
+        out: set[str] = set()
+        for group in groups:
+            out.update(self.members(group))
+        return sorted(out)
+
+    def speaker(self, group: str) -> str:
+        """Deterministic designated speaker/sequencer: first sorted member."""
+        return self.members(group)[0]
+
+    def __contains__(self, group: str) -> bool:
+        return group in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)

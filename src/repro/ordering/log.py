@@ -1,0 +1,271 @@
+"""Per-group ordered logs.
+
+A *group log* gives the members of one server group a shared, gapless,
+totally ordered sequence of entries — the building block both for atomic
+broadcast within a group and for the Skeen-style atomic multicast across
+groups (:mod:`repro.ordering.atomic_multicast`).
+
+Interface contract (for every implementation):
+
+* :meth:`GroupLog.submit` — propose an entry (a dict with a unique ``uid``);
+  entries from correct submitters are eventually decided.
+* decide callbacks fire on every member, in sequence order, starting from
+  sequence 0 with no gaps, and each ``uid`` is applied at most once.
+
+Two implementations: :class:`SequencerLog` (fixed sequencer — minimal
+message cost, used for the large-scale benchmarks) and
+:class:`~repro.ordering.paxos.PaxosLog` (leader-based Multi-Paxos — crash
+fault tolerant, used by the failure-injection tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+from repro.net import Message
+from repro.ordering.group import GroupDirectory
+from repro.ordering.node import ProtocolNode
+
+DecideCallback = Callable[[int, dict], None]
+
+
+def submit_kind(group: str) -> str:
+    """Message kind used to submit an entry to ``group``'s log."""
+    return f"log/{group}/submit"
+
+
+class GroupLog(ABC):
+    """One member's endpoint of a group's ordered log.
+
+    Besides ordering, every log retains its decided entries and answers
+    *backfill* requests — the mechanism recovering replicas use to close
+    the gap between a state snapshot and live traffic (see
+    :mod:`repro.smr.recovery`). A member that detects a hole in its own
+    sequence also requests backfill from the group's speaker.
+    """
+
+    BACKFILL_DELAY_MS = 50.0
+
+    def __init__(self, node: ProtocolNode, directory: GroupDirectory,
+                 group: str):
+        if node.name not in directory.members(group):
+            raise ValueError(
+                f"{node.name} is not a member of group {group!r}")
+        self.node = node
+        self.directory = directory
+        self.group = group
+        self._decide_callbacks: list[DecideCallback] = []
+        self._next_apply = 0
+        self._pending_apply: dict[int, dict] = {}
+        self._applied_uids: set[str] = set()
+        self.decided_entries: dict[int, dict] = {}
+        self._backfill_scheduled = False
+        node.on(f"log/{group}/backfill-req", self._on_backfill_request)
+        node.on(f"log/{group}/backfill", self._on_backfill)
+
+    def on_decide(self, callback: DecideCallback) -> None:
+        """Register ``callback(seq, entry)``, called in order, exactly once."""
+        self._decide_callbacks.append(callback)
+
+    @abstractmethod
+    def submit(self, entry: dict) -> None:
+        """Propose ``entry`` (must contain a unique ``'uid'`` key)."""
+
+    # -- shared apply machinery -------------------------------------------
+
+    def _learn(self, seq: int, entry: dict) -> None:
+        """Record that ``entry`` was decided at ``seq``; apply when gapless."""
+        self.decided_entries.setdefault(seq, entry)
+        if seq < self._next_apply or seq in self._pending_apply:
+            return
+        self._pending_apply[seq] = entry
+        while self._next_apply in self._pending_apply:
+            ready = self._pending_apply.pop(self._next_apply)
+            seq_now = self._next_apply
+            self._next_apply += 1
+            uid = ready.get("uid")
+            if uid is not None:
+                if uid in self._applied_uids:
+                    continue  # duplicate decision of a resubmitted entry
+                self._applied_uids.add(uid)
+            if ready.get("noop"):
+                continue
+            for callback in list(self._decide_callbacks):
+                callback(seq_now, ready)
+        if self._pending_apply:
+            self._schedule_backfill()
+
+    @property
+    def applied_count(self) -> int:
+        """Number of log positions applied so far (including no-ops)."""
+        return self._next_apply
+
+    # -- recovery support ----------------------------------------------------
+
+    def fast_forward(self, position: int) -> None:
+        """Skip positions below ``position`` (covered by a state snapshot)."""
+        if position < self._next_apply:
+            raise ValueError("cannot fast-forward backwards")
+        self._next_apply = position
+        for seq in [s for s in self._pending_apply if s < position]:
+            del self._pending_apply[seq]
+
+    def request_backfill(self, provider: Optional[str] = None) -> None:
+        """Ask ``provider`` (default: the group speaker) for decided
+        entries from our next-apply position onward."""
+        target = provider or self.directory.speaker(self.group)
+        if target == self.node.name:
+            return
+        self.node.send(target, f"log/{self.group}/backfill-req",
+                       {"from_seq": self._next_apply,
+                        "reply_to": self.node.name}, size=96)
+
+    def _schedule_backfill(self) -> None:
+        if self._backfill_scheduled:
+            return
+        self._backfill_scheduled = True
+
+        def fire() -> None:
+            self._backfill_scheduled = False
+            if self._pending_apply and not self.node.crashed:
+                self.request_backfill()
+
+        self.node.env.schedule_callback(self.BACKFILL_DELAY_MS, fire)
+
+    def _on_backfill_request(self, message: Message) -> None:
+        from_seq = message.payload["from_seq"]
+        entries = {seq: entry
+                   for seq, entry in self.decided_entries.items()
+                   if seq >= from_seq}
+        if entries:
+            size = 128 + sum(64 + e.get("size", 0)
+                             for e in entries.values())
+            self.node.send(message.payload["reply_to"],
+                           f"log/{self.group}/backfill",
+                           {"entries": entries}, size=size)
+
+    def _on_backfill(self, message: Message) -> None:
+        for seq, entry in sorted(message.payload["entries"].items()):
+            self._learn(int(seq), entry)
+
+
+class SequencerLog(GroupLog):
+    """Fixed-sequencer ordered log.
+
+    The group's deterministic speaker assigns sequence numbers and fans the
+    decision out to all members. Not tolerant to sequencer crashes — the
+    fault-tolerant log is :class:`~repro.ordering.paxos.PaxosLog`. The DSN
+    testbed used a Paxos-based multicast library; the sequencer variant
+    preserves the same ordering semantics at lower simulation cost.
+
+    **Batching** (the classic ordered-log throughput optimisation): with
+    ``batch_window_ms > 0`` the sequencer buffers submissions for up to
+    that long and fans them out as one decision message carrying the whole
+    batch — each entry still gets its own consecutive sequence number, so
+    nothing above the log can tell the difference except the message count
+    (benchmark E14 quantifies it) and the added latency.
+    """
+
+    # Wire size of log control traffic (entry payloads ride on top).
+    CONTROL_SIZE = 128
+
+    def __init__(self, node: ProtocolNode, directory: GroupDirectory,
+                 group: str, batch_window_ms: float = 0.0):
+        super().__init__(node, directory, group)
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        self.sequencer = directory.speaker(group)
+        self.batch_window_ms = batch_window_ms
+        self._is_sequencer = node.name == self.sequencer
+        self._next_seq = 0
+        self._sequenced_uids: set[str] = set()
+        self._batch: list[dict] = []
+        self._flush_scheduled = False
+        self.decisions_sent = 0   # decision messages (for E14)
+        node.on(submit_kind(group), self._on_submit)
+        node.on(f"log/{group}/decide", self._on_decide)
+
+    def submit(self, entry: dict) -> None:
+        if "uid" not in entry:
+            raise ValueError("log entries must carry a 'uid'")
+        if self._is_sequencer:
+            self._sequence(entry)
+        else:
+            self.node.send(self.sequencer, submit_kind(self.group), entry,
+                           size=self.CONTROL_SIZE + entry.get("size", 0))
+
+    def _on_submit(self, message: Message) -> None:
+        if not self._is_sequencer:
+            # Stale client view; forward to the real sequencer.
+            self.node.send(self.sequencer, submit_kind(self.group),
+                           message.payload, size=message.size)
+            return
+        self._sequence(message.payload)
+
+    def _sequence(self, entry: dict) -> None:
+        uid = entry["uid"]
+        if uid in self._sequenced_uids:
+            return
+        self._sequenced_uids.add(uid)
+        if self.batch_window_ms <= 0:
+            self._flush([entry])
+            return
+        self._batch.append(entry)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.node.env.schedule_callback(self.batch_window_ms,
+                                            self._flush_batch)
+
+    def _flush_batch(self) -> None:
+        self._flush_scheduled = False
+        if self._batch and not self.node.crashed:
+            batch, self._batch = self._batch, []
+            self._flush(batch)
+
+    def _flush(self, entries: list[dict]) -> None:
+        first_seq = self._next_seq
+        self._next_seq += len(entries)
+        decision = {"seq": first_seq, "entries": entries}
+        size = self.CONTROL_SIZE + sum(e.get("size", 0) for e in entries)
+        self.decisions_sent += 1
+        for member in self.directory.members(self.group):
+            if member == self.node.name:
+                continue
+            self.node.send(member, f"log/{self.group}/decide", decision,
+                           size=size)
+        for offset, entry in enumerate(entries):
+            self._learn(first_seq + offset, entry)
+
+    def _on_decide(self, message: Message) -> None:
+        decision = message.payload
+        entries = decision.get("entries")
+        if entries is None:
+            entries = [decision["entry"]]  # single-entry wire format
+        for offset, entry in enumerate(entries):
+            self._learn(decision["seq"] + offset, entry)
+
+
+class LogClient:
+    """Submission helper for processes outside a group (e.g. clients).
+
+    Sends the entry to the group's speaker; with ``broadcast=True`` it sends
+    to every member instead, which survives speaker/leader crashes at the
+    cost of extra messages (members deduplicate by uid).
+    """
+
+    def __init__(self, node: ProtocolNode, directory: GroupDirectory,
+                 broadcast: bool = False):
+        self.node = node
+        self.directory = directory
+        self.broadcast = broadcast
+
+    def submit(self, group: str, entry: dict, size: int = 256) -> None:
+        if "uid" not in entry:
+            raise ValueError("log entries must carry a 'uid'")
+        if self.broadcast:
+            targets: tuple[str, ...] = self.directory.members(group)
+        else:
+            targets = (self.directory.speaker(group),)
+        for target in targets:
+            self.node.send(target, submit_kind(group), entry, size=size)

@@ -1,0 +1,94 @@
+"""Protocol node: a simulated process with a message dispatch loop.
+
+Every server, oracle replica and client in the system is a
+:class:`ProtocolNode`. Protocol layers (multicast, logs, proxies) register
+handlers for message kinds; the node's single dispatch process pulls messages
+from its network inbox and routes them. Handlers run instantaneously in
+virtual time — layers that model CPU cost (e.g. command execution) do so in
+their own processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.net import Message, Network
+from repro.net.message import DEFAULT_MESSAGE_SIZE
+from repro.sim import Environment, Interrupted
+
+Handler = Callable[[Message], None]
+
+
+class ProtocolNode:
+    """A named process attached to the network with kind-based dispatch."""
+
+    def __init__(self, env: Environment, network: Network, name: str):
+        self.env = env
+        self.network = network
+        self.name = name
+        self.endpoint = network.register(name)
+        self._handlers: dict[str, Handler] = {}
+        self._default_handler: Optional[Handler] = None
+        self._crashed = False
+        self._loop = env.process(self._dispatch_loop(), name=f"{name}/loop")
+
+    # -- wiring -----------------------------------------------------------
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register ``handler`` for messages of ``kind``.
+
+        Exactly one handler per kind: protocols own their message namespace.
+        """
+        if kind in self._handlers:
+            raise ValueError(f"{self.name}: duplicate handler for {kind!r}")
+        self._handlers[kind] = handler
+
+    def on_default(self, handler: Handler) -> None:
+        """Handler for messages with no registered kind."""
+        self._default_handler = handler
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, dst: str, kind: str, payload: Any = None,
+             size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        """Send one message (no-op once crashed)."""
+        if self._crashed:
+            return
+        self.network.send(self.name, dst, kind, payload, size)
+
+    def send_all(self, dsts, kind: str, payload: Any = None,
+                 size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        if self._crashed:
+            return
+        self.network.send_all(self.name, dsts, kind, payload, size)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Crash-stop this node: stop dispatching and drop in-flight traffic."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.network.crash(self.name)
+        self._loop.interrupt("crash")
+
+    def _dispatch_loop(self):
+        try:
+            while True:
+                message = yield self.endpoint.receive()
+                handler = self._handlers.get(message.kind,
+                                             self._default_handler)
+                if handler is None:
+                    raise RuntimeError(
+                        f"{self.name}: no handler for {message.kind!r}")
+                handler(message)
+        except Interrupted:
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"<ProtocolNode {self.name} {state}>"

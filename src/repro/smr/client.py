@@ -1,0 +1,105 @@
+"""Clients: submit commands and wait for replies.
+
+:class:`BaseClient` holds the machinery shared by every protocol's client
+proxy — reply matching by command id, first-reply-wins deduplication (all
+replicas of a partition reply), and latency recording. :class:`SmrClient`
+is the classic-SMR specialisation that multicasts every command to the
+single replica group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net import Message, Network
+from repro.ordering import GroupDirectory, MulticastClient, ProtocolNode
+from repro.sim import Environment, Event, LatencyRecorder
+from repro.smr.command import Command, Reply
+from repro.smr.replica import REPLY_KIND
+
+
+class BaseClient:
+    """A client process endpoint with reply matching."""
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, name: str,
+                 latency: Optional[LatencyRecorder] = None,
+                 broadcast_submit: bool = False):
+        self.env = env
+        self.directory = directory
+        self.node = ProtocolNode(env, network, name)
+        # broadcast_submit=True sends submissions to every group member
+        # instead of the speaker only — needed when speakers may crash
+        # (Paxos-backed deployments under failure injection).
+        self.mcast = MulticastClient(self.node, directory,
+                                     broadcast_submit=broadcast_submit)
+        self.latency = latency if latency is not None else LatencyRecorder(name)
+        self._waiting: dict[str, tuple[Event, Optional[int]]] = {}
+        self._done: set[str] = set()
+        self.node.on(REPLY_KIND, self._on_reply)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def _on_reply(self, message: Message) -> None:
+        reply: Reply = message.payload
+        waiting = self._waiting.get(reply.cid)
+        if waiting is None:
+            return  # duplicate from another replica; drop
+        event, expected_attempt = waiting
+        if expected_attempt is not None and reply.attempt != expected_attempt:
+            # A straggler from a previous attempt (e.g. a second replica's
+            # late retry verdict): it must not answer the current attempt.
+            return
+        del self._waiting[reply.cid]
+        event.succeed(reply)
+
+    def wait_reply(self, cid: str, attempt: Optional[int] = None) -> Event:
+        """Event firing with the first :class:`Reply` for ``cid``.
+
+        With ``attempt`` set, only replies echoing that attempt number
+        match; replies from older attempts are discarded.
+        """
+        if cid in self._waiting:
+            raise ValueError(f"already waiting for {cid}")
+        event = self.env.event()
+        self._waiting[cid] = (event, attempt)
+        return event
+
+    def cancel_wait(self, cid: str) -> None:
+        self._waiting.pop(cid, None)
+
+    def submit(self, command: Command, groups: Iterable[str]) -> Event:
+        """Multicast ``command`` to ``groups`` and return the reply event."""
+        command.client = self.name
+        event = self.wait_reply(command.cid)
+        self.mcast.multicast(groups, command, size=command.payload_size(),
+                             uid=f"am:{command.cid}")
+        return event
+
+    def execute(self, command: Command, groups: Iterable[str]):
+        """Generator: submit, wait, record latency, return the reply.
+
+        Usage inside a client process::
+
+            reply = yield from client.execute(command, ["partition-0"])
+        """
+        start = self.env.now
+        reply = yield self.submit(command, groups)
+        self.latency.record(self.env.now, self.env.now - start)
+        return reply
+
+
+class SmrClient(BaseClient):
+    """Client of a classically replicated (single group) service."""
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, name: str, group: str,
+                 latency: Optional[LatencyRecorder] = None):
+        super().__init__(env, network, directory, name, latency)
+        self.group = group
+
+    def run_command(self, command: Command):
+        """Generator: execute one command against the replica group."""
+        return (yield from self.execute(command, [self.group]))

@@ -1,0 +1,88 @@
+"""Commands and replies.
+
+DS-SMR distinguishes five command types (Section 3.3 of the paper):
+``access`` (application reads/writes over a declared variable set),
+``create``, ``delete``, ``move`` and ``consult``. Classic SMR and S-SMR use
+only ``access`` commands. Every command carries the set of state variables
+it touches — the paper's protocols all assume the variable set is known when
+the command is submitted (the oracle returns a superset otherwise).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+_cmd_counter = itertools.count()
+
+
+def new_command_id(origin: str) -> str:
+    """Globally unique command id."""
+    return f"cmd-{origin}-{next(_cmd_counter)}"
+
+
+class CommandType(str, Enum):
+    """The five DS-SMR command types."""
+
+    ACCESS = "access"
+    CREATE = "create"
+    DELETE = "delete"
+    MOVE = "move"
+    CONSULT = "consult"
+
+
+class ReplyStatus(str, Enum):
+    """Outcome of a command at a server or the oracle."""
+
+    OK = "ok"
+    NOK = "nok"        # the oracle rejected the command (e.g. unknown var)
+    RETRY = "retry"    # partition no longer holds the variables; re-consult
+
+
+@dataclass
+class Command:
+    """A client command.
+
+    ``op`` names the application operation (e.g. ``"post"``); ``args`` are
+    its arguments; ``variables`` is the set of state-variable keys the
+    command reads or writes. ``writes`` marks which of those are written
+    (used by read-only optimisations and by tests).
+    """
+
+    op: str
+    args: dict = field(default_factory=dict)
+    variables: tuple = ()
+    writes: tuple = ()
+    ctype: CommandType = CommandType.ACCESS
+    cid: str = ""
+    client: str = ""
+
+    def __post_init__(self):
+        self.variables = tuple(self.variables)
+        self.writes = tuple(self.writes)
+        if not self.cid:
+            self.cid = new_command_id(self.client or "anon")
+
+    def payload_size(self) -> int:
+        """Approximate wire size: headers plus per-variable footprint."""
+        return 128 + 32 * len(self.variables)
+
+
+@dataclass
+class Reply:
+    """A server's (or the oracle's) reply to a command.
+
+    ``attempt`` echoes the client's attempt number for the command: a
+    client that has moved on to attempt *n* must ignore stragglers from
+    attempt *n-1* (e.g. the second replica's duplicate ``retry``), or a
+    stale failure verdict could mask the new attempt's outcome.
+    """
+
+    cid: str
+    status: ReplyStatus
+    value: Any = None
+    sender: str = ""
+    partition: Optional[str] = None
+    attempt: int = 1

@@ -1,0 +1,30 @@
+"""Command execution cost model.
+
+Replicas execute commands sequentially (the SMR determinism requirement),
+each command consuming simulated CPU time. The cost model is the simulation
+analogue of the Java prototype's per-command service time, and is what makes
+replicas saturate: a partition's maximum throughput is roughly
+``1 / cost_ms`` commands per millisecond, before any coordination overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smr.command import Command
+
+
+@dataclass
+class ExecutionModel:
+    """Per-command simulated CPU cost.
+
+    ``base_ms`` is paid by every command; ``per_variable_ms`` scales with
+    the number of variables the command touches (a post that writes many
+    followers' timelines costs more than a single read).
+    """
+
+    base_ms: float = 0.08
+    per_variable_ms: float = 0.01
+
+    def cost(self, command: Command) -> float:
+        return self.base_ms + self.per_variable_ms * len(command.variables)

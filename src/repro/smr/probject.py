@@ -1,0 +1,150 @@
+"""PRObject: partially-replicated objects with transparent access.
+
+The paper's Eyrie library exposes state as *PRObjects*: "each object of
+such a class is stored locally or remotely, but the application code is
+agnostic to the location of an object. All calls to methods of such
+objects are intercepted" by the library. This module provides the same
+programming model on top of :class:`~repro.smr.state_machine.ExecutionView`:
+a state machine declares object classes, and during command execution it
+works with live objects whose attribute reads/writes are transparently
+backed by the (possibly remote) variable store.
+
+Example::
+
+    class Account(PRObject):
+        FIELDS = ("balance",)
+
+    class Bank(ObjectStateMachine):
+        CLASSES = {"acct": Account}
+
+        def run(self, command, objects):
+            if command.op == "transfer":
+                src = objects["acct", command.args["src"]]
+                dst = objects["acct", command.args["dst"]]
+                amount = command.args["amount"]
+                if src.balance < amount:
+                    return "insufficient"
+                src.balance -= amount
+                dst.balance += amount
+                return "ok"
+
+The application never sees partitions; the proxies read through the
+execution view (local store or values shipped from remote partitions) and
+write back on mutation — exactly the Eyrie contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.smr.command import Command
+from repro.smr.state_machine import ExecutionView, StateMachine
+
+
+class PRObject:
+    """Base class for partially replicated objects.
+
+    Subclasses list their persistent attributes in ``FIELDS``. Instances
+    are materialised by :class:`ObjectDirectory` from the backing variable;
+    attribute reads return the stored values and attribute writes mark the
+    object dirty so its variable is written back after the command.
+    """
+
+    FIELDS: tuple = ()
+
+    def __init__(self, **values):
+        object.__setattr__(self, "_data", {})
+        object.__setattr__(self, "_dirty", False)
+        for field in self.FIELDS:
+            self._data[field] = values.get(field)
+
+    # -- attribute interception ------------------------------------------
+
+    def __getattr__(self, name: str):
+        data = object.__getattribute__(self, "_data")
+        if name in data:
+            return data[name]
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self.FIELDS:
+            self._data[name] = value
+            object.__setattr__(self, "_dirty", True)
+        else:
+            object.__setattr__(self, name, value)
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, raw: Optional[Mapping]) -> "PRObject":
+        return cls(**dict(raw or {}))
+
+    def dump(self) -> dict:
+        return dict(self._data)
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+
+def object_key(class_tag: str, object_id) -> str:
+    """Variable key backing object ``object_id`` of class ``class_tag``."""
+    return f"{class_tag}:{object_id}"
+
+
+class ObjectDirectory:
+    """Materialises PRObjects from an execution view, writes back dirty ones.
+
+    One directory lives for the duration of one command execution; the
+    state machine indexes it with ``objects[class_tag, object_id]``.
+    """
+
+    def __init__(self, classes: Mapping[str, type], view: ExecutionView):
+        self._classes = dict(classes)
+        self._view = view
+        self._live: dict[str, PRObject] = {}
+
+    def __getitem__(self, spec) -> PRObject:
+        class_tag, object_id = spec
+        key = object_key(class_tag, object_id)
+        if key not in self._live:
+            cls = self._classes[class_tag]
+            self._live[key] = cls.load(self._view.read(key))
+        return self._live[key]
+
+    def exists(self, class_tag: str, object_id) -> bool:
+        return object_key(class_tag, object_id) in self._view
+
+    def flush(self) -> int:
+        """Write dirty objects back to the view; returns how many."""
+        written = 0
+        for key, obj in self._live.items():
+            if obj.dirty:
+                self._view.write(key, obj.dump())
+                written += 1
+        return written
+
+
+class ObjectStateMachine(StateMachine):
+    """State machine base class with the PRObject programming model.
+
+    Subclasses define ``CLASSES`` (class tag → PRObject subclass) and
+    implement :meth:`run`; the base class materialises objects, runs the
+    logic and flushes dirty objects back — the application stays agnostic
+    to where objects live, as in Eyrie.
+    """
+
+    CLASSES: Mapping[str, type] = {}
+
+    def apply(self, command: Command, view: ExecutionView) -> Any:
+        objects = ObjectDirectory(self.CLASSES, view)
+        result = self.run(command, objects)
+        objects.flush()
+        return result
+
+    def run(self, command: Command, objects: ObjectDirectory) -> Any:
+        raise NotImplementedError
+
+    def initial_value(self, key, args: dict):
+        """New objects start from the creating command's ``fields`` arg."""
+        return dict(args.get("fields", {}))

@@ -1,0 +1,138 @@
+"""Crash-recovery for classic SMR replicas: snapshot + log catch-up.
+
+The paper's protocols assume crash-stop, but operating a replicated system
+needs a way to re-add replicas. For classic SMR this is clean — a replica's
+state is a pure function of the delivered command sequence — so recovery
+is: fetch a peer's snapshot (store + executed position), install it, and
+resume applying from that position (the ordered log's catch-up machinery
+fills the gap).
+
+For the *partitioned* protocols recovery is substantially subtler (a
+recovering replica can miss in-flight signal/variable exchanges addressed
+to its group) and is out of scope here, as it is for the paper; the
+fault-tolerance story for partitions is Paxos majorities
+(:mod:`repro.ordering.paxos`).
+
+Usage::
+
+    replica.crash()
+    ...
+    recovered = recover_replica(crashed=replica, peer=live_replica)
+    # `recovered` is a fresh SmrReplica under the same name, caught up.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Optional
+
+from repro.net import Message
+from repro.smr.replica import SmrReplica
+
+SNAPSHOT_REQUEST = "recovery/request"
+SNAPSHOT_RESPONSE = "recovery/snapshot"
+
+_recovery_counter = itertools.count()
+
+
+class RecoveryHost:
+    """Serves state snapshots to recovering peers.
+
+    Attach one to every replica that should be able to help others
+    recover. The snapshot is taken synchronously in the dispatch handler,
+    so it is consistent: it reflects exactly the commands executed so far
+    (command application is atomic in virtual time).
+    """
+
+    def __init__(self, replica: SmrReplica):
+        self.replica = replica
+        self.snapshots_served = 0
+        replica.node.on(SNAPSHOT_REQUEST, self._on_request)
+
+    def _on_request(self, message: Message) -> None:
+        replica = self.replica
+        # The snapshot position is the number of commands *executed*, not
+        # log positions delivered: the peer's executor lags its log by the
+        # queued deliveries, and those commands' effects are not yet in the
+        # snapshotted store. (In classic SMR over a sequencer log every log
+        # position is one command, so the two units coincide.)
+        snapshot = {
+            "request_id": message.payload["request_id"],
+            "store": copy.deepcopy(replica.store.snapshot()),
+            "executed": list(replica.executed),
+            "applied_count": len(replica.executed),
+        }
+        # Size scales with the state: recovery is not free on the wire.
+        size = 256 + 64 * len(snapshot["store"])
+        replica.node.send(message.payload["reply_to"], SNAPSHOT_RESPONSE,
+                          snapshot, size=size)
+        self.snapshots_served += 1
+
+
+class RecoveringReplica:
+    """A replacement replica that bootstraps from a peer's snapshot.
+
+    Wraps a fresh :class:`SmrReplica` (same name as the crashed one, after
+    ``network.recover(name)``); commands delivered by the log while the
+    snapshot is in flight are buffered by the replica's delivery channel
+    and deduplicated against the snapshot's executed set after install.
+    """
+
+    def __init__(self, replica: SmrReplica, peer_name: str):
+        if replica._start_gate is None:
+            raise ValueError("the replacement replica must be constructed "
+                             "with a start_gate (use recover_replica)")
+        self.replica = replica
+        self.peer_name = peer_name
+        self.installed = False
+        self._request_id = f"rec-{next(_recovery_counter)}"
+        self._gate = replica._start_gate
+        replica.node.on(SNAPSHOT_RESPONSE, self._on_snapshot)
+        replica.node.send(peer_name, SNAPSHOT_REQUEST, {
+            "request_id": self._request_id,
+            "reply_to": replica.node.name,
+        }, size=128)
+
+    def _on_snapshot(self, message: Message) -> None:
+        snapshot = message.payload
+        if self.installed or snapshot["request_id"] != self._request_id:
+            return
+        replica = self.replica
+        for key, value in snapshot["store"].items():
+            replica.store.write(key, value)
+        replica.executed = list(snapshot["executed"])
+        replica._executed_set = set(replica.executed)
+        # Drop queued deliveries the snapshot already covers.
+        retained = [d for d in replica._deliveries._items
+                    if d.payload.cid not in replica._executed_set]
+        replica._deliveries._items.clear()
+        replica._deliveries._items.extend(retained)
+        # Positions below the snapshot are covered by the installed state;
+        # anything between the snapshot and live traffic comes via the
+        # log's backfill protocol.
+        replica.log.fast_forward(max(replica.log.applied_count,
+                                     snapshot["applied_count"]))
+        replica.log.request_backfill(provider=self.peer_name)
+        self.installed = True
+        self._gate.succeed(None)
+
+
+def recover_replica(crashed: SmrReplica, peer: SmrReplica,
+                    state_machine=None) -> SmrReplica:
+    """Bring a crashed classic-SMR replica back under the same name.
+
+    Returns the replacement :class:`SmrReplica`; it serves commands once
+    the peer's snapshot is installed and the log catch-up completes. The
+    peer must have a :class:`RecoveryHost` attached.
+    """
+    network = crashed.node.network
+    name = crashed.node.name
+    network.recover(name)
+    replacement = SmrReplica(
+        crashed.env, network, crashed.amcast.directory, crashed.group,
+        name, state_machine or crashed.state_machine,
+        execution=crashed.execution, log_factory=type(crashed.log),
+        start_gate=crashed.env.event())
+    RecoveringReplica(replacement, peer.node.name)
+    return replacement

@@ -1,0 +1,102 @@
+"""Classic SMR replica: full state, totally ordered execution.
+
+Commands arrive through atomic broadcast (single-group atomic multicast) and
+are executed sequentially by an executor process that charges the execution
+cost model. Every replica sends the reply; clients deduplicate. This is the
+non-scalable baseline the paper starts from: adding replicas never increases
+throughput because each replica executes every command.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import Network
+from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
+                            ProtocolNode, SequencerLog)
+from repro.ordering.log import GroupLog
+from repro.sim import Channel, Environment, Interrupted
+from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.execution import ExecutionModel
+from repro.smr.state_machine import (ExecutionView, StateMachine,
+                                     VariableStore)
+
+REPLY_KIND = "reply"
+
+
+class SmrReplica:
+    """One replica of a classically replicated state machine."""
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, group: str, name: str,
+                 state_machine: StateMachine,
+                 execution: Optional[ExecutionModel] = None,
+                 log_factory=SequencerLog,
+                 start_gate=None):
+        self.env = env
+        self.group = group
+        self.node = ProtocolNode(env, network, name)
+        self.log: GroupLog = log_factory(self.node, directory, group)
+        self.amcast = AtomicMulticast(self.node, directory, self.log)
+        self.state_machine = state_machine
+        self.execution = execution or ExecutionModel()
+        self.store = VariableStore()
+        self.executed: list[str] = []  # command ids, in execution order
+        self._executed_set: set[str] = set()
+        self._deliveries = Channel(env, name=f"{name}/deliveries")
+        self.amcast.on_deliver(self._deliveries.put)
+        # A recovering replica's executor must not touch the store until
+        # the state snapshot is installed; its gate event holds it back.
+        self._start_gate = start_gate
+        self._executor = env.process(self._execute_loop(),
+                                     name=f"{name}/executor")
+
+    def crash(self) -> None:
+        self.node.crash()
+        self._executor.interrupt("crash")
+
+    def load_state(self, contents: dict) -> None:
+        """Install initial service state (full copy on every replica)."""
+        for key, value in contents.items():
+            self.store.write(key, value)
+
+    def _execute_loop(self):
+        try:
+            if self._start_gate is not None:
+                yield self._start_gate
+            while True:
+                delivery: AmcastDelivery = yield self._deliveries.get()
+                command: Command = delivery.payload
+                if command.cid in self._executed_set:
+                    # Already covered (recovery snapshot overlap with
+                    # backfilled log entries): re-executing would
+                    # double-apply the command's writes.
+                    continue
+                yield self.env.timeout(self.execution.cost(command))
+                reply = self._apply(command)
+                self.executed.append(command.cid)
+                self._executed_set.add(command.cid)
+                if command.client:
+                    self.node.send(command.client, REPLY_KIND, reply,
+                                   size=128)
+        except Interrupted:
+            return
+
+    def _apply(self, command: Command) -> Reply:
+        try:
+            if command.ctype.value == "create":
+                key = command.variables[0]
+                self.store.create(
+                    key, self.state_machine.initial_value(key, command.args))
+                value = "created"
+            elif command.ctype.value == "delete":
+                self.store.delete(command.variables[0])
+                value = "deleted"
+            else:
+                view = ExecutionView(self.store)
+                value = self.state_machine.apply(command, view)
+            status = ReplyStatus.OK
+        except KeyError as error:
+            status, value = ReplyStatus.NOK, str(error)
+        return Reply(cid=command.cid, status=status, value=value,
+                     sender=self.node.name, partition=self.group)

@@ -1,0 +1,24 @@
+"""Scalable State Machine Replication — S-SMR (Section 3.2, Algorithm 1).
+
+The service state is split into k partitions, each replicated by its own
+server group. Clients consult a *static* local oracle that maps variables to
+partitions and atomically multicast each command to the partitions it
+touches. Single-partition commands execute exactly like classic SMR;
+multi-partition commands make the involved partitions exchange variables
+and synchronisation signals before replying, preserving linearizability.
+
+S-SMR is both a baseline in the evaluation and the fallback execution mode
+DS-SMR uses to guarantee termination after repeated retries.
+"""
+
+from repro.ssmr.partitioning import StaticPartitionMap
+from repro.ssmr.oracle import StaticOracle
+from repro.ssmr.server import SsmrServer
+from repro.ssmr.client_proxy import SsmrClient
+
+__all__ = [
+    "SsmrClient",
+    "SsmrServer",
+    "StaticOracle",
+    "StaticPartitionMap",
+]

@@ -1,0 +1,44 @@
+"""S-SMR client proxy.
+
+Consults the client-local static oracle for the partitions a command
+accesses and atomically multicasts the command to them. The command travels
+inside an envelope carrying ``dests`` so every receiving partition knows who
+else is involved (needed for the signal exchange of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import Network
+from repro.ordering import GroupDirectory
+from repro.sim import Environment, LatencyRecorder
+from repro.smr.client import BaseClient
+from repro.smr.command import Command, Reply
+from repro.ssmr.oracle import StaticOracle
+
+
+class SsmrClient(BaseClient):
+    """Client of an S-SMR deployment."""
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, name: str, oracle: StaticOracle,
+                 latency: Optional[LatencyRecorder] = None):
+        super().__init__(env, network, directory, name, latency)
+        self.oracle = oracle
+        self.multi_partition_commands = 0
+
+    def run_command(self, command: Command):
+        """Generator: execute one command; returns the :class:`Reply`."""
+        dests = sorted(self.oracle.partitions_for(command))
+        if len(dests) > 1:
+            self.multi_partition_commands += 1
+        command.client = self.name
+        envelope = {"command": command, "dests": dests}
+        start = self.env.now
+        event = self.wait_reply(command.cid)
+        self.mcast.multicast(dests, envelope, size=command.payload_size(),
+                             uid=f"am:{command.cid}")
+        reply: Reply = yield event
+        self.latency.record(self.env.now, self.env.now - start)
+        return reply

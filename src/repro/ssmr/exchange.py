@@ -1,0 +1,87 @@
+"""Signal/variable exchange buffer shared by partitions and the oracle.
+
+Implements the ``rcvd_signals`` / ``rcvd_variables`` bookkeeping of
+Algorithms 1–4: participants in a multi-partition step reliably multicast
+one message carrying their signal and their share of the variables, and
+wait until every expected peer's signal has arrived. Used by S-SMR
+multi-partition execution, DS-SMR moves, and create/delete coordination
+with the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ordering import ReliableMulticast
+from repro.sim import Environment
+
+EXCHANGE = "ssmr-exchange"
+
+
+class ExchangeBuffer:
+    """Per-node buffer of exchange messages, keyed by command id."""
+
+    def __init__(self, env: Environment, rmcast: ReliableMulticast,
+                 local_name: str):
+        self.env = env
+        self.rmcast = rmcast
+        self.local_name = local_name  # partition (or "oracle") we speak for
+        self._signals: dict[str, set[str]] = {}
+        self._vars: dict[str, dict] = {}
+        self._done: set[str] = set()
+        self._waiters: dict[str, object] = {}
+        rmcast.on_deliver(self._on_rmcast)
+
+    def send(self, groups: Iterable[str], cid: str, variables: dict,
+             done: bool = False) -> None:
+        """Signal (plus our share of the variables) to ``groups``.
+
+        ``done=True`` marks that this participant already executed the
+        command (reply-cache hit): receivers must not re-execute it, which
+        would double-apply its writes.
+        """
+        groups = list(groups)
+        if not groups:
+            return
+        self.rmcast.multicast(groups, {
+            "kind": EXCHANGE,
+            "cid": cid,
+            "from": self.local_name,
+            "vars": variables,
+            "done": done,
+        }, size=128 + 64 * len(variables))
+
+    def _on_rmcast(self, payload, message) -> None:
+        if not isinstance(payload, dict) or payload.get("kind") != EXCHANGE:
+            return
+        cid = payload["cid"]
+        sender = payload["from"]
+        signals = self._signals.setdefault(cid, set())
+        if sender in signals:
+            return  # duplicate from another replica of the same partition
+        signals.add(sender)
+        self._vars.setdefault(cid, {}).update(payload["vars"])
+        if payload.get("done"):
+            self._done.add(cid)
+        waiter = self._waiters.pop(cid, None)
+        if waiter is not None:
+            waiter.succeed(None)
+
+    def wait(self, cid: str, expected: set[str]):
+        """Generator: block until signals from all ``expected`` arrived."""
+        while not expected.issubset(self._signals.get(cid, set())):
+            if cid in self._waiters:
+                raise RuntimeError(f"two executors waiting on {cid}")
+            event = self.env.event()
+            self._waiters[cid] = event
+            yield event
+
+    def any_done(self, cid: str) -> bool:
+        """True if any participant reported it already executed ``cid``."""
+        return cid in self._done
+
+    def collect(self, cid: str) -> dict:
+        """Variables received for ``cid``; clears the buffers for it."""
+        self._signals.pop(cid, None)
+        self._done.discard(cid)
+        return self._vars.pop(cid, {})

@@ -1,0 +1,191 @@
+"""S-SMR partition server (Algorithm 1 of the paper).
+
+Each server replicates one partition. Commands arrive via atomic multicast
+and are executed sequentially. For a multi-partition command the involved
+partitions (i) reliably multicast a *signal* plus the values of the
+command's variables they hold to the other involved partitions, and
+(ii) wait for the signal (and variables) of every other involved partition
+before replying — the coordination that makes multi-partition executions
+linearizable, and the overhead that motivates dynamic repartitioning.
+
+Implementation notes:
+
+* Signals and variable values travel in one reliable-multicast message per
+  (command, partition) pair — same semantics as sending them separately,
+  half the messages.
+* Ownership is determined by *store contents* rather than the static map,
+  which lets the exact same execution path serve as DS-SMR's fallback mode
+  (where variables migrate between partitions).
+* Replies are cached per command id, giving exactly-once execution when a
+  client re-multicasts a command (DS-SMR retries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.net import Network
+from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
+                            ProtocolNode, ReliableMulticast, SequencerLog)
+from repro.sim import Channel, Environment, Interrupted
+from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.execution import ExecutionModel
+from repro.smr.replica import REPLY_KIND
+from repro.smr.state_machine import (ExecutionView, StateMachine,
+                                     VariableStore)
+from repro.ssmr.exchange import EXCHANGE, ExchangeBuffer
+
+
+class SsmrServer:
+    """One replica of one S-SMR partition."""
+
+    def __init__(self, env: Environment, network: Network,
+                 directory: GroupDirectory, partition: str, name: str,
+                 state_machine: StateMachine,
+                 execution: Optional[ExecutionModel] = None,
+                 log_factory=SequencerLog,
+                 speaker_only: bool = True):
+        self.env = env
+        self.partition = partition
+        self.directory = directory
+        self.node = ProtocolNode(env, network, name)
+        self.log = log_factory(self.node, directory, partition)
+        self.amcast = AtomicMulticast(self.node, directory, self.log,
+                                      speaker_only=speaker_only)
+        self.rmcast = ReliableMulticast(self.node, directory)
+        self.state_machine = state_machine
+        self.execution = execution or ExecutionModel()
+        self.store = VariableStore()
+        self.executed: list[str] = []       # command ids in execution order
+        self.multi_partition_count = 0
+        self._replies: dict[str, Reply] = {}
+        self.exchange = ExchangeBuffer(env, self.rmcast, partition)
+        self._deliveries = Channel(env, name=f"{name}/deliveries")
+        self.amcast.on_deliver(self._deliveries.put)
+        self._executor = env.process(self._execute_loop(),
+                                     name=f"{name}/executor")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def crash(self) -> None:
+        self.node.crash()
+        self._executor.interrupt("crash")
+
+    def load_state(self, contents: dict) -> None:
+        """Install this partition's share of the initial service state."""
+        for key, value in contents.items():
+            self.store.write(key, value)
+
+    # -- executor -------------------------------------------------------------
+
+    def _execute_loop(self):
+        try:
+            while True:
+                delivery: AmcastDelivery = yield self._deliveries.get()
+                yield from self._handle_delivery(delivery)
+        except Interrupted:
+            return
+
+    def _handle_delivery(self, delivery: AmcastDelivery):
+        envelope = delivery.payload
+        command: Command = envelope["command"]
+        dests = tuple(envelope["dests"])
+        attempt = envelope.get("attempt", 1)
+        cached = self._replies.get(command.cid)
+        if cached is not None:
+            # Already executed here (the client re-multicast after a lost
+            # race). We must still take part in the signal exchange — with
+            # the done flag, so peers skip execution instead of applying
+            # the command a second time — and then resend the cached reply,
+            # re-tagged with the current attempt so the client accepts it.
+            others = [d for d in dests if d != self.partition]
+            if command.ctype.value == "access" and others:
+                self.exchange.send(others, command.cid, {}, done=True)
+            self._send_reply(command, replace(cached, attempt=attempt))
+            return
+        handler = {
+            "access": self._exec_access,
+            "create": self._exec_create,
+            "delete": self._exec_delete,
+        }.get(command.ctype.value)
+        if handler is None:
+            raise ValueError(
+                f"{self.node.name}: unexpected command type "
+                f"{command.ctype.value!r}")
+        reply = yield from handler(command, dests)
+        if reply is not None:
+            reply.attempt = attempt
+            self._replies[command.cid] = reply
+            self.executed.append(command.cid)
+            self._send_reply(command, reply)
+
+    # -- command execution (Algorithm 1) -----------------------------------
+
+    def _exec_access(self, command: Command, dests: tuple):
+        others = [d for d in dests if d != self.partition]
+        remote_vars = {}
+        if others:
+            self.multi_partition_count += 1
+            local_vars = {key: self.store.read(key)
+                          for key in command.variables if key in self.store}
+            self.exchange.send(others, command.cid, local_vars)
+        yield self.env.timeout(self.execution.cost(command))
+        if others:
+            yield from self.exchange.wait(command.cid, set(others))
+            if self.exchange.any_done(command.cid):
+                # A peer already executed this command in a previous
+                # attempt; executing it here would double-apply its writes.
+                # That peer has resent the reply, so stay silent.
+                self.exchange.collect(command.cid)
+                return None
+            remote_vars = self.exchange.collect(command.cid)
+        missing = [key for key in command.variables
+                   if key not in self.store and key not in remote_vars]
+        if missing:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value=f"missing variables: {missing[:3]}",
+                         sender=self.node.name, partition=self.partition)
+        view = ExecutionView(self.store, remote_vars)
+        try:
+            value = self.state_machine.apply(command, view)
+        except KeyError as error:
+            # The command's declared variable set was not a superset of
+            # what it actually read (the oracle-footnote contract). All
+            # replicas fail identically (deterministic apply), so replying
+            # NOK keeps replicas consistent.
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value=f"undeclared variable access: {error}",
+                         sender=self.node.name, partition=self.partition)
+        return Reply(cid=command.cid, status=ReplyStatus.OK, value=value,
+                     sender=self.node.name, partition=self.partition)
+
+    def _exec_create(self, command: Command, dests: tuple):
+        """Static S-SMR create: the owning partition installs the variable."""
+        key = command.variables[0]
+        if key in self.store:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value="exists", sender=self.node.name,
+                         partition=self.partition)
+        self.store.create(
+            key, self.state_machine.initial_value(key, command.args))
+        yield self.env.timeout(self.execution.cost(command))
+        return Reply(cid=command.cid, status=ReplyStatus.OK, value="created",
+                     sender=self.node.name, partition=self.partition)
+
+    def _exec_delete(self, command: Command, dests: tuple):
+        key = command.variables[0]
+        if key not in self.store:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value="missing", sender=self.node.name,
+                         partition=self.partition)
+        self.store.delete(key)
+        yield self.env.timeout(self.execution.cost(command))
+        return Reply(cid=command.cid, status=ReplyStatus.OK, value="deleted",
+                     sender=self.node.name, partition=self.partition)
+
+    # -- replies --------------------------------------------------------------
+
+    def _send_reply(self, command: Command, reply: Reply) -> None:
+        if command.client:
+            self.node.send(command.client, REPLY_KIND, reply, size=128)

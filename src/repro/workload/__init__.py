@@ -1,0 +1,31 @@
+"""Workload generation: social graphs and command streams.
+
+Mirrors the paper's methodology: Holme–Kim power-law graphs with tunable
+clustering represent the social network, and *controlled edge-cut* graphs
+characterise workloads by the percentage of edges crossing an optimal
+k-way partitioning (0% = strong locality, >0% = weak locality).
+"""
+
+from repro.workload.social_graph import (
+    clustered_graph,
+    hierarchical_graph,
+    hierarchy_split,
+    holme_kim_graph,
+    planted_edge_cut,
+)
+from repro.workload.generator import (
+    MixedWorkload,
+    PostWorkload,
+    WorkloadOp,
+)
+
+__all__ = [
+    "MixedWorkload",
+    "PostWorkload",
+    "WorkloadOp",
+    "clustered_graph",
+    "hierarchical_graph",
+    "hierarchy_split",
+    "holme_kim_graph",
+    "planted_edge_cut",
+]

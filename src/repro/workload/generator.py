@@ -1,0 +1,98 @@
+"""Command stream generators for the Chirper workloads.
+
+A workload object yields :class:`WorkloadOp` records; the harness's client
+processes turn them into Chirper operations. Closed loop, as in the paper:
+"each client repeatedly issued synchronous post commands, waiting for a
+response from the storage".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.graph import Graph
+
+
+@dataclass
+class WorkloadOp:
+    """One application operation to issue."""
+
+    op: str                    # post | timeline | follow | unfollow
+    user: int
+    other: Optional[int] = None   # follow/unfollow target
+    text: str = ""
+
+
+class PostWorkload:
+    """The paper's main workload: a stream of posts by random users."""
+
+    def __init__(self, graph: Graph, seed: int = 0):
+        self.graph = graph
+        self.users = sorted(graph.vertices())
+        self.seed = seed
+
+    def stream(self, client_index: int) -> Iterator[WorkloadOp]:
+        rng = random.Random(f"{self.seed}/{client_index}")
+        counter = 0
+        while True:
+            user = rng.choice(self.users)
+            counter += 1
+            yield WorkloadOp(op="post", user=user,
+                             text=f"post {client_index}/{counter}")
+
+
+@dataclass
+class MixedWorkload:
+    """Read-heavy Chirper mix (timeline-dominated, like real social feeds).
+
+    Weights default to the read-mostly profile the paper motivates with
+    Facebook TAO: ~85% timeline reads, the rest writes.
+    """
+
+    graph: Graph
+    seed: int = 0
+    weights: dict = field(default_factory=lambda: {
+        "timeline": 0.85, "post": 0.075, "follow": 0.04, "unfollow": 0.035,
+    })
+
+    def __post_init__(self):
+        total = sum(self.weights.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {total}")
+        self.users = sorted(self.graph.vertices())
+
+    def stream(self, client_index: int) -> Iterator[WorkloadOp]:
+        rng = random.Random(f"{self.seed}/{client_index}")
+        ops = sorted(self.weights)
+        cumulative = []
+        running = 0.0
+        for op in ops:
+            running += self.weights[op]
+            cumulative.append((running, op))
+        counter = 0
+        while True:
+            draw = rng.random()
+            op = next(name for edge, name in cumulative if draw <= edge)
+            user = rng.choice(self.users)
+            counter += 1
+            if op in ("follow", "unfollow"):
+                other = rng.choice(self.users)
+                if other == user:
+                    continue
+                yield WorkloadOp(op=op, user=user, other=other)
+            elif op == "post":
+                yield WorkloadOp(op="post", user=user,
+                                 text=f"post {client_index}/{counter}")
+            else:
+                yield WorkloadOp(op="timeline", user=user)
+
+
+def round_robin_users(users: Sequence[int], count: int,
+                      seed: int = 0) -> list[int]:
+    """Deterministically pick ``count`` users, shuffled once (for seeding)."""
+    rng = random.Random(seed)
+    pool = list(users)
+    rng.shuffle(pool)
+    return [pool[i % len(pool)] for i in range(count)]

@@ -1,0 +1,207 @@
+"""End-to-end Chirper over DS-SMR: the application-level behaviours."""
+
+import pytest
+
+from repro.apps.chirper import ChirperClient, ChirperStateMachine, user_key
+from repro.apps.chirper.client import HINT_ALL
+from repro.core import DssmrClient, DssmrServer, ORACLE_GROUP, OracleReplica
+from repro.dynastar import GraphTargetPolicy
+from repro.ordering import GroupDirectory
+from repro.smr import ExecutionModel
+
+from tests.conftest import make_network
+
+
+def build_chirper(env, seed=1, dynastar=False):
+    network = make_network(env, seed=seed)
+    partitions = ("p0", "p1")
+    directory = GroupDirectory({
+        "p0": ["p0s0", "p0s1"],
+        "p1": ["p1s0", "p1s1"],
+        ORACLE_GROUP: ["or0", "or1"],
+    })
+    servers = {
+        name: DssmrServer(env, network, directory,
+                          directory.group_of(name), name,
+                          ChirperStateMachine(),
+                          execution=ExecutionModel(base_ms=0.05))
+        for name in ["p0s0", "p0s1", "p1s0", "p1s1"]}
+    policy = (lambda: GraphTargetPolicy(partitions,
+                                        repartition_interval=10)) \
+        if dynastar else (lambda: None)
+    oracles = [OracleReplica(env, network, directory, name, partitions,
+                             policy=policy(),
+                             oracle_issues_moves=dynastar)
+               for name in ("or0", "or1")]
+
+    def new_client(name, **kwargs):
+        proxy = DssmrClient(env, network, directory, name, partitions)
+        return ChirperClient(proxy, **kwargs)
+
+    return servers, oracles, new_client
+
+
+class TestChirperFlow:
+    def test_full_user_journey(self, env):
+        _servers, _oracles, new_client = build_chirper(env)
+        timelines = []
+
+        def journey(env):
+            alice = new_client("alice")
+            for user in (1, 2, 3):
+                yield from alice.create_user(user)
+            yield from alice.follow(2, 1)   # 2 and 3 follow 1
+            yield from alice.follow(3, 1)
+            yield from alice.post(1, "first!")
+            reply = yield from alice.timeline(2)
+            timelines.append(reply.value)
+            reply = yield from alice.timeline(3)
+            timelines.append(reply.value)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert len(timelines) == 2
+        for timeline in timelines:
+            assert len(timeline) == 1
+            assert timeline[0][1] == 1          # author
+            assert timeline[0][2] == "first!"
+
+    def test_post_reaches_only_followers(self, env):
+        _servers, _oracles, new_client = build_chirper(env)
+        out = []
+
+        def journey(env):
+            c = new_client("c")
+            for user in (1, 2, 3):
+                yield from c.create_user(user)
+            yield from c.follow(2, 1)
+            yield from c.post(1, "hi")
+            reply = yield from c.timeline(3)
+            out.append(reply.value)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert out == [[]]
+
+    def test_unfollow_stops_delivery(self, env):
+        _servers, _oracles, new_client = build_chirper(env)
+        out = []
+
+        def journey(env):
+            c = new_client("c")
+            for user in (1, 2):
+                yield from c.create_user(user)
+            yield from c.follow(2, 1)
+            yield from c.post(1, "one")
+            yield from c.unfollow(2, 1)
+            yield from c.post(1, "two")
+            reply = yield from c.timeline(2)
+            out.append([entry[2] for entry in reply.value])
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert out == [["one"]]
+
+    def test_timeline_is_single_partition(self, env):
+        """The Chirper design property: getTimeline never consults more
+        than one partition (here: it never triggers moves)."""
+        _servers, oracles, new_client = build_chirper(env)
+        moves = []
+
+        def journey(env):
+            c = new_client("c")
+            for user in (1, 2, 3, 4):
+                yield from c.create_user(user)
+            yield from c.follow(2, 1)
+            yield from c.post(1, "x")
+            before = oracles[0].moves_issued.total
+            for user in (1, 2, 3, 4):
+                yield from c.timeline(user)
+            moves.append(oracles[0].moves_issued.total - before)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert moves == [0]
+
+    def test_delete_user_lifecycle(self, env):
+        _servers, _oracles, new_client = build_chirper(env)
+        out = []
+
+        def journey(env):
+            c = new_client("c")
+            for user in (1, 2):
+                yield from c.create_user(user)
+            yield from c.follow(2, 1)
+            reply = yield from c.delete_user(2)
+            out.append(reply.status.value)
+            # Posting to the (stale) follower set now fails cleanly: the
+            # oracle reports the deleted variable as unknown.
+            reply = yield from c.timeline(2)
+            out.append(reply.status.value)
+            # The deleting client's own view was cleaned, so the poster's
+            # next post goes only to itself and succeeds.
+            reply = yield from c.post(1, "post-delete")
+            out.append(reply.status.value)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert out == ["ok", "nok", "ok"]
+
+    def test_ops_counters(self, env):
+        _servers, _oracles, new_client = build_chirper(env)
+        clients = []
+
+        def journey(env):
+            c = new_client("c")
+            clients.append(c)
+            yield from c.create_user(1)
+            yield from c.create_user(1)   # fails: duplicate
+            yield from c.timeline(1)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert clients[0].ops_completed == 2
+        assert clients[0].ops_failed == 1
+
+    def test_invalid_hint_mode_rejected(self, env):
+        _servers, _oracles, new_client = build_chirper(env)
+        with pytest.raises(ValueError):
+            new_client("c", hint_mode="everything")
+
+
+class TestHints:
+    def test_structural_ops_send_hints(self, env):
+        _servers, oracles, new_client = build_chirper(env, dynastar=True)
+
+        def journey(env):
+            c = new_client("c", hint_mode="structural")
+            for user in (1, 2):
+                yield from c.create_user(user)
+            yield from c.follow(2, 1)
+            yield env.timeout(100)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        workload = oracles[0].policy.workload
+        assert workload.num_edges >= 1
+        assert user_key(1) in workload.graph
+
+    def test_post_hints_deduplicated_by_degree(self, env):
+        _servers, oracles, new_client = build_chirper(env, dynastar=True)
+        hints = []
+
+        def journey(env):
+            c = new_client("c", hint_mode=HINT_ALL)
+            for user in (1, 2):
+                yield from c.create_user(user)
+            yield from c.follow(2, 1)
+            yield env.timeout(200)  # let the follow's own hint land first
+            before = oracles[0].policy.workload.hints_ingested
+            yield from c.post(1, "a")
+            yield from c.post(1, "b")   # same degree: no second post hint
+            yield env.timeout(200)
+            hints.append(oracles[0].policy.workload.hints_ingested - before)
+
+        env.process(journey(env))
+        env.run(until=30_000)
+        assert hints == [1]

@@ -1,0 +1,113 @@
+"""Unit tests for the Chirper state machine."""
+
+import pytest
+
+from repro.apps.chirper import ChirperStateMachine, TIMELINE_LIMIT, user_key
+from repro.smr import Command, VariableStore
+from repro.smr.state_machine import ExecutionView
+
+
+def make_view(*users):
+    store = VariableStore()
+    sm = ChirperStateMachine()
+    for user in users:
+        store.create(user_key(user), sm.initial_value(user_key(user), {}))
+    return sm, store, ExecutionView(store)
+
+
+def post_command(user, followers, text="hello", post_id="p1"):
+    variables = (user_key(user),) + tuple(user_key(f) for f in followers)
+    return Command(op="post", variables=variables,
+                   args={"user": user, "text": text, "post_id": post_id})
+
+
+class TestPost:
+    def test_post_lands_on_all_declared_timelines(self):
+        sm, store, view = make_view(1, 2, 3)
+        result = sm.apply(post_command(1, [2, 3]), view)
+        assert result == {"delivered": 3}
+        for user in (1, 2, 3):
+            timeline = store.read(user_key(user))["timeline"]
+            assert timeline == [("p1", 1, "hello")]
+
+    def test_post_truncated_to_140_chars(self):
+        sm, store, view = make_view(1)
+        sm.apply(post_command(1, [], text="x" * 500), view)
+        entry = store.read(user_key(1))["timeline"][0]
+        assert len(entry[2]) == 140
+
+    def test_timeline_capped(self):
+        sm, store, view = make_view(1)
+        for i in range(TIMELINE_LIMIT + 10):
+            sm.apply(post_command(1, [], post_id=f"p{i}"), view)
+        assert len(store.read(user_key(1))["timeline"]) == TIMELINE_LIMIT
+
+    def test_post_to_missing_follower_raises(self):
+        sm, _store, view = make_view(1)
+        with pytest.raises(KeyError):
+            sm.apply(post_command(1, [99]), view)
+
+
+class TestFollow:
+    def _follow(self, sm, view, a, b, op="follow"):
+        command = Command(op=op, variables=(user_key(a), user_key(b)),
+                          args={"follower": a, "followee": b})
+        return sm.apply(command, view)
+
+    def test_follow_updates_both_records(self):
+        sm, store, view = make_view(1, 2)
+        self._follow(sm, view, 1, 2)
+        assert store.read(user_key(1))["following"] == [2]
+        assert store.read(user_key(2))["followers"] == [1]
+
+    def test_follow_idempotent(self):
+        sm, store, view = make_view(1, 2)
+        self._follow(sm, view, 1, 2)
+        self._follow(sm, view, 1, 2)
+        assert store.read(user_key(2))["followers"] == [1]
+
+    def test_unfollow_reverses(self):
+        sm, store, view = make_view(1, 2)
+        self._follow(sm, view, 1, 2)
+        self._follow(sm, view, 1, 2, op="unfollow")
+        assert store.read(user_key(1))["following"] == []
+        assert store.read(user_key(2))["followers"] == []
+
+    def test_unfollow_never_followed_is_noop(self):
+        sm, store, view = make_view(1, 2)
+        self._follow(sm, view, 1, 2, op="unfollow")
+        assert store.read(user_key(2))["followers"] == []
+
+
+class TestTimeline:
+    def test_timeline_returns_newest(self):
+        sm, _store, view = make_view(1)
+        for i in range(5):
+            sm.apply(post_command(1, [], post_id=f"p{i}"), view)
+        command = Command(op="timeline", variables=(user_key(1),),
+                          args={"user": 1, "limit": 3})
+        timeline = sm.apply(command, view)
+        assert [entry[0] for entry in timeline] == ["p2", "p3", "p4"]
+
+    def test_unknown_operation_rejected(self):
+        sm, _store, view = make_view(1)
+        with pytest.raises(ValueError):
+            sm.apply(Command(op="retweet"), view)
+
+    def test_initial_value_shape(self):
+        sm = ChirperStateMachine()
+        record = sm.initial_value(user_key(9), {})
+        assert record == {"following": [], "followers": [], "timeline": []}
+
+
+class TestDeterminism:
+    def test_same_commands_same_state(self):
+        states = []
+        for _ in range(2):
+            sm, store, view = make_view(1, 2, 3)
+            sm.apply(post_command(1, [2, 3], post_id="a"), view)
+            sm.apply(Command(op="follow",
+                             variables=(user_key(2), user_key(3)),
+                             args={"follower": 2, "followee": 3}), view)
+            states.append(store.snapshot())
+        assert states[0] == states[1]

@@ -1,0 +1,73 @@
+"""Focused oracle tests: bookkeeping, prophecies, size counters."""
+
+from repro.core.prophecy import ProphecyStatus
+from repro.smr import ReplyStatus
+
+from tests.core.conftest import DssmrStack, create, delete, get, ksum, run_script
+
+
+class TestSizeAccounting:
+    def test_sizes_track_creates(self, stack):
+        run_script(stack, [create(f"k{i}") for i in range(6)])
+        oracle = stack.oracles[0]
+        assert sum(oracle.partition_sizes.values()) == 6
+        assert oracle.partition_sizes == {
+            p: sum(1 for q in oracle.location.values() if q == p)
+            for p in stack.partitions}
+
+    def test_sizes_track_deletes(self, stack):
+        run_script(stack, [create("a"), create("b"), delete("a")])
+        oracle = stack.oracles[0]
+        assert sum(oracle.partition_sizes.values()) == 1
+
+    def test_sizes_track_moves(self, stack):
+        stack.preload({"x": 1, "y": 2}, {"x": "p0", "y": "p1"})
+        run_script(stack, [ksum("x", "y")])
+        oracle = stack.oracles[0]
+        assert sum(oracle.partition_sizes.values()) == 2
+        gathered = oracle.location["x"]
+        assert oracle.partition_sizes[gathered] == 2
+
+    def test_preload_initialises_sizes(self, stack):
+        stack.preload({"x": 1, "y": 2, "z": 3},
+                      {"x": "p0", "y": "p0", "z": "p1"})
+        oracle = stack.oracles[0]
+        assert oracle.partition_sizes == {"p0": 2, "p1": 1}
+
+    def test_relocate_idempotent(self, stack):
+        oracle = stack.oracles[0]
+        oracle._relocate("v", "p0")
+        oracle._relocate("v", "p0")
+        assert oracle.partition_sizes["p0"] == 1
+
+    def test_forget_unknown_noop(self, stack):
+        oracle = stack.oracles[0]
+        oracle._forget("ghost")
+        assert sum(oracle.partition_sizes.values()) == 0
+
+
+class TestProphecies:
+    def test_unknown_variable_nok(self, stack):
+        replies = run_script(stack, [get("nope")])
+        assert replies[0].status is ReplyStatus.NOK
+        assert "unknown" in str(replies[0].value)
+
+    def test_consult_counter_increments(self, stack):
+        stack.preload({"x": 1}, {"x": "p0"})
+        run_script(stack, [get("x")])
+        assert stack.oracles[0].consults.total >= 1
+
+    def test_single_partition_prophecy_has_no_target_moves(self, stack):
+        stack.preload({"x": 1, "y": 2}, {"x": "p0", "y": "p0"})
+        run_script(stack, [ksum("x", "y")])
+        assert stack.oracles[0].moves_issued.total == 0
+
+    def test_prophecy_status_values(self):
+        assert ProphecyStatus("locations") is ProphecyStatus.LOCATIONS
+
+
+class TestBusyTracking:
+    def test_oracle_charges_cpu_for_consults(self, stack):
+        stack.preload({"x": 1}, {"x": "p0"})
+        run_script(stack, [get("x")])
+        assert stack.oracles[0].busy.total_busy() > 0

@@ -1,0 +1,69 @@
+"""Unit tests for oracle policies."""
+
+from repro.core import MajorityTargetPolicy
+from repro.core.policy import LeastLoadedCreatePolicy
+
+
+PARTS = ("p0", "p1", "p2")
+
+
+class TestLeastLoadedCreate:
+    def test_picks_smallest(self):
+        policy = MajorityTargetPolicy()
+        sizes = {"p0": 5, "p1": 2, "p2": 9}
+        assert policy.partition_for_create("new", {}, PARTS, sizes) == "p1"
+
+    def test_tie_breaks_lexicographically(self):
+        policy = MajorityTargetPolicy()
+        sizes = {"p0": 1, "p1": 1, "p2": 1}
+        assert policy.partition_for_create("new", {}, PARTS, sizes) == "p0"
+
+    def test_missing_sizes_treated_as_zero(self):
+        policy = MajorityTargetPolicy()
+        assert policy.partition_for_create("new", {}, PARTS, {}) == "p0"
+
+
+class TestMajorityTarget:
+    def test_majority_wins(self):
+        policy = MajorityTargetPolicy()
+        location = {"a": "p1", "b": "p1", "c": "p0"}
+        target = policy.target_for_access(["a", "b", "c"], location, PARTS,
+                                          {"p0": 10, "p1": 10})
+        assert target == "p1"
+
+    def test_tie_prefers_lighter_partition(self):
+        policy = MajorityTargetPolicy()
+        location = {"a": "p0", "b": "p1"}
+        target = policy.target_for_access(["a", "b"], location, PARTS,
+                                          {"p0": 100, "p1": 1})
+        assert target == "p1"
+
+    def test_tie_with_equal_load_varies_by_variable_set(self):
+        """Without a hash tie-break every tie would pick the same partition
+        and the whole state would snowball into it."""
+        policy = MajorityTargetPolicy()
+        sizes = {"p0": 0, "p1": 0}
+        targets = set()
+        for i in range(20):
+            location = {f"a{i}": "p0", f"b{i}": "p1"}
+            targets.add(policy.target_for_access([f"a{i}", f"b{i}"],
+                                                 location, PARTS, sizes))
+        assert targets == {"p0", "p1"}
+
+    def test_unknown_variables_fall_back_to_first_partition(self):
+        policy = MajorityTargetPolicy()
+        assert policy.target_for_access(["ghost"], {}, PARTS, {}) == "p0"
+
+    def test_deterministic(self):
+        policy = MajorityTargetPolicy()
+        location = {"a": "p0", "b": "p1", "c": "p2"}
+        sizes = {"p0": 3, "p1": 3, "p2": 3}
+        first = policy.target_for_access(["a", "b", "c"], location, PARTS,
+                                         sizes)
+        second = policy.target_for_access(["a", "b", "c"], location, PARTS,
+                                          sizes)
+        assert first == second
+
+    def test_hint_is_noop(self):
+        policy = MajorityTargetPolicy()
+        assert policy.on_hint(["a"], [("a", "b")], {}) == 0.0

@@ -1,0 +1,74 @@
+"""Integration tests: DS-SMR with the graph-partitioned oracle."""
+
+from repro.dynastar import GraphTargetPolicy
+from repro.smr import ReplyStatus
+
+from tests.core.conftest import DssmrStack, get, ksum, run_script, swap
+
+
+def graph_stack(env, seed=1, oracle_issues_moves=True, interval=10):
+    return DssmrStack(
+        env, seed=seed,
+        policy_factory=lambda: GraphTargetPolicy(("p0", "p1"),
+                                                 repartition_interval=interval),
+        oracle_issues_moves=oracle_issues_moves)
+
+
+class TestOracleIssuedMoves:
+    def test_multi_partition_access_with_sync_prophecy(self, env):
+        stack = graph_stack(env)
+        stack.preload({"x": 1, "y": 2}, {"x": "p0", "y": "p1"})
+        replies = run_script(stack, [swap("x", "y"), get("x"), get("y")])
+        assert [r.status for r in replies] == [ReplyStatus.OK] * 3
+        assert replies[1].value == 2
+        locations = stack.var_locations()
+        assert locations["x"] == locations["y"]
+
+    def test_moves_counted_on_oracle(self, env):
+        stack = graph_stack(env)
+        stack.preload({"x": 1, "y": 2}, {"x": "p0", "y": "p1"})
+        run_script(stack, [ksum("x", "y")])
+        assert stack.oracles[0].moves_issued.total >= 1
+
+    def test_oracle_replicas_stay_identical(self, env):
+        stack = graph_stack(env, seed=3)
+        stack.preload({"a": 1, "b": 2, "c": 3, "d": 4},
+                      {"a": "p0", "b": "p1", "c": "p0", "d": "p1"})
+        run_script(stack, [ksum("a", "b"), ksum("c", "d"), ksum("a", "d")])
+        assert stack.oracles[0].location == stack.oracles[1].location
+
+
+class TestHintsDriveRepartitioning:
+    def test_hints_trigger_deterministic_repartition(self, env):
+        stack = graph_stack(env, interval=3)
+        stack.preload({"a": 1, "b": 2}, {"a": "p0", "b": "p1"})
+        done = []
+
+        def proc(env):
+            client = stack.client()
+            for _ in range(4):
+                client.send_hint(["a", "b"], [("a", "b")])
+                yield env.timeout(5)
+            done.append(True)
+
+        stack.env.process(proc(stack.env))
+        stack.run()
+        policies = [oracle.policy for oracle in stack.oracles]
+        assert policies[0].repartition_count >= 1
+        assert policies[0].repartition_count == policies[1].repartition_count
+        assert policies[0].ideal == policies[1].ideal
+        assert stack.oracles[0].repartitions.total >= 1
+
+    def test_repartition_charges_oracle_cpu(self, env):
+        stack = graph_stack(env, interval=2)
+        stack.preload({"a": 1, "b": 2}, {"a": "p0", "b": "p1"})
+
+        def proc(env):
+            client = stack.client()
+            for _ in range(4):
+                client.send_hint(["a", "b"], [("a", "b")])
+            yield env.timeout(1)
+
+        stack.env.process(proc(stack.env))
+        stack.run()
+        assert stack.oracles[0].busy.total_busy() > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the graph-partitioned oracle policy."""
+
+import pytest
+
+from repro.dynastar import GraphTargetPolicy
+
+PARTS = ("p0", "p1")
+
+
+def feed_clusters(policy, location):
+    """Two 4-variable cliques; location scatters them across partitions."""
+    a_vars = [f"a{i}" for i in range(4)]
+    b_vars = [f"b{i}" for i in range(4)]
+    for group in (a_vars, b_vars):
+        edges = [(group[i], group[j]) for i in range(4) for j in range(i)]
+        for _ in range(policy.repartition_interval):
+            cost = policy.on_hint(group, edges, location)
+    return a_vars, b_vars, cost
+
+
+class TestRepartitioning:
+    def test_repartition_triggers_on_interval(self):
+        policy = GraphTargetPolicy(PARTS, repartition_interval=5)
+        location = {}
+        costs = [policy.on_hint(["a", "b"], [("a", "b")], location)
+                 for _ in range(5)]
+        assert costs[:4] == [0.0] * 4
+        assert costs[4] > 0.0
+        assert policy.repartition_count == 1
+
+    def test_ideal_separates_cliques(self):
+        policy = GraphTargetPolicy(PARTS, repartition_interval=4)
+        location = {f"a{i}": "p0" for i in range(4)}
+        location.update({f"b{i}": "p0" for i in range(4)})
+        a_vars, b_vars, _cost = feed_clusters(policy, location)
+        ideal_a = {policy.ideal[v] for v in a_vars}
+        ideal_b = {policy.ideal[v] for v in b_vars}
+        assert len(ideal_a) == 1 and len(ideal_b) == 1
+        assert ideal_a != ideal_b
+
+    def test_alignment_minimises_renaming(self):
+        """If the a-clique already lives on p1, the ideal part containing it
+        must be named p1."""
+        policy = GraphTargetPolicy(PARTS, repartition_interval=4)
+        location = {f"a{i}": "p1" for i in range(4)}
+        location.update({f"b{i}": "p0" for i in range(4)})
+        a_vars, b_vars, _cost = feed_clusters(policy, location)
+        assert all(policy.ideal[v] == "p1" for v in a_vars)
+        assert all(policy.ideal[v] == "p0" for v in b_vars)
+
+    def test_repartition_cost_scales_with_graph(self):
+        small = GraphTargetPolicy(PARTS, repartition_interval=1)
+        big = GraphTargetPolicy(PARTS, repartition_interval=1)
+        small_cost = small.on_hint(["a", "b"], [("a", "b")], {})
+        edges = [(f"v{i}", f"v{i+1}") for i in range(200)]
+        big_cost = big.on_hint([f"v{i}" for i in range(201)], edges, {})
+        assert big_cost > small_cost
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            GraphTargetPolicy(PARTS, repartition_interval=0)
+
+    def test_determinism_across_replicas(self):
+        """Two policy instances fed the same hint sequence produce the same
+        ideal mapping — the oracle-replica determinism requirement."""
+        outputs = []
+        for _ in range(2):
+            policy = GraphTargetPolicy(PARTS, repartition_interval=4)
+            location = {f"a{i}": "p0" for i in range(4)}
+            location.update({f"b{i}": "p1" for i in range(4)})
+            feed_clusters(policy, location)
+            outputs.append(dict(policy.ideal))
+        assert outputs[0] == outputs[1]
+
+
+class TestTargetSelection:
+    def _policy_with_ideal(self):
+        policy = GraphTargetPolicy(PARTS, repartition_interval=4)
+        location = {f"a{i}": "p0" for i in range(4)}
+        location.update({f"b{i}": "p1" for i in range(4)})
+        feed_clusters(policy, location)
+        return policy, location
+
+    def test_target_follows_ideal_majority(self):
+        policy, location = self._policy_with_ideal()
+        # A command touching three a-vars and one b-var gathers at the
+        # a-clique's ideal home.
+        variables = ["a0", "a1", "a2", "b0"]
+        target = policy.target_for_access(variables, location, PARTS,
+                                          {"p0": 4, "p1": 4})
+        assert target == policy.ideal["a0"]
+
+    def test_fallback_to_location_majority_without_ideal(self):
+        policy = GraphTargetPolicy(PARTS)
+        location = {"x": "p1", "y": "p1", "z": "p0"}
+        target = policy.target_for_access(["x", "y", "z"], location, PARTS,
+                                          {})
+        assert target == "p1"
+
+    def test_create_prefers_ideal_home(self):
+        policy, location = self._policy_with_ideal()
+        home = policy.ideal["a0"]
+        assert policy.partition_for_create("a0", location, PARTS,
+                                           {"p0": 0, "p1": 100}) == home
+
+    def test_create_without_ideal_least_loaded(self):
+        policy = GraphTargetPolicy(PARTS)
+        assert policy.partition_for_create("new", {}, PARTS,
+                                           {"p0": 9, "p1": 2}) == "p1"
+
+    def test_on_delete_cleans_up(self):
+        policy, _location = self._policy_with_ideal()
+        policy.on_delete("a0")
+        assert "a0" not in policy.ideal
+        assert "a0" not in policy.workload.graph

@@ -1,0 +1,36 @@
+"""Unit tests for the oracle's workload graph."""
+
+from repro.dynastar import WorkloadGraph
+
+
+class TestWorkloadGraph:
+    def test_hint_adds_vertices_and_edges(self):
+        wg = WorkloadGraph()
+        wg.add_hint(["a", "b", "c"], [("a", "b"), ("a", "c")])
+        assert wg.num_vertices == 3
+        assert wg.num_edges == 2
+        assert wg.hints_ingested == 1
+
+    def test_repeated_edges_accumulate_weight(self):
+        wg = WorkloadGraph()
+        wg.add_hint(["a", "b"], [("a", "b")])
+        wg.add_hint(["a", "b"], [("a", "b")])
+        assert wg.num_edges == 1
+        assert wg.graph.neighbours("a")["b"] == 2
+
+    def test_vertices_without_edges_kept(self):
+        wg = WorkloadGraph()
+        wg.add_hint(["solo"], [])
+        assert "solo" in wg.graph
+
+    def test_remove_variable(self):
+        wg = WorkloadGraph()
+        wg.add_hint(["a", "b"], [("a", "b")])
+        wg.remove_variable("a")
+        assert wg.num_vertices == 1
+        assert wg.num_edges == 0
+
+    def test_remove_unknown_is_noop(self):
+        wg = WorkloadGraph()
+        wg.remove_variable("ghost")
+        assert wg.num_vertices == 0

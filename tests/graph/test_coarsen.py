@@ -1,0 +1,74 @@
+"""Unit tests for heavy-edge matching and contraction."""
+
+from repro.graph import Graph
+from repro.graph.coarsen import coarsen, contract, heavy_edge_matching
+
+
+def path_graph(n):
+    return Graph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        graph = path_graph(10)
+        match = heavy_edge_matching(graph)
+        for u, v in match.items():
+            assert match[v] == u
+
+    def test_matching_covers_all_vertices(self):
+        graph = path_graph(7)
+        match = heavy_edge_matching(graph)
+        assert set(match) == set(graph.vertices())
+
+    def test_prefers_heavy_edges(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("a", "c", 10)
+        match = heavy_edge_matching(graph)
+        assert match["a"] == "c"
+
+    def test_isolated_vertex_matches_itself(self):
+        graph = Graph()
+        graph.add_vertex("lonely")
+        match = heavy_edge_matching(graph)
+        assert match["lonely"] == "lonely"
+
+
+class TestContraction:
+    def test_contract_halves_path(self):
+        graph = path_graph(8)
+        level = contract(graph, heavy_edge_matching(graph))
+        assert level.graph.num_vertices == 4
+        # Weight is conserved.
+        assert level.graph.total_vertex_weight == 8
+
+    def test_parent_maps_every_fine_vertex(self):
+        graph = path_graph(9)
+        level = contract(graph, heavy_edge_matching(graph))
+        assert set(level.parent) == set(graph.vertices())
+
+    def test_internal_edges_disappear_cut_edges_merge(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 4)  # will match (heavy)
+        graph.add_edge("c", "d", 4)
+        graph.add_edge("b", "c", 1)  # becomes the coarse edge
+        level = contract(graph, heavy_edge_matching(graph))
+        assert level.graph.num_vertices == 2
+        assert level.graph.total_edge_weight == 1
+
+
+class TestCoarsen:
+    def test_reaches_target_size(self):
+        graph = path_graph(200)
+        levels = coarsen(graph, target_size=30)
+        assert levels
+        assert levels[-1].graph.num_vertices <= 60  # halving granularity
+
+    def test_no_levels_for_small_graph(self):
+        graph = path_graph(5)
+        assert coarsen(graph, target_size=10) == []
+
+    def test_weight_conserved_through_hierarchy(self):
+        graph = path_graph(64)
+        for level in coarsen(graph, target_size=8):
+            assert level.graph.total_vertex_weight == 64

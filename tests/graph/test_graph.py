@@ -1,0 +1,83 @@
+"""Unit tests for the graph data structure."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_add_vertex_idempotent(self):
+        graph = Graph()
+        graph.add_vertex("a")
+        graph.add_vertex("a", weight=5)
+        assert graph.num_vertices == 1
+        assert graph.vertex_weight("a") == 5
+
+    def test_add_edge_creates_vertices(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assert set(graph.vertices()) == {"a", "b"}
+        assert graph.num_edges == 1
+
+    def test_edge_weight_accumulates(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 2)
+        graph.add_edge("a", "b", 3)
+        assert graph.neighbours("a")["b"] == 5
+        assert graph.num_edges == 1
+        assert graph.total_edge_weight == 5
+
+    def test_self_loops_ignored(self):
+        graph = Graph()
+        graph.add_edge("a", "a")
+        assert graph.num_edges == 0
+        assert "a" in graph
+
+    def test_from_edges(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_remove_vertex(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        graph.remove_vertex(2)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 0
+        assert graph.total_edge_weight == 0
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+
+class TestQueries:
+    def test_edges_each_once(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        normalized = {frozenset((u, v)) for u, v, _w in edges}
+        assert normalized == {frozenset((1, 2)), frozenset((2, 3)),
+                              frozenset((1, 3))}
+
+    def test_degree(self):
+        graph = Graph.from_edges([(1, 2), (1, 3)])
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+
+    def test_sorted_vertices_deterministic(self):
+        graph = Graph.from_edges([(3, 1), (2, 1)])
+        assert graph.sorted_vertices() == graph.sorted_vertices()
+
+    def test_total_vertex_weight(self):
+        graph = Graph()
+        graph.add_vertex("a", 2)
+        graph.add_vertex("b", 3)
+        assert graph.total_vertex_weight == 5
+
+    def test_missing_vertex_raises(self):
+        graph = Graph()
+        with pytest.raises(KeyError):
+            graph.neighbours("ghost")

@@ -1,0 +1,143 @@
+"""Unit + property tests for the multilevel partitioner and baselines."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph import (Graph, HashPartitioner, MultilevelPartitioner,
+                         RandomPartitioner, RoundRobinPartitioner,
+                         edge_cut_fraction, imbalance, moved_vertices,
+                         validate_assignment)
+from repro.graph.refine import cut_weight, refine
+from repro.workload import clustered_graph, holme_kim_graph
+
+
+class TestMultilevel:
+    def test_finds_planted_communities(self):
+        graph, planted = clustered_graph(n=240, k=4, intra_degree=6,
+                                         edge_cut_fraction=0.0, seed=1)
+        assignment = MultilevelPartitioner().partition(graph, 4)
+        validate_assignment(graph, assignment, 4)
+        # A handful of residual cut edges is acceptable multilevel quality;
+        # hash partitioning of the same graph cuts ~75% of the edges.
+        assert edge_cut_fraction(graph, assignment) < 0.05
+        assert imbalance(graph, assignment, 4) < 0.25
+
+    def test_beats_hash_on_powerlaw(self):
+        graph = holme_kim_graph(800, m=3, triad_probability=0.7, seed=2)
+        smart = MultilevelPartitioner().partition(graph, 4)
+        naive = HashPartitioner().partition(graph, 4)
+        assert edge_cut_fraction(graph, smart) < \
+            edge_cut_fraction(graph, naive) / 2
+
+    def test_deterministic(self):
+        graph = holme_kim_graph(300, m=3, triad_probability=0.6, seed=3)
+        p = MultilevelPartitioner()
+        assert p.partition(graph, 4) == p.partition(graph, 4)
+
+    def test_k_equals_one(self):
+        graph = holme_kim_graph(50, m=2, triad_probability=0.5, seed=4)
+        assignment = MultilevelPartitioner().partition(graph, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_empty_graph(self):
+        assert MultilevelPartitioner().partition(Graph(), 4) == {}
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner().partition(Graph(), 0)
+
+    def test_every_vertex_assigned(self):
+        graph = holme_kim_graph(150, m=2, triad_probability=0.4, seed=5)
+        assignment = MultilevelPartitioner().partition(graph, 3)
+        validate_assignment(graph, assignment, 3)
+
+    def test_disconnected_components_handled(self):
+        graph = Graph.from_edges([(0, 1), (2, 3), (4, 5), (6, 7)])
+        assignment = MultilevelPartitioner().partition(graph, 2)
+        validate_assignment(graph, assignment, 2)
+
+
+class TestRefinement:
+    def test_refine_never_worsens_cut(self):
+        graph = holme_kim_graph(200, m=3, triad_probability=0.6, seed=6)
+        assignment = RandomPartitioner(seed=1).partition(graph, 4)
+        before = cut_weight(graph, assignment)
+        after = refine(graph, assignment, 4)
+        assert after <= before
+
+    def test_refine_fixes_obvious_misplacement(self):
+        # Two triangles joined by one edge; one vertex starts misplaced.
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2),
+                                  (3, 4), (4, 5), (3, 5), (2, 3)])
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1, 4: 1, 5: 1}
+        refine(graph, assignment, 2, imbalance_tolerance=0.5)
+        assert assignment[2] == 0
+        assert cut_weight(graph, assignment) == 1
+
+
+class TestBaselines:
+    def test_round_robin_perfectly_balanced(self):
+        graph = holme_kim_graph(100, m=2, triad_probability=0.5, seed=7)
+        assignment = RoundRobinPartitioner().partition(graph, 4)
+        assert imbalance(graph, assignment, 4) == 0.0
+
+    def test_hash_is_stable(self):
+        graph = Graph.from_edges([(i, i + 1) for i in range(50)])
+        a = HashPartitioner().partition(graph, 4)
+        b = HashPartitioner().partition(graph, 4)
+        assert a == b
+
+    def test_random_is_seed_stable(self):
+        graph = Graph.from_edges([(i, i + 1) for i in range(50)])
+        assert RandomPartitioner(3).partition(graph, 4) == \
+            RandomPartitioner(3).partition(graph, 4)
+
+
+class TestQualityMetrics:
+    def test_moved_vertices(self):
+        old = {"a": 0, "b": 1, "c": 0}
+        new = {"a": 1, "b": 1, "d": 0}
+        assert moved_vertices(old, new) == 1
+
+    def test_validate_rejects_missing(self):
+        graph = Graph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            validate_assignment(graph, {1: 0}, 2)
+
+    def test_validate_rejects_out_of_range(self):
+        graph = Graph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            validate_assignment(graph, {1: 0, 2: 5}, 2)
+
+    def test_edge_cut_zero_for_single_part(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        assert edge_cut_fraction(graph, {1: 0, 2: 0, 3: 0}) == 0.0
+
+
+graphs = st.integers(min_value=0, max_value=10_000).map(
+    lambda seed: holme_kim_graph(
+        60 + seed % 80, m=2, triad_probability=(seed % 10) / 10,
+        seed=seed))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graphs, k=st.integers(min_value=1, max_value=6))
+def test_partition_properties(graph, k):
+    """Invariants on arbitrary graphs: total assignment, range, balance."""
+    assignment = MultilevelPartitioner().partition(graph, k)
+    validate_assignment(graph, assignment, k)
+    # Balance within tolerance + one max-weight vertex granularity slack.
+    assert imbalance(graph, assignment, k) < 0.05 + k * 2 / max(
+        1, graph.num_vertices) + 1.0 * (k > graph.num_vertices)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graphs, k=st.integers(min_value=2, max_value=4),
+       seed=st.integers(min_value=0, max_value=100))
+def test_refine_monotone_property(graph, k, seed):
+    assignment = RandomPartitioner(seed=seed).partition(graph, k)
+    before = cut_weight(graph, assignment)
+    after = refine(graph, assignment, k)
+    assert after <= before

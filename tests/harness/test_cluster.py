@@ -1,0 +1,71 @@
+"""Tests for the cluster builder."""
+
+import pytest
+
+from repro.harness import ClusterConfig, build_cluster
+from repro.smr import Command, ReplyStatus
+
+
+class TestConfig:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(scheme="raft")
+
+    def test_smr_forces_single_partition(self):
+        config = ClusterConfig(scheme="smr", num_partitions=4)
+        assert config.num_partitions == 1
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_partitions=0)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("scheme,has_oracle", [
+        ("smr", False), ("ssmr", False), ("dssmr", True),
+        ("dynastar", True)])
+    def test_scheme_topology(self, scheme, has_oracle):
+        cluster = build_cluster(scheme=scheme, num_partitions=2,
+                                replicas_per_partition=2, seed=1)
+        expected_groups = 2 if not has_oracle else 3
+        if scheme == "smr":
+            expected_groups = 1
+        assert len(cluster.directory) == expected_groups
+        assert (cluster.oracle is not None) == has_oracle
+
+    def test_preload_places_by_assignment(self):
+        cluster = build_cluster(scheme="dssmr", num_partitions=2, seed=1,
+                                initial_assignment={"a": 0, "b": 1})
+        cluster.preload({"a": 1, "b": 2})
+        assert "a" in cluster.servers["p0s0"].store
+        assert "b" in cluster.servers["p1s0"].store
+        assert cluster.oracle.location == {"a": "p0", "b": "p1"}
+
+    def test_end_to_end_command(self):
+        cluster = build_cluster(scheme="dssmr", num_partitions=2, seed=1,
+                                initial_assignment={"a": 0})
+        cluster.preload({"a": 41})
+        client = cluster.new_client()
+        replies = []
+
+        def proc(env):
+            reply = yield from client.run_command(
+                Command(op="incr", args={"key": "a"}, variables=("a",)))
+            replies.append(reply)
+
+        cluster.env.process(proc(cluster.env))
+        cluster.run(until=10_000)
+        assert replies[0].status is ReplyStatus.OK
+        assert replies[0].value == 42
+        assert cluster.latency.count == 1
+
+    def test_metrics_accessors_static_scheme(self):
+        cluster = build_cluster(scheme="ssmr", num_partitions=2, seed=1)
+        assert cluster.moves_total() == 0
+        assert cluster.moves_series() is None
+        assert cluster.total_retries() == 0
+
+    def test_client_names_unique(self):
+        cluster = build_cluster(scheme="dssmr", num_partitions=2, seed=1)
+        names = {cluster.new_client().name for _ in range(5)}
+        assert len(names) == 5

@@ -1,0 +1,87 @@
+"""Tests for the Chirper experiment driver (small, fast configurations)."""
+
+import pytest
+
+from repro.harness.experiment import (ChirperDeployment,
+                                      run_chirper_experiment,
+                                      static_assignment_for)
+from repro.harness.cluster import ClusterConfig
+from repro.smr import ExecutionModel
+from repro.workload import clustered_graph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return clustered_graph(n=60, k=2, intra_degree=4,
+                           edge_cut_fraction=0.0, seed=1)
+
+
+FAST = dict(clients_per_partition=2, duration_ms=600.0, warmup_ms=100.0,
+            grace_ms=400.0, execution=ExecutionModel(base_ms=0.05))
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("scheme", ["smr", "ssmr", "dssmr", "dynastar"])
+    def test_all_schemes_complete_commands(self, small_graph, scheme):
+        graph, planted = small_graph
+        kwargs = dict(FAST)
+        if scheme == "ssmr":
+            kwargs["initial_assignment"] = static_assignment_for(graph, 2,
+                                                                 planted)
+        result = run_chirper_experiment(scheme, graph, num_partitions=2,
+                                        seed=3, **kwargs)
+        assert result.metrics.completed > 0
+        assert result.metrics.throughput > 0
+        assert len(result.throughput) > 0
+
+    def test_series_share_duration(self, small_graph):
+        graph, _planted = small_graph
+        result = run_chirper_experiment("dssmr", graph, num_partitions=2,
+                                        seed=3, bucket_ms=200.0, **FAST)
+        assert result.throughput.times[-1] == pytest.approx(600.0)
+        assert result.moves.times == result.throughput.times
+
+    def test_oracle_load_present_for_dynamic(self, small_graph):
+        graph, _planted = small_graph
+        result = run_chirper_experiment("dssmr", graph, num_partitions=2,
+                                        seed=3, **FAST)
+        assert result.oracle_load is not None
+
+    def test_static_assignment_uses_planted(self, small_graph):
+        graph, planted = small_graph
+        assignment = static_assignment_for(graph, 2, planted)
+        assert set(assignment.values()) == {0, 1}
+        assert len(assignment) == graph.num_vertices
+
+    def test_static_assignment_computed_when_not_planted(self, small_graph):
+        graph, _planted = small_graph
+        assignment = static_assignment_for(graph, 2)
+        assert len(assignment) == graph.num_vertices
+
+
+class TestDeployment:
+    def test_state_loaded_with_social_relations(self, small_graph):
+        graph, _planted = small_graph
+        config = ClusterConfig(scheme="dssmr", num_partitions=2, seed=1)
+        deployment = ChirperDeployment(graph, config)
+        total_users = sum(
+            len(deployment.cluster.servers[f"p{i}s0"].store)
+            for i in range(2))
+        assert total_users == graph.num_vertices
+
+    def test_social_view_matches_graph(self, small_graph):
+        graph, _planted = small_graph
+        config = ClusterConfig(scheme="dssmr", num_partitions=2, seed=1)
+        deployment = ChirperDeployment(graph, config)
+        some_user = next(iter(graph.vertices()))
+        assert deployment.social_view[some_user] == \
+            set(graph.neighbours(some_user))
+
+    def test_hint_mode_defaults(self, small_graph):
+        graph, _planted = small_graph
+        dynamic = ChirperDeployment(
+            graph, ClusterConfig(scheme="dynastar", num_partitions=2))
+        plain = ChirperDeployment(
+            graph, ClusterConfig(scheme="dssmr", num_partitions=2))
+        assert dynamic.hint_mode == "all"
+        assert plain.hint_mode == "none"

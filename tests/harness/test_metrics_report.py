@@ -1,0 +1,102 @@
+"""Tests for metrics aggregation and text reporting."""
+
+import math
+
+from repro.harness import format_series, format_table
+from repro.harness.metrics import summarize
+from repro.harness.report import format_sparkline
+from repro.sim import TimeSeries
+
+
+class FakeCluster:
+    """Just enough surface for summarize()."""
+
+    class _Config:
+        scheme = "dssmr"
+        num_partitions = 2
+
+    config = _Config()
+    oracle = None
+
+    def __init__(self, samples):
+        from repro.sim import LatencyRecorder
+        self.latency = LatencyRecorder("fake")
+        for t, latency in samples:
+            self.latency.record(t, latency)
+        self.clients = []
+
+    def moves_total(self):
+        return 7
+
+    def total_retries(self):
+        return 3
+
+    def total_consults(self):
+        return 11
+
+    def total_cache_hits(self):
+        return 5
+
+    def total_fallbacks(self):
+        return 1
+
+
+class TestSummarize:
+    def test_basic_numbers(self):
+        cluster = FakeCluster([(100, 1.0), (200, 2.0), (1200, 3.0)])
+        metrics = summarize(cluster, duration_ms=2000)
+        assert metrics.completed == 3
+        assert metrics.throughput == 1.5  # 3 ops over 2 seconds
+        assert metrics.latency_mean_ms == 2.0
+        assert metrics.moves == 7
+
+    def test_warmup_excluded(self):
+        cluster = FakeCluster([(100, 10.0), (1500, 2.0)])
+        metrics = summarize(cluster, duration_ms=2000, warmup_ms=1000)
+        assert metrics.completed == 1
+        assert metrics.latency_mean_ms == 2.0
+
+    def test_empty_run_is_nan_not_crash(self):
+        cluster = FakeCluster([])
+        metrics = summarize(cluster, duration_ms=1000)
+        assert metrics.completed == 0
+        assert math.isnan(metrics.latency_mean_ms)
+
+    def test_row_matches_headers(self):
+        cluster = FakeCluster([(10, 1.0)])
+        metrics = summarize(cluster, duration_ms=1000)
+        assert len(metrics.row()) == len(metrics.ROW_HEADERS)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1], ["long-name", 22.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_format_series(self):
+        series = TimeSeries("tput")
+        series.record(1000, 5.0)
+        text = format_series(series, label="throughput")
+        assert "throughput" in text
+        assert "1000" in text
+
+    def test_sparkline_monotone_shape(self):
+        series = TimeSeries()
+        for i, v in enumerate([0, 1, 2, 3, 4, 5, 6, 7]):
+            series.record(float(i), v)
+        line = format_sparkline(series)
+        assert line == "".join(sorted(line))  # non-decreasing blocks
+
+    def test_sparkline_empty(self):
+        assert format_sparkline(TimeSeries()) == "(empty)"
+
+    def test_sparkline_downsamples(self):
+        series = TimeSeries()
+        for i in range(500):
+            series.record(float(i), i % 10)
+        assert len(format_sparkline(series, width=40)) == 40

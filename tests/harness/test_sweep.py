@@ -1,0 +1,82 @@
+"""Tests for the parameter-sweep utility."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.sweep import SweepResult, sweep
+
+
+@dataclass
+class FakeMetrics:
+    throughput: float
+    latency: float
+    extra: dict = None
+
+
+def fake_run(a, b, scale=1):
+    return FakeMetrics(throughput=float(a * b * scale),
+                       latency=1.0 / (a * b))
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        result = sweep(fake_run, {"a": [1, 2], "b": [3, 4]})
+        assert len(result.rows) == 4
+        assert {(r["a"], r["b"]) for r in result.rows} == \
+            {(1, 3), (1, 4), (2, 3), (2, 4)}
+
+    def test_results_flattened(self):
+        result = sweep(fake_run, {"a": [2], "b": [5]})
+        row = result.rows[0]
+        assert row["throughput"] == 10.0
+        assert "extra" not in row  # non-scalar fields skipped
+
+    def test_fixed_parameters(self):
+        result = sweep(fake_run, {"a": [1], "b": [1]},
+                       fixed={"scale": 10})
+        assert result.rows[0]["throughput"] == 10.0
+
+    def test_mapping_results_accepted(self):
+        result = sweep(lambda x: {"y": x * 2, "junk": [1]}, {"x": [3]})
+        assert result.rows[0] == {"x": 3, "y": 6}
+
+    def test_invalid_result_type_rejected(self):
+        with pytest.raises(TypeError):
+            sweep(lambda x: 42, {"x": [1]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(fake_run, {})
+
+    def test_on_row_callback(self):
+        seen = []
+        sweep(fake_run, {"a": [1, 2], "b": [1]}, on_row=seen.append)
+        assert len(seen) == 2
+
+    def test_best(self):
+        result = sweep(fake_run, {"a": [1, 2, 3], "b": [2]})
+        assert result.best("throughput")["a"] == 3
+        assert result.best("latency", maximize=False)["a"] == 3
+
+    def test_to_table_and_columns(self):
+        result = sweep(fake_run, {"a": [1], "b": [2]})
+        table = result.to_table()
+        assert "throughput" in table
+        assert result.columns()[:2] == ["a", "b"]
+
+    def test_to_csv(self, tmp_path):
+        result = sweep(fake_run, {"a": [1, 2], "b": [3]})
+        path = tmp_path / "sweep.csv"
+        result.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a,b,")
+
+    def test_column_accessor(self):
+        result = sweep(fake_run, {"a": [1, 2], "b": [1]})
+        assert result.column("a") == [1, 2]
+
+    def test_best_on_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepResult(param_names=["a"]).best("x")

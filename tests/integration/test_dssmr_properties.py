@@ -1,0 +1,84 @@
+"""Property-based end-to-end testing of DS-SMR.
+
+Hypothesis generates random command schedules (operation kinds, keys,
+client interleavings, network seeds); every generated execution must be
+linearizable and must conserve the variable set (no variable lost or
+duplicated by moves).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.checkers import History, KvSequentialSpec, check_linearizable
+from repro.sim import Environment
+from repro.smr import Command, ReplyStatus
+
+from tests.core.conftest import DssmrStack
+
+KEYS = ("a", "b", "c")
+INITIAL = {key: 0 for key in KEYS}
+ASSIGNMENT = {"a": "p0", "b": "p1", "c": "p0"}
+
+operation = st.one_of(
+    st.tuples(st.just("get"), st.sampled_from(KEYS)),
+    st.tuples(st.just("incr"), st.sampled_from(KEYS)),
+    st.tuples(st.just("swap"), st.sampled_from(KEYS),
+              st.sampled_from(KEYS)),
+    st.tuples(st.just("sum"), st.sampled_from(KEYS),
+              st.sampled_from(KEYS)),
+)
+
+client_plan = st.lists(operation, min_size=1, max_size=5)
+
+
+def to_command(op) -> Command:
+    if op[0] == "get":
+        return Command(op="get", args={"key": op[1]}, variables=(op[1],))
+    if op[0] == "incr":
+        return Command(op="incr", args={"key": op[1]}, variables=(op[1],))
+    if op[0] == "swap":
+        a, b = op[1], op[2]
+        if a == b:
+            return Command(op="get", args={"key": a}, variables=(a,))
+        return Command(op="swap", args={"a": a, "b": b},
+                       variables=(a, b))
+    keys = sorted(set(op[1:]))
+    return Command(op="sum", args={"keys": keys}, variables=tuple(keys))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(plans=st.lists(client_plan, min_size=1, max_size=3),
+       seed=st.integers(min_value=0, max_value=10_000),
+       max_retries=st.integers(min_value=0, max_value=3))
+def test_random_dssmr_schedules_are_linearizable(plans, seed, max_retries):
+    env = Environment()
+    stack = DssmrStack(env, seed=seed, max_retries=max_retries)
+    stack.preload(dict(INITIAL), dict(ASSIGNMENT))
+    history = History()
+
+    def client_proc(plan):
+        client = stack.client()
+        for op in plan:
+            command = to_command(op)
+            invoked = env.now
+            reply = yield from client.run_command(command)
+            result = reply.value if reply.status is not ReplyStatus.NOK \
+                else str(reply.value)
+            history.record(client.name, command.op, command.args, result,
+                           invoked, env.now)
+
+    for plan in plans:
+        env.process(client_proc(plan))
+    stack.run(until=300_000)
+
+    # Every command completed.
+    assert len(history) == sum(len(plan) for plan in plans)
+    # Variable conservation: nothing lost, nothing duplicated.
+    locations = stack.var_locations()
+    assert sorted(locations) == sorted(KEYS)
+    assert stack.stores_consistent()
+    # Oracle agrees with reality.
+    assert stack.oracles[0].location == locations
+    # And the history is linearizable.
+    assert check_linearizable(history, KvSequentialSpec(INITIAL))

@@ -1,0 +1,35 @@
+"""Tests for per-kind network traffic accounting."""
+
+from repro.net import FixedLatency, Network
+from repro.sim import SeedStream
+
+
+class TestPerKindAccounting:
+    def test_counts_and_bytes_by_kind(self, env):
+        net = Network(env, SeedStream(0), FixedLatency(0.1))
+        net.register("b")
+        net.send("a", "b", "ping", size=100)
+        net.send("a", "b", "ping", size=150)
+        net.send("a", "b", "data", size=1000)
+        env.run()
+        assert net.sent_by_kind == {"ping": 2, "data": 1}
+        assert net.bytes_by_kind == {"ping": 250, "data": 1000}
+
+    def test_dropped_messages_still_counted_as_sent(self, env):
+        """Accounting measures offered load, not delivered load."""
+        net = Network(env, SeedStream(0), FixedLatency(0.1))
+        net.register("b")
+        net.add_drop_rule(lambda m: True)
+        net.send("a", "b", "lost", size=64)
+        env.run()
+        assert net.sent_by_kind["lost"] == 1
+        assert net.messages_delivered == 0
+
+    def test_totals_match_sum_of_kinds(self, env):
+        net = Network(env, SeedStream(0), FixedLatency(0.1))
+        net.register("b")
+        for kind, size in [("a", 10), ("b", 20), ("a", 30)]:
+            net.send("x", "b", kind, size=size)
+        env.run()
+        assert sum(net.sent_by_kind.values()) == net.messages_sent
+        assert sum(net.bytes_by_kind.values()) == net.bytes_sent

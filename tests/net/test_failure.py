@@ -1,0 +1,108 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.net import FailureInjector, FixedLatency, Network
+from repro.sim import SeedStream
+
+
+def make(env):
+    net = Network(env, SeedStream(0), FixedLatency(0.1))
+    injector = FailureInjector(env, net, SeedStream(1))
+    return net, injector
+
+
+class TestCrashSchedule:
+    def test_crash_at(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.crash_at(5.0, "a")
+
+        def sender(env):
+            net.send("a", "b", "k")   # t=0: delivered
+            yield env.timeout(10)
+            net.send("a", "b", "k")   # t=10: sender crashed
+
+        env.process(sender(env))
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_recover_at(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.crash_at(0.0, "a")
+        injector.recover_at(5.0, "a")
+
+        def sender(env):
+            yield env.timeout(10)
+            net.send("a", "b", "k")
+
+        env.process(sender(env))
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_past_schedule_rejected(self, env):
+        _net, injector = make(env)
+        env.timeout(5)
+        env.run()
+        with pytest.raises(ValueError):
+            injector.crash_at(1.0, "a")
+
+
+class TestDropFraction:
+    def test_zero_drops_nothing(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.drop_fraction(0.0)
+        for _ in range(20):
+            net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 20
+
+    def test_one_drops_everything(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.drop_fraction(1.0)
+        for _ in range(20):
+            net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 0
+
+    def test_kind_filter(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.drop_fraction(1.0, kinds=["lossy"])
+        net.send("a", "b", "lossy")
+        net.send("a", "b", "safe")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_out_of_range_rejected(self, env):
+        _net, injector = make(env)
+        with pytest.raises(ValueError):
+            injector.drop_fraction(1.5)
+
+
+class TestPartition:
+    def test_partition_window(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.partition_between(2.0, 4.0, ["a"], ["b"])
+        times = []
+
+        def sender(env):
+            for t in (1.0, 3.0, 5.0):
+                yield env.timeout(t - env.now)
+                message = net.send("a", "b", "k", payload=t)
+                times.append((t, message is not None))
+
+        env.process(sender(env))
+        env.run()
+        # t=3 falls inside the partition window.
+        payloads = [m.payload for m in net.endpoint("b").inbox._items]
+        assert payloads == [1.0, 5.0]
+
+    def test_empty_window_rejected(self, env):
+        _net, injector = make(env)
+        with pytest.raises(ValueError):
+            injector.partition_between(4.0, 4.0, ["a"], ["b"])

@@ -1,0 +1,107 @@
+"""Unit tests for the network transport."""
+
+from repro.net import FixedLatency, Network
+from repro.sim import SeedStream
+
+
+def make_net(env, delay=0.5):
+    return Network(env, SeedStream(0), FixedLatency(delay))
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, env):
+        net = make_net(env, delay=0.5)
+        net.register("a")
+        b = net.register("b")
+        received = []
+
+        def consumer(env):
+            message = yield b.receive()
+            received.append((env.now, message.kind, message.payload))
+
+        env.process(consumer(env))
+        net.send("a", "b", "ping", {"x": 1}, size=64)
+        env.run()
+        assert received == [(0.5, "ping", {"x": 1})]
+
+    def test_unknown_destination_registered_on_the_fly(self, env):
+        net = make_net(env)
+        net.send("a", "late", "hello")
+        env.run()
+        late = net.register("late")
+        assert len(late.inbox) == 1
+
+    def test_send_all_dedupes_destinations(self, env):
+        net = make_net(env)
+        net.register("b")
+        net.register("c")
+        net.send_all("a", ["b", "c", "b"], "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+        assert len(net.endpoint("c").inbox) == 1
+
+    def test_counters(self, env):
+        net = make_net(env)
+        net.register("b")
+        net.send("a", "b", "k", size=100)
+        net.send("a", "b", "k", size=200)
+        env.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        assert net.bytes_sent == 300
+
+
+class TestCrash:
+    def test_crashed_sender_sends_nothing(self, env):
+        net = make_net(env)
+        net.register("b")
+        net.crash("a")
+        assert net.send("a", "b", "k") is None
+        env.run()
+        assert len(net.endpoint("b").inbox) == 0
+
+    def test_crashed_receiver_drops_in_flight(self, env):
+        net = make_net(env, delay=1.0)
+        net.register("b")
+        net.send("a", "b", "k")
+        net.crash("b")  # crash before delivery time
+        env.run()
+        assert len(net.endpoint("b").inbox) == 0
+
+    def test_recover(self, env):
+        net = make_net(env)
+        net.register("b")
+        net.crash("b")
+        net.recover("b")
+        net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_is_crashed(self, env):
+        net = make_net(env)
+        net.crash("x")
+        assert net.is_crashed("x")
+        net.recover("x")
+        assert not net.is_crashed("x")
+
+
+class TestDropRules:
+    def test_drop_rule_filters(self, env):
+        net = make_net(env)
+        net.register("b")
+        net.add_drop_rule(lambda m: m.kind == "bad")
+        net.send("a", "b", "bad")
+        net.send("a", "b", "good")
+        env.run()
+        inbox = net.endpoint("b").inbox
+        assert len(inbox) == 1
+
+    def test_drop_rule_remover(self, env):
+        net = make_net(env)
+        net.register("b")
+        remove = net.add_drop_rule(lambda m: True)
+        net.send("a", "b", "k")
+        remove()
+        net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1

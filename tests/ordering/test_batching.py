@@ -1,0 +1,83 @@
+"""Tests for sequencer-log batching."""
+
+import pytest
+
+from repro.ordering import GroupDirectory, ProtocolNode, SequencerLog
+
+from tests.conftest import make_network
+
+
+def build(env, batch_window_ms=0.0, seed=1):
+    network = make_network(env, seed=seed)
+    directory = GroupDirectory({"g": ["m0", "m1", "m2"]})
+    logs = {}
+    for member in directory.members("g"):
+        node = ProtocolNode(env, network, member)
+        log = SequencerLog(node, directory, "g",
+                           batch_window_ms=batch_window_ms)
+        log.applied = []
+        log.on_decide(lambda seq, entry, l=log: l.applied.append(
+            (seq, entry["uid"])))
+        logs[member] = log
+    return network, logs
+
+
+class TestBatching:
+    def test_batched_entries_all_applied_in_order(self, env):
+        _net, logs = build(env, batch_window_ms=5.0)
+        for i in range(10):
+            logs["m0"].submit({"uid": f"e{i}"})
+        env.run(until=1_000)
+        assert [uid for _seq, uid in logs["m1"].applied] == \
+            [f"e{i}" for i in range(10)]
+        assert logs["m0"].applied == logs["m1"].applied == logs["m2"].applied
+
+    def test_batching_reduces_decision_messages(self, env):
+        _net, logs = build(env, batch_window_ms=5.0)
+        for i in range(10):
+            logs["m0"].submit({"uid": f"e{i}"})
+        env.run(until=1_000)
+        assert logs["m0"].decisions_sent == 1
+
+        env2 = type(env)()
+        _net2, logs2 = build(env2, batch_window_ms=0.0)
+        for i in range(10):
+            logs2["m0"].submit({"uid": f"e{i}"})
+        env2.run(until=1_000)
+        assert logs2["m0"].decisions_sent == 10
+
+    def test_batching_adds_bounded_latency(self, env):
+        _net, logs = build(env, batch_window_ms=5.0)
+        applied_at = {}
+        logs["m1"].on_decide(
+            lambda seq, entry: applied_at.setdefault(entry["uid"], env.now))
+        logs["m0"].submit({"uid": "only"})
+        env.run(until=1_000)
+        assert 5.0 <= applied_at["only"] < 10.0
+
+    def test_sequence_numbers_consecutive_across_batches(self, env):
+        _net, logs = build(env, batch_window_ms=2.0)
+
+        def submitter(env):
+            for i in range(6):
+                logs["m0"].submit({"uid": f"x{i}"})
+                yield env.timeout(3.0)  # spans several batch windows
+
+        env.process(submitter(env))
+        env.run(until=1_000)
+        seqs = [seq for seq, _uid in logs["m2"].applied]
+        assert seqs == list(range(6))
+
+    def test_negative_window_rejected(self, env):
+        network = make_network(env)
+        directory = GroupDirectory({"g": ["m0"]})
+        node = ProtocolNode(env, network, "m0")
+        with pytest.raises(ValueError):
+            SequencerLog(node, directory, "g", batch_window_ms=-1)
+
+    def test_duplicate_uid_within_window_deduplicated(self, env):
+        _net, logs = build(env, batch_window_ms=5.0)
+        logs["m0"].submit({"uid": "dup"})
+        logs["m0"].submit({"uid": "dup"})
+        env.run(until=1_000)
+        assert [uid for _seq, uid in logs["m0"].applied] == ["dup"]

@@ -1,0 +1,51 @@
+"""Unit tests for the group directory."""
+
+import pytest
+
+from repro.ordering import GroupDirectory
+
+
+class TestGroupDirectory:
+    def test_members_sorted(self):
+        directory = GroupDirectory({"g": ["c", "a", "b"]})
+        assert directory.members("g") == ("a", "b", "c")
+
+    def test_speaker_is_first_member(self):
+        directory = GroupDirectory({"g": ["z", "m", "a"]})
+        assert directory.speaker("g") == "a"
+
+    def test_groups_sorted(self):
+        directory = GroupDirectory({"b": ["x"], "a": ["y"]})
+        assert directory.groups() == ["a", "b"]
+
+    def test_group_of(self):
+        directory = GroupDirectory({"g1": ["a"], "g2": ["b"]})
+        assert directory.group_of("a") == "g1"
+        assert directory.group_of("unknown") is None
+
+    def test_all_members_union(self):
+        directory = GroupDirectory({"g1": ["a", "b"], "g2": ["c"]})
+        assert directory.all_members(["g1", "g2"]) == ["a", "b", "c"]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            GroupDirectory({"g": []})
+
+    def test_duplicate_group_rejected(self):
+        directory = GroupDirectory({"g": ["a"]})
+        with pytest.raises(ValueError):
+            directory.add_group("g", ["b"])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            GroupDirectory({"g1": ["a"], "g2": ["a", "b"]})
+
+    def test_unknown_group_raises_keyerror(self):
+        directory = GroupDirectory({"g": ["a"]})
+        with pytest.raises(KeyError):
+            directory.members("nope")
+
+    def test_contains_and_len(self):
+        directory = GroupDirectory({"g1": ["a"], "g2": ["b"]})
+        assert "g1" in directory
+        assert len(directory) == 2

@@ -1,0 +1,138 @@
+"""Tests for the ordered logs (sequencer and Multi-Paxos)."""
+
+import pytest
+
+from repro.net import FailureInjector
+from repro.ordering import (GroupDirectory, LogClient, PaxosLog,
+                            ProtocolNode, SequencerLog)
+from repro.sim import SeedStream
+
+from tests.conftest import make_network
+
+
+def build_logs(env, log_cls, members=("m0", "m1", "m2"), seed=1,
+               latency=(0.05, 1.0)):
+    network = make_network(env, seed=seed, low_ms=latency[0],
+                           high_ms=latency[1])
+    directory = GroupDirectory({"g": list(members)})
+    logs = {}
+    for member in members:
+        node = ProtocolNode(env, network, member)
+        log = log_cls(node, directory, "g")
+        log.applied = []
+        log.on_decide(lambda seq, entry, l=log: l.applied.append(
+            (seq, entry["uid"])))
+        logs[member] = log
+    return network, directory, logs
+
+
+@pytest.mark.parametrize("log_cls", [SequencerLog, PaxosLog])
+class TestOrderedLogContract:
+    def test_all_members_apply_same_sequence(self, env, log_cls):
+        _net, _dir, logs = build_logs(env, log_cls)
+        for i in range(10):
+            logs["m1"].submit({"uid": f"e{i}"})
+        env.run(until=30_000)
+        reference = logs["m0"].applied
+        assert len(reference) == 10
+        for log in logs.values():
+            assert log.applied == reference
+
+    def test_duplicate_uid_applied_once(self, env, log_cls):
+        _net, _dir, logs = build_logs(env, log_cls)
+        entry = {"uid": "dup"}
+        logs["m0"].submit(dict(entry))
+        logs["m1"].submit(dict(entry))
+        logs["m2"].submit(dict(entry))
+        env.run(until=30_000)
+        assert [uid for _seq, uid in logs["m0"].applied] == ["dup"]
+
+    def test_missing_uid_rejected(self, env, log_cls):
+        _net, _dir, logs = build_logs(env, log_cls)
+        with pytest.raises(ValueError):
+            logs["m0"].submit({"payload": 1})
+
+    def test_client_submission(self, env, log_cls):
+        net, directory, logs = build_logs(env, log_cls)
+        client_node = ProtocolNode(env, net, "client")
+        client = LogClient(client_node, directory,
+                           broadcast=log_cls is PaxosLog)
+        client.submit("g", {"uid": "from-client"})
+        env.run(until=30_000)
+        assert [uid for _seq, uid in logs["m0"].applied] == ["from-client"]
+
+    def test_interleaved_submitters_agree(self, env, log_cls):
+        _net, _dir, logs = build_logs(env, log_cls, seed=7)
+
+        def submitter(env, log, prefix):
+            for i in range(5):
+                yield env.timeout(0.7)
+                log.submit({"uid": f"{prefix}{i}"})
+
+        env.process(submitter(env, logs["m0"], "a"))
+        env.process(submitter(env, logs["m2"], "b"))
+        env.run(until=30_000)
+        assert len(logs["m0"].applied) == 10
+        assert logs["m0"].applied == logs["m1"].applied == logs["m2"].applied
+
+
+class TestPaxosFaultTolerance:
+    def test_leader_crash_mid_stream(self, env):
+        net, _dir, logs = build_logs(env, PaxosLog, seed=11)
+        nodes = {m: log.node for m, log in logs.items()}
+
+        def submitter(env):
+            for i in range(12):
+                yield env.timeout(30)
+                logs["m1"].submit({"uid": f"x{i}"})
+
+        def crasher(env):
+            yield env.timeout(100)
+            nodes["m0"].crash()   # m0 is rank 0, the initial leader
+
+        env.process(submitter(env))
+        env.process(crasher(env))
+        env.run(until=120_000)
+        survivors = [logs["m1"], logs["m2"]]
+        assert survivors[0].applied == survivors[1].applied
+        applied_uids = {uid for _seq, uid in survivors[0].applied}
+        assert applied_uids == {f"x{i}" for i in range(12)}
+
+    def test_message_loss_recovered(self, env):
+        net, _dir, logs = build_logs(env, PaxosLog, seed=13)
+        injector = FailureInjector(env, net, SeedStream(5))
+        injector.drop_fraction(0.10)
+        for i in range(8):
+            logs["m2"].submit({"uid": f"y{i}"})
+        env.run(until=120_000)
+        assert logs["m0"].applied == logs["m1"].applied == logs["m2"].applied
+        assert len(logs["m0"].applied) == 8
+
+    def test_no_progress_without_majority(self, env):
+        _net, _dir, logs = build_logs(env, PaxosLog, seed=17)
+        logs["m1"].node.crash()
+        logs["m2"].node.crash()
+        logs["m0"].submit({"uid": "stuck"})
+        env.run(until=5_000)
+        assert logs["m0"].applied == []
+
+    def test_follower_crash_harmless(self, env):
+        _net, _dir, logs = build_logs(env, PaxosLog, seed=19)
+        logs["m2"].node.crash()
+        for i in range(5):
+            logs["m0"].submit({"uid": f"z{i}"})
+        env.run(until=60_000)
+        assert len(logs["m0"].applied) == 5
+        assert logs["m0"].applied == logs["m1"].applied
+
+
+class TestSequencerSpecifics:
+    def test_sequencer_is_group_speaker(self, env):
+        _net, directory, logs = build_logs(env, SequencerLog)
+        assert logs["m0"].sequencer == directory.speaker("g") == "m0"
+
+    def test_applied_count_property(self, env):
+        _net, _dir, logs = build_logs(env, SequencerLog)
+        logs["m0"].submit({"uid": "a"})
+        env.run()
+        assert logs["m1"].applied_count == 1

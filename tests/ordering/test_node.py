@@ -1,0 +1,73 @@
+"""Unit tests for the protocol node dispatch loop."""
+
+import pytest
+
+from repro.ordering import ProtocolNode
+
+from tests.conftest import make_network
+
+
+class TestDispatch:
+    def test_handler_routing(self, env):
+        network = make_network(env)
+        a = ProtocolNode(env, network, "a")
+        b = ProtocolNode(env, network, "b")
+        seen = []
+        b.on("ping", lambda m: seen.append(("ping", m.payload)))
+        b.on("pong", lambda m: seen.append(("pong", m.payload)))
+        a.send("b", "ping", 1)
+        a.send("b", "pong", 2)
+        env.run(until=100)
+        assert sorted(seen) == [("ping", 1), ("pong", 2)]
+
+    def test_duplicate_handler_rejected(self, env):
+        network = make_network(env)
+        node = ProtocolNode(env, network, "n")
+        node.on("k", lambda m: None)
+        with pytest.raises(ValueError):
+            node.on("k", lambda m: None)
+
+    def test_default_handler(self, env):
+        network = make_network(env)
+        a = ProtocolNode(env, network, "a")
+        b = ProtocolNode(env, network, "b")
+        seen = []
+        b.on_default(lambda m: seen.append(m.kind))
+        a.send("b", "mystery")
+        env.run(until=100)
+        assert seen == ["mystery"]
+
+    def test_unhandled_kind_raises(self, env):
+        network = make_network(env)
+        a = ProtocolNode(env, network, "a")
+        ProtocolNode(env, network, "b")
+        a.send("b", "nobody-listens")
+        with pytest.raises(RuntimeError):
+            env.run(until=100)
+
+    def test_crash_stops_dispatch_and_sends(self, env):
+        network = make_network(env)
+        a = ProtocolNode(env, network, "a")
+        b = ProtocolNode(env, network, "b")
+        seen = []
+        b.on("k", lambda m: seen.append(m.payload))
+        a.send("b", "k", "before")
+        env.run(until=100)
+        b.crash()
+        a.send("b", "k", "after")
+        a.crash()
+        a.send("b", "k", "from-crashed")
+        env.run(until=200)
+        assert seen == ["before"]
+        assert a.crashed and b.crashed
+
+    def test_send_all(self, env):
+        network = make_network(env)
+        a = ProtocolNode(env, network, "a")
+        seen = []
+        for name in ("b", "c"):
+            node = ProtocolNode(env, network, name)
+            node.on("k", lambda m, n=name: seen.append(n))
+        a.send_all(["b", "c"], "k")
+        env.run(until=100)
+        assert sorted(seen) == ["b", "c"]

@@ -1,0 +1,85 @@
+"""Property-based safety tests for the Multi-Paxos log.
+
+Hypothesis controls the environment (latency seed, drop fraction, crash
+schedule, submission schedule); on every generated execution the safety
+properties must hold among surviving members:
+
+* *agreement* — no two members apply different entries at the same
+  sequence number;
+* *integrity* — each uid applied at most once per member, and only
+  submitted uids are applied;
+* *validity under liveness conditions* — with a correct majority and
+  bounded loss, every submitted entry is eventually applied.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net import FailureInjector
+from repro.ordering import PaxosLog
+from repro.sim import Environment, SeedStream
+
+from tests.ordering.test_logs import build_logs
+
+submissions = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=300),  # submit time
+              st.integers(min_value=0, max_value=2)),  # submitting member
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(plan=submissions,
+       seed=st.integers(min_value=0, max_value=10_000),
+       drop=st.floats(min_value=0.0, max_value=0.15),
+       crash_member=st.sampled_from([None, "m0", "m2"]),
+       crash_at=st.floats(min_value=10, max_value=400))
+def test_paxos_safety_under_chaos(plan, seed, drop, crash_member, crash_at):
+    env = Environment()
+    net, _directory, logs = build_logs(env, PaxosLog, seed=seed)
+    injector = FailureInjector(env, net, SeedStream(seed + 1))
+    if drop > 0:
+        injector.drop_fraction(drop)
+    members = ["m0", "m1", "m2"]
+    submitted = set()
+
+    def submitter(env):
+        for when, member_index in sorted(plan):
+            if env.now < when:
+                yield env.timeout(when - env.now)
+            uid = f"u{len(submitted)}"
+            submitted.add(uid)
+            logs[members[member_index]].submit({"uid": uid})
+
+    env.process(submitter(env))
+    if crash_member is not None:
+        injector.crash_at(crash_at, crash_member)
+
+        def crash_process(env):
+            yield env.timeout(crash_at)
+            logs[crash_member].node.crash()
+
+        env.process(crash_process(env))
+    env.run(until=200_000)
+
+    survivors = [m for m in members if m != crash_member]
+    applied = {m: logs[m].applied for m in survivors}
+
+    # Agreement: the shorter survivor log is a prefix of the longer one.
+    a, b = (applied[survivors[0]], applied[survivors[1]])
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    assert longer[:len(shorter)] == shorter
+
+    for member in survivors:
+        uids = [uid for _seq, uid in applied[member]]
+        # Integrity: at-most-once, and only submitted entries.
+        assert len(uids) == len(set(uids))
+        assert set(uids) <= submitted
+
+    # Liveness: submissions from surviving members are eventually applied
+    # (a crashed member's own submissions may die with it).
+    surviving_submissions = set()
+    for index, (when, member_index) in enumerate(sorted(plan)):
+        if crash_member is None or members[member_index] != crash_member:
+            surviving_submissions.add(f"u{index}")
+    longer_uids = {uid for _seq, uid in longer}
+    assert surviving_submissions <= longer_uids

@@ -1,0 +1,75 @@
+"""Tests for reliable multicast: validity, agreement, integrity."""
+
+from repro.ordering import GroupDirectory, ProtocolNode, ReliableMulticast
+
+from tests.conftest import make_network
+
+
+def build(env, relay=False, seed=1):
+    network = make_network(env, seed=seed)
+    directory = GroupDirectory({"g1": ["a1", "a2"], "g2": ["b1", "b2"]})
+    layers = {}
+    for group in directory.groups():
+        for member in directory.members(group):
+            node = ProtocolNode(env, network, member)
+            layer = ReliableMulticast(node, directory, relay=relay)
+            layer.delivered_payloads = []
+            layer.on_deliver(
+                lambda payload, _msg, l=layer: l.delivered_payloads.append(
+                    payload))
+            layers[member] = layer
+    return network, directory, layers
+
+
+class TestValidity:
+    def test_all_group_members_deliver(self, env):
+        _net, _dir, layers = build(env)
+        layers["a1"].multicast(["g1", "g2"], "hello")
+        env.run()
+        for member in ("a1", "a2", "b1", "b2"):
+            assert layers[member].delivered_payloads == ["hello"]
+
+    def test_only_destination_groups_deliver(self, env):
+        _net, _dir, layers = build(env)
+        layers["a1"].multicast(["g2"], "only-g2")
+        env.run()
+        assert layers["a2"].delivered_payloads == []
+        assert layers["b1"].delivered_payloads == ["only-g2"]
+
+
+class TestIntegrity:
+    def test_at_most_once_with_relay(self, env):
+        _net, _dir, layers = build(env, relay=True)
+        layers["a1"].multicast(["g1", "g2"], "once")
+        env.run()
+        for layer in layers.values():
+            assert layer.delivered_payloads == ["once"]
+
+    def test_multiple_messages_all_distinct(self, env):
+        _net, _dir, layers = build(env)
+        for i in range(5):
+            layers["a1"].multicast(["g2"], i)
+        env.run()
+        assert sorted(layers["b1"].delivered_payloads) == list(range(5))
+
+
+class TestAgreementUnderSenderCrash:
+    def test_relay_covers_partial_send(self, env):
+        """If the sender's messages reach only some destinations before it
+        crashes, relaying ensures agreement among correct processes."""
+        net, _dir, layers = build(env, relay=True, seed=3)
+        # Drop the sender's direct messages to b2: only relay can reach it.
+        net.add_drop_rule(lambda m: m.src == "a1" and m.dst == "b2")
+        layers["a1"].multicast(["g1", "g2"], "relayed")
+        env.run()
+        assert layers["b2"].delivered_payloads == ["relayed"]
+
+    def test_without_relay_partial_send_loses_agreement(self, env):
+        """Documents why relay exists: without it the dropped destination
+        never delivers."""
+        net, _dir, layers = build(env, relay=False, seed=3)
+        net.add_drop_rule(lambda m: m.src == "a1" and m.dst == "b2")
+        layers["a1"].multicast(["g1", "g2"], "lost")
+        env.run()
+        assert layers["b2"].delivered_payloads == []
+        assert layers["b1"].delivered_payloads == ["lost"]

@@ -1,0 +1,89 @@
+"""Unit tests for FIFO channels."""
+
+from repro.sim import Channel
+
+
+class TestChannel:
+    def test_put_then_get(self, env):
+        channel = Channel(env)
+        channel.put("a")
+        channel.put("b")
+
+        def consumer(env):
+            first = yield channel.get()
+            second = yield channel.get()
+            return [first, second]
+
+        p = env.process(consumer(env))
+        env.run()
+        assert p.value == ["a", "b"]
+
+    def test_get_blocks_until_put(self, env):
+        channel = Channel(env)
+        order = []
+
+        def consumer(env):
+            item = yield channel.get()
+            order.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5)
+            channel.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert order == [(5.0, "x")]
+
+    def test_getters_served_fifo(self, env):
+        channel = Channel(env)
+        served = []
+
+        def consumer(env, tag):
+            item = yield channel.get()
+            served.append((tag, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+
+        def producer(env):
+            yield env.timeout(1)
+            channel.put(1)
+            channel.put(2)
+
+        env.process(producer(env))
+        env.run()
+        assert served == [("first", 1), ("second", 2)]
+
+    def test_len_counts_queued_items(self, env):
+        channel = Channel(env)
+        assert len(channel) == 0
+        channel.put("x")
+        channel.put("y")
+        assert len(channel) == 2
+
+    def test_pending_getters(self, env):
+        channel = Channel(env)
+
+        def consumer(env):
+            yield channel.get()
+
+        env.process(consumer(env))
+        env.run()
+        assert channel.pending_getters == 1
+        channel.put(1)
+        env.run()
+        assert channel.pending_getters == 0
+
+    def test_try_get(self, env):
+        channel = Channel(env)
+        assert channel.try_get() == (False, None)
+        channel.put(9)
+        assert channel.try_get() == (True, 9)
+        assert channel.try_get() == (False, None)
+
+    def test_clear_drops_items_not_getters(self, env):
+        channel = Channel(env)
+        channel.put(1)
+        channel.clear()
+        assert len(channel) == 0

@@ -1,0 +1,56 @@
+"""Unit + property tests for seeded random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import SeedStream
+
+
+class TestSeedStream:
+    def test_same_name_same_stream(self):
+        root = SeedStream(42)
+        a = root.stream("net")
+        b = root.stream("net")
+        assert [a.random() for _ in range(5)] == [b.random()
+                                                  for _ in range(5)]
+
+    def test_different_names_differ(self):
+        root = SeedStream(42)
+        a = root.stream("net")
+        b = root.stream("clients")
+        assert [a.random() for _ in range(5)] != [b.random()
+                                                  for _ in range(5)]
+
+    def test_children_are_independent_subtrees(self):
+        root = SeedStream(1)
+        x = root.child("x").stream("s")
+        y = root.child("y").stream("s")
+        assert x.random() != y.random()
+
+    def test_child_path_deterministic(self):
+        a = SeedStream(7).child("a").child("b").seed
+        b = SeedStream(7).child("a").child("b").seed
+        assert a == b
+
+
+@given(st.integers(), st.text(max_size=20))
+def test_derivation_is_pure(seed, name):
+    assert SeedStream(seed).stream(name).random() == \
+        SeedStream(seed).stream(name).random()
+
+
+@given(st.integers(), st.integers())
+def test_distinct_int_names_give_distinct_streams(seed, name):
+    # sha256 derivation: different names must not collide in practice.
+    s1 = SeedStream(seed).stream(name)
+    s2 = SeedStream(seed).stream(name + 1)
+    assert s1.getrandbits(64) != s2.getrandbits(64)
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+def test_sibling_and_nested_names_do_not_alias(seed):
+    # child("a").stream("b") must differ from stream("a/b")-style flattening
+    # only if derivation is truly hierarchical; check no accidental aliasing
+    # between an obvious pair.
+    nested = SeedStream(seed).child("a").stream("b")
+    flat = SeedStream(seed).stream("a")
+    assert nested.getrandbits(64) != flat.getrandbits(64)

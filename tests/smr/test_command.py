@@ -1,0 +1,40 @@
+"""Unit tests for commands and replies."""
+
+from repro.smr import Command, CommandType, Reply, ReplyStatus, new_command_id
+
+
+class TestCommand:
+    def test_auto_cid_unique(self):
+        a = Command(op="get")
+        b = Command(op="get")
+        assert a.cid != b.cid
+
+    def test_explicit_cid_kept(self):
+        command = Command(op="get", cid="custom")
+        assert command.cid == "custom"
+
+    def test_variables_normalised_to_tuple(self):
+        command = Command(op="get", variables=["a", "b"])
+        assert command.variables == ("a", "b")
+
+    def test_default_type_is_access(self):
+        assert Command(op="x").ctype is CommandType.ACCESS
+
+    def test_payload_size_grows_with_variables(self):
+        small = Command(op="x", variables=("a",))
+        large = Command(op="x", variables=tuple(f"v{i}" for i in range(20)))
+        assert large.payload_size() > small.payload_size()
+
+    def test_new_command_id_embeds_origin(self):
+        assert "client-7" in new_command_id("client-7")
+
+
+class TestReply:
+    def test_fields(self):
+        reply = Reply(cid="c1", status=ReplyStatus.OK, value=3,
+                      sender="s", partition="p0")
+        assert reply.status is ReplyStatus.OK
+        assert reply.partition == "p0"
+
+    def test_status_enum_values(self):
+        assert ReplyStatus("retry") is ReplyStatus.RETRY

@@ -1,0 +1,145 @@
+"""Tests for the PRObject programming model (Eyrie's transparent objects)."""
+
+import pytest
+
+from repro.smr import Command, CommandType, ReplyStatus
+from repro.smr.probject import (ObjectDirectory, ObjectStateMachine,
+                                PRObject, object_key)
+from repro.smr.state_machine import ExecutionView, VariableStore
+
+
+class Account(PRObject):
+    FIELDS = ("balance", "owner")
+
+
+class Bank(ObjectStateMachine):
+    CLASSES = {"acct": Account}
+
+    def run(self, command, objects):
+        args = command.args
+        if command.op == "deposit":
+            account = objects["acct", args["id"]]
+            account.balance = (account.balance or 0) + args["amount"]
+            return account.balance
+        if command.op == "transfer":
+            src = objects["acct", args["src"]]
+            dst = objects["acct", args["dst"]]
+            if (src.balance or 0) < args["amount"]:
+                return "insufficient"
+            src.balance -= args["amount"]
+            dst.balance = (dst.balance or 0) + args["amount"]
+            return "ok"
+        if command.op == "balance":
+            return objects["acct", args["id"]].balance
+        raise ValueError(command.op)
+
+
+def make_view(**accounts):
+    store = VariableStore()
+    for object_id, fields in accounts.items():
+        store.create(object_key("acct", object_id), fields)
+    return store, ExecutionView(store)
+
+
+class TestPRObject:
+    def test_fields_initialised(self):
+        account = Account(balance=5)
+        assert account.balance == 5
+        assert account.owner is None
+        assert not account.dirty
+
+    def test_mutation_marks_dirty(self):
+        account = Account(balance=1)
+        account.balance = 2
+        assert account.dirty
+        assert account.dump() == {"balance": 2, "owner": None}
+
+    def test_non_field_attributes_unaffected(self):
+        account = Account()
+        account.cache_hint = "x"   # not persisted
+        assert not account.dirty
+        assert "cache_hint" not in account.dump()
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            Account().missing
+
+
+class TestObjectStateMachine:
+    def test_reads_and_writes_through_view(self):
+        store, view = make_view(a={"balance": 10, "owner": "x"},
+                                b={"balance": 0, "owner": "y"})
+        bank = Bank()
+        result = bank.apply(
+            Command(op="transfer", args={"src": "a", "dst": "b",
+                                         "amount": 4}), view)
+        assert result == "ok"
+        assert store.read(object_key("acct", "a"))["balance"] == 6
+        assert store.read(object_key("acct", "b"))["balance"] == 4
+
+    def test_clean_objects_not_written_back(self):
+        store, view = make_view(a={"balance": 10, "owner": "x"})
+        bank = Bank()
+        bank.apply(Command(op="balance", args={"id": "a"}), view)
+        assert view.written == {}
+
+    def test_insufficient_funds_rolls_nothing(self):
+        store, view = make_view(a={"balance": 1, "owner": None},
+                                b={"balance": 0, "owner": None})
+        result = Bank().apply(
+            Command(op="transfer", args={"src": "a", "dst": "b",
+                                         "amount": 5}), view)
+        assert result == "insufficient"
+        assert store.read(object_key("acct", "a"))["balance"] == 1
+
+    def test_remote_objects_transparent(self):
+        """Objects shipped from another partition behave identically —
+        location transparency, the Eyrie contract."""
+        local = VariableStore()
+        remote = {object_key("acct", "r"): {"balance": 7, "owner": None}}
+        local.create(object_key("acct", "l"), {"balance": 0, "owner": None})
+        view = ExecutionView(local, remote=remote)
+        result = Bank().apply(
+            Command(op="transfer", args={"src": "r", "dst": "l",
+                                         "amount": 3}), view)
+        assert result == "ok"
+        # The locally-owned object was updated in the store...
+        assert local.read(object_key("acct", "l"))["balance"] == 3
+        # ...and the remote object's new value is in the overlay (its
+        # owning partition computes the same deterministic result).
+        assert view.written[object_key("acct", "r")]["balance"] == 4
+
+
+class TestEndToEndOverDssmr:
+    def test_bank_on_partitioned_deployment(self, env):
+        """The same Bank state machine runs unchanged on DS-SMR."""
+        from tests.core.conftest import DssmrStack
+
+        stack = DssmrStack.__new__(DssmrStack)
+        DssmrStack.__init__(stack, env)
+        # Swap state machines for Bank on every server.
+        for server in stack.servers.values():
+            server.state_machine = Bank()
+        key_a = object_key("acct", "a")
+        key_b = object_key("acct", "b")
+        stack.preload({key_a: {"balance": 10, "owner": None},
+                       key_b: {"balance": 0, "owner": None}},
+                      {key_a: "p0", key_b: "p1"})
+        replies = []
+
+        def proc(env):
+            client = stack.client()
+            reply = yield from client.run_command(Command(
+                op="transfer", args={"src": "a", "dst": "b", "amount": 4},
+                variables=(key_a, key_b), writes=(key_a, key_b)))
+            replies.append(reply)
+            reply = yield from client.run_command(Command(
+                op="balance", args={"id": "b"}, variables=(key_b,)))
+            replies.append(reply)
+
+        env.process(proc(env))
+        stack.run()
+        assert replies[0].status is ReplyStatus.OK
+        assert replies[0].value == "ok"
+        assert replies[1].value == 4
+        assert stack.stores_consistent()

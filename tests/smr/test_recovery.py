@@ -1,0 +1,143 @@
+"""Tests for classic-SMR crash recovery (snapshot + log backfill)."""
+
+from repro.ordering import GroupDirectory
+from repro.smr import (Command, ExecutionModel, KeyValueStateMachine,
+                       SmrClient)
+from repro.smr.recovery import RecoveryHost, recover_replica
+
+from tests.smr.test_replica import build_smr
+
+
+def incr(key="x"):
+    return Command(op="incr", args={"key": key}, variables=(key,))
+
+
+def run_commands(env, client, count, replies, pause=5.0):
+    def proc(env):
+        for _ in range(count):
+            reply = yield from client.run_command(incr())
+            replies.append(reply.value)
+            yield env.timeout(pause)
+    env.process(proc(env))
+
+
+class TestRecovery:
+    def _setup(self, env, seed=1):
+        net, directory, replicas = build_smr(env, replicas=3, seed=seed)
+        hosts = []
+        for replica in replicas:
+            replica.load_state({"x": 0})
+            hosts.append(RecoveryHost(replica))
+        client = SmrClient(env, net, directory, "c0", "smr")
+        return net, directory, replicas, client, hosts
+
+    def test_recovered_replica_catches_up(self, env):
+        net, _directory, replicas, client, _hosts = self._setup(env)
+        replies = []
+        run_commands(env, client, 12, replies)
+        recovered_holder = []
+
+        def chaos(env):
+            yield env.timeout(20)      # a few commands executed
+            replicas[2].crash()
+            yield env.timeout(25)      # more commands missed while down
+            replacement = recover_replica(replicas[2], replicas[0])
+            RecoveryHost(replacement)
+            recovered_holder.append(replacement)
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        assert replies == list(range(1, 13))
+        replacement = recovered_holder[0]
+        # The replacement holds the full final state and execution history.
+        assert replacement.store.read("x") == 12
+        assert replacement.executed == replicas[0].executed
+        assert replacement.store.snapshot() == replicas[0].store.snapshot()
+
+    def test_recovered_replica_serves_clients(self, env):
+        net, directory, replicas, client, _hosts = self._setup(env, seed=3)
+        replies = []
+        run_commands(env, client, 4, replies)
+        results = []
+
+        def chaos(env):
+            yield env.timeout(30)
+            replicas[1].crash()
+            yield env.timeout(10)
+            replacement = recover_replica(replicas[1], replicas[0])
+            yield env.timeout(100)
+            # A fresh client command must reach the replacement too.
+            late = SmrClient(env, net, directory, "c9", "smr")
+            reply = yield from late.run_command(incr())
+            results.append((reply.value, replacement))
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        value, replacement = results[0]
+        assert value == 5
+        assert replacement.store.read("x") == 5
+
+    def test_snapshot_host_counts(self, env):
+        _net, _directory, replicas, client, hosts = self._setup(env)
+        replies = []
+        run_commands(env, client, 2, replies)
+
+        def chaos(env):
+            yield env.timeout(15)
+            replicas[2].crash()
+            yield env.timeout(5)
+            recover_replica(replicas[2], replicas[0])
+
+        env.process(chaos(env))
+        env.run(until=30_000)
+        assert hosts[0].snapshots_served == 1
+
+    def test_quiet_period_recovery(self, env):
+        """Recovery with no concurrent traffic: snapshot alone suffices."""
+        net, _directory, replicas, client, _hosts = self._setup(env, seed=5)
+        replies = []
+        run_commands(env, client, 3, replies, pause=1.0)
+        holder = []
+
+        def chaos(env):
+            yield env.timeout(5_000)   # traffic long finished
+            replicas[2].crash()
+            yield env.timeout(100)
+            holder.append(recover_replica(replicas[2], replicas[0]))
+
+        env.process(chaos(env))
+        env.run(until=30_000)
+        assert holder[0].store.read("x") == 3
+
+
+class TestLogBackfill:
+    def test_gap_triggers_backfill(self, env):
+        """A member that misses a decision fills the hole via backfill."""
+        from repro.net import FailureInjector
+        from repro.sim import SeedStream
+        from tests.ordering.test_logs import build_logs
+        from repro.ordering import SequencerLog
+
+        net, _directory, logs = build_logs(env, SequencerLog, seed=9)
+        # Drop exactly the decide messages to m2 for a window, creating a
+        # hole that only backfill can repair.
+        remove = net.add_drop_rule(
+            lambda m: m.dst == "m2" and m.kind == "log/g/decide")
+        logs["m0"].submit({"uid": "lost"})
+        env.run(until=10)
+        remove()
+        logs["m0"].submit({"uid": "after"})
+        env.run(until=10_000)
+        assert [uid for _seq, uid in logs["m2"].applied] == \
+            ["lost", "after"]
+
+    def test_fast_forward_validation(self, env):
+        from tests.ordering.test_logs import build_logs
+        from repro.ordering import SequencerLog
+        import pytest
+
+        _net, _directory, logs = build_logs(env, SequencerLog)
+        logs["m0"].submit({"uid": "a"})
+        env.run(until=100)
+        with pytest.raises(ValueError):
+            logs["m1"].fast_forward(0)

@@ -1,0 +1,62 @@
+"""Unit tests for the static partition map and oracle."""
+
+import pytest
+
+from repro.smr import Command
+from repro.ssmr import StaticOracle, StaticPartitionMap
+
+
+class TestStaticPartitionMap:
+    def test_explicit_assignment(self):
+        pmap = StaticPartitionMap(["p0", "p1"], assignment={"x": 0, "y": 1})
+        assert pmap.partition_of("x") == "p0"
+        assert pmap.partition_of("y") == "p1"
+
+    def test_hash_fallback_is_stable(self):
+        pmap = StaticPartitionMap(["p0", "p1", "p2"])
+        assert pmap.partition_of("anything") == pmap.partition_of("anything")
+
+    def test_partitions_of_set(self):
+        pmap = StaticPartitionMap(["p0", "p1"], assignment={"x": 0, "y": 1})
+        assert pmap.partitions_of(["x", "y"]) == {"p0", "p1"}
+        assert pmap.partitions_of(["x", "x"]) == {"p0"}
+
+    def test_variables_in(self):
+        pmap = StaticPartitionMap(["p0", "p1"],
+                                  assignment={"x": 0, "y": 1, "z": 0})
+        assert pmap.variables_in("p0", ["x", "y", "z"]) == {"x", "z"}
+
+    def test_initial_contents_covers_all_keys(self):
+        pmap = StaticPartitionMap(["p0", "p1"], assignment={"x": 0})
+        contents = pmap.initial_contents(["x", "w1", "w2"])
+        assert contents["p0"] | contents["p1"] == {"x", "w1", "w2"}
+        assert contents["p0"] & contents["p1"] == set()
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartitionMap([])
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartitionMap(["p0"], assignment={"x": 3})
+
+
+class TestStaticOracle:
+    def _oracle(self):
+        return StaticOracle(StaticPartitionMap(
+            ["p0", "p1"], assignment={"x": 0, "y": 1, "z": 0}))
+
+    def test_single_partition_command(self):
+        oracle = self._oracle()
+        command = Command(op="get", variables=("x", "z"))
+        assert oracle.partitions_for(command) == {"p0"}
+
+    def test_multi_partition_command(self):
+        oracle = self._oracle()
+        command = Command(op="swap", variables=("x", "y"))
+        assert oracle.partitions_for(command) == {"p0", "p1"}
+
+    def test_no_declared_variables_returns_all(self):
+        oracle = self._oracle()
+        command = Command(op="scan", variables=())
+        assert oracle.partitions_for(command) == {"p0", "p1"}

@@ -1,0 +1,65 @@
+"""The oracle-superset contract: undeclared variable access must not crash.
+
+The paper's oracle footnote: the declared partition set need only be a
+*superset* of what a command accesses. A command that reads a variable it
+did not declare breaks that contract; servers must reply NOK consistently
+rather than crash or diverge.
+"""
+
+from repro.smr import Command, ReplyStatus
+
+from tests.core.conftest import DssmrStack
+from tests.ssmr.test_server import build_ssmr
+
+
+class TestSsmrSuperset:
+    def test_undeclared_read_answers_nok(self, env):
+        _net, _dir, servers, client = build_ssmr(env)
+        results = []
+
+        def proc(env):
+            # Declares x but actually sums x and y.
+            command = Command(op="sum", args={"keys": ["x", "y"]},
+                              variables=("x",))
+            reply = yield from client.run_command(command)
+            results.append(reply)
+
+        env.process(proc(env))
+        env.run(until=10_000)
+        assert results[0].status is ReplyStatus.NOK
+        assert "undeclared" in str(results[0].value)
+
+    def test_replicas_stay_alive_and_consistent(self, env):
+        _net, _dir, servers, client = build_ssmr(env)
+
+        def proc(env):
+            bad = Command(op="sum", args={"keys": ["x", "y"]},
+                          variables=("x",))
+            yield from client.run_command(bad)
+            good = Command(op="get", args={"key": "x"}, variables=("x",))
+            reply = yield from client.run_command(good)
+            assert reply.status is ReplyStatus.OK
+
+        env.process(proc(env))
+        env.run(until=10_000)
+        assert servers["p0s0"].store.snapshot() == \
+            servers["p0s1"].store.snapshot()
+
+
+class TestDssmrSuperset:
+    def test_undeclared_read_answers_nok(self, env):
+        stack = DssmrStack(env)
+        stack.preload({"x": 1, "y": 2}, {"x": "p0", "y": "p0"})
+        results = []
+
+        def proc(env):
+            client = stack.client()
+            command = Command(op="sum", args={"keys": ["x", "y", "ghost"]},
+                              variables=("x", "y"))
+            reply = yield from client.run_command(command)
+            results.append(reply)
+
+        env.process(proc(env))
+        stack.run()
+        assert results[0].status is ReplyStatus.NOK
+        assert stack.stores_consistent()

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.scheme == "dssmr"
+        assert args.partitions == 2
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "fig5", "--seed", "3"])
+        assert args.figure_id == "fig5"
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        out = capsys.readouterr().out
+        for figure_id in ("fig1", "fig10"):
+            assert figure_id in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_partition_command(self, capsys):
+        assert main(["partition", "--vertices", "300", "--parts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "edge-cut" in out
+        assert "300 vertices" in out
+
+    def test_experiment_command_small(self, capsys):
+        code = main(["experiment", "--scheme", "dssmr", "--partitions", "2",
+                     "--users", "60", "--duration-ms", "400",
+                     "--clients-per-partition", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tput/s" in out
+
+    def test_figure_command_partitioner_only(self, capsys):
+        assert main(["figure", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "multilevel" in out

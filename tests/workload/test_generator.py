@@ -1,0 +1,65 @@
+"""Tests for command-stream generators."""
+
+import itertools
+
+import pytest
+
+from repro.workload import MixedWorkload, PostWorkload, holme_kim_graph
+from repro.workload.generator import round_robin_users
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return holme_kim_graph(100, m=2, triad_probability=0.5, seed=1)
+
+
+class TestPostWorkload:
+    def test_stream_is_posts_only(self, graph):
+        workload = PostWorkload(graph, seed=1)
+        ops = list(itertools.islice(workload.stream(0), 50))
+        assert all(op.op == "post" for op in ops)
+        assert all(op.user in set(graph.vertices()) for op in ops)
+
+    def test_streams_deterministic_per_client(self, graph):
+        workload = PostWorkload(graph, seed=1)
+        a = [op.user for op in itertools.islice(workload.stream(3), 20)]
+        b = [op.user for op in itertools.islice(workload.stream(3), 20)]
+        assert a == b
+
+    def test_different_clients_different_streams(self, graph):
+        workload = PostWorkload(graph, seed=1)
+        a = [op.user for op in itertools.islice(workload.stream(0), 20)]
+        b = [op.user for op in itertools.islice(workload.stream(1), 20)]
+        assert a != b
+
+
+class TestMixedWorkload:
+    def test_respects_weights_roughly(self, graph):
+        workload = MixedWorkload(graph, seed=2)
+        ops = [op.op for op in itertools.islice(workload.stream(0), 2000)]
+        timeline_fraction = ops.count("timeline") / len(ops)
+        assert 0.80 <= timeline_fraction <= 0.90
+
+    def test_follow_has_distinct_other(self, graph):
+        workload = MixedWorkload(graph, seed=3)
+        for op in itertools.islice(workload.stream(0), 500):
+            if op.op in ("follow", "unfollow"):
+                assert op.other is not None
+                assert op.other != op.user
+
+    def test_bad_weights_rejected(self, graph):
+        with pytest.raises(ValueError):
+            MixedWorkload(graph, weights={"timeline": 0.5, "post": 0.2})
+
+
+class TestHelpers:
+    def test_round_robin_users_covers_pool(self):
+        users = list(range(10))
+        picked = round_robin_users(users, 25, seed=1)
+        assert len(picked) == 25
+        assert set(picked) == set(users)
+
+    def test_round_robin_deterministic(self):
+        users = list(range(10))
+        assert round_robin_users(users, 10, seed=2) == \
+            round_robin_users(users, 10, seed=2)

@@ -1,0 +1,76 @@
+"""Tests for the hierarchical (nested-community) graph generator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph import edge_cut_fraction
+from repro.workload import hierarchical_graph, hierarchy_split
+
+
+class TestHierarchicalGraph:
+    def test_cut_progression(self):
+        graph, leaves = hierarchical_graph(480, levels=3, intra_degree=6,
+                                           seed=11)
+        cuts = {k: edge_cut_fraction(graph, hierarchy_split(leaves, 3, k))
+                for k in (2, 4, 8)}
+        assert cuts[2] < cuts[4] < cuts[8]
+        # Default fractions plant roughly the paper's 0.13%..2.67% range.
+        assert cuts[2] < 0.01
+        assert cuts[8] < 0.05
+
+    def test_split_respects_hierarchy(self):
+        _graph, leaves = hierarchical_graph(64, levels=3, intra_degree=4,
+                                            seed=1)
+        two_way = hierarchy_split(leaves, 3, 2)
+        four_way = hierarchy_split(leaves, 3, 4)
+        # The 4-way split refines the 2-way split: vertices in the same
+        # 4-way part share the 2-way part.
+        for v, part4 in four_way.items():
+            assert two_way[v] == part4 >> 1
+
+    def test_all_vertices_assigned(self):
+        graph, leaves = hierarchical_graph(100, levels=2, intra_degree=4,
+                                           seed=2)
+        assert set(leaves) == set(graph.vertices())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            hierarchical_graph(100, levels=0)
+        with pytest.raises(ValueError):
+            hierarchical_graph(100, levels=3,
+                               level_edge_fractions=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            hierarchical_graph(100, levels=2,
+                               level_edge_fractions=(0.1,))
+        with pytest.raises(ValueError):
+            hierarchical_graph(8, levels=3)
+
+    def test_invalid_split(self):
+        _graph, leaves = hierarchical_graph(64, levels=2, intra_degree=4)
+        with pytest.raises(ValueError):
+            hierarchy_split(leaves, 2, 3)     # not a power of two
+        with pytest.raises(ValueError):
+            hierarchy_split(leaves, 2, 8)     # deeper than the hierarchy
+
+    def test_deterministic(self):
+        a = hierarchical_graph(128, levels=2, intra_degree=4, seed=7)
+        b = hierarchical_graph(128, levels=2, intra_degree=4, seed=7)
+        assert sorted(a[0].edges()) == sorted(b[0].edges())
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=1000),
+       levels=st.integers(min_value=1, max_value=3))
+def test_level_edges_respect_planted_structure(seed, levels):
+    """A level-l edge crosses exactly the 2**(levels-l+1)-way boundary:
+    cutting at any coarser level never cuts finer-level edges."""
+    fractions = tuple([0.01] * levels)
+    graph, leaves = hierarchical_graph(16 * 2 ** levels, levels=levels,
+                                       intra_degree=4,
+                                       level_edge_fractions=fractions,
+                                       seed=seed)
+    # k=2 cut counts only top-level edges: must be <= sum of all planted
+    # cross fractions and >= the top level's share alone (approximately).
+    top_cut = edge_cut_fraction(graph, hierarchy_split(leaves, levels, 2))
+    assert top_cut <= sum(fractions) + 0.02

@@ -1,0 +1,114 @@
+"""Tests for the social-graph generators."""
+
+import pytest
+
+from repro.graph import edge_cut_fraction
+from repro.workload import clustered_graph, holme_kim_graph, planted_edge_cut
+
+
+class TestHolmeKim:
+    def test_size_and_connectivity(self):
+        graph = holme_kim_graph(500, m=3, triad_probability=0.7, seed=1)
+        assert graph.num_vertices == 500
+        # Growing model: ~m edges per added vertex.
+        assert 450 <= graph.num_edges <= 3 * 500
+
+    def test_power_law_ish_degree_distribution(self):
+        """Scale-free signature: a heavy tail — the max degree is far above
+        the mean, and most vertices sit near the minimum degree."""
+        graph = holme_kim_graph(2000, m=3, triad_probability=0.6, seed=2)
+        degrees = sorted(graph.degree(v) for v in graph.vertices())
+        mean = sum(degrees) / len(degrees)
+        assert degrees[-1] > 5 * mean
+        low = sum(1 for d in degrees if d <= 2 * 3)
+        assert low / len(degrees) > 0.6
+
+    def test_triad_formation_raises_clustering(self):
+        """Higher triad probability => more triangles."""
+        def triangles(graph):
+            count = 0
+            for v in graph.vertices():
+                neighbours = list(graph.neighbours(v))
+                for i, a in enumerate(neighbours):
+                    for b in neighbours[i + 1:]:
+                        if b in graph.neighbours(a):
+                            count += 1
+            return count
+
+        clustered = holme_kim_graph(600, m=3, triad_probability=0.9, seed=3)
+        random_ish = holme_kim_graph(600, m=3, triad_probability=0.0, seed=3)
+        assert triangles(clustered) > 2 * triangles(random_ish)
+
+    def test_deterministic(self):
+        a = holme_kim_graph(200, m=2, triad_probability=0.5, seed=7)
+        b = holme_kim_graph(200, m=2, triad_probability=0.5, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            holme_kim_graph(3, m=5, triad_probability=0.5)
+        with pytest.raises(ValueError):
+            holme_kim_graph(10, m=2, triad_probability=1.5)
+
+
+class TestClusteredGraph:
+    @pytest.mark.parametrize("cut", [0.0, 0.01, 0.05, 0.10])
+    def test_planted_cut_is_exact(self, cut):
+        graph, assignment = clustered_graph(n=400, k=4, intra_degree=6,
+                                            edge_cut_fraction=cut, seed=1)
+        actual = edge_cut_fraction(graph, assignment)
+        assert actual == pytest.approx(cut, abs=0.01)
+
+    def test_partitions_balanced(self):
+        _graph, assignment = clustered_graph(n=400, k=4, intra_degree=6,
+                                             edge_cut_fraction=0.05, seed=1)
+        from collections import Counter
+        sizes = Counter(assignment.values())
+        assert max(sizes.values()) - min(sizes.values()) <= 1
+
+    def test_many_small_communities(self):
+        """Strong-locality graphs consist of several communities per
+        partition, not one blob each."""
+        graph, assignment = clustered_graph(n=400, k=4, intra_degree=6,
+                                            edge_cut_fraction=0.0, seed=1)
+        # Count connected components: must exceed k.
+        seen = set()
+        components = 0
+        for start in graph.vertices():
+            if start in seen:
+                continue
+            components += 1
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                if v in seen:
+                    continue
+                seen.add(v)
+                stack.extend(graph.neighbours(v))
+        assert components > 4
+
+    def test_zero_cut_means_no_cross_edges(self):
+        graph, assignment = clustered_graph(n=200, k=2, intra_degree=4,
+                                            edge_cut_fraction=0.0, seed=2)
+        for u, v, _w in graph.edges():
+            assert assignment[u] == assignment[v]
+
+    def test_deterministic(self):
+        a = clustered_graph(n=100, k=2, intra_degree=4,
+                            edge_cut_fraction=0.05, seed=9)
+        b = clustered_graph(n=100, k=2, intra_degree=4,
+                            edge_cut_fraction=0.05, seed=9)
+        assert sorted(a[0].edges()) == sorted(b[0].edges())
+        assert a[1] == b[1]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_graph(10, k=0, intra_degree=2, edge_cut_fraction=0.0)
+        with pytest.raises(ValueError):
+            clustered_graph(10, k=2, intra_degree=2, edge_cut_fraction=1.0)
+
+    def test_planted_edge_cut_helper(self):
+        graph, assignment = clustered_graph(n=100, k=2, intra_degree=4,
+                                            edge_cut_fraction=0.05, seed=3)
+        assert planted_edge_cut(graph, assignment) == \
+            edge_cut_fraction(graph, assignment)
