@@ -1,0 +1,33 @@
+"""E15 — cost of the client resilience layer under increasing fault rates.
+
+Clients with timeout/retry/backoff (repro.resilience) run against clusters
+dropping a growing fraction of messages. With no faults the layer is pure
+bookkeeping; under loss, every request still completes, paid for in
+timeouts, resends and latency tail.
+"""
+
+import math
+
+from repro.harness.figures import figure15_chaos_overhead
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig15_chaos_overhead(benchmark):
+    figure = run_figure(benchmark, figure15_chaos_overhead,
+                        drop_rates=(0.0, 0.02, 0.05))
+    data = figure.data
+
+    for (scheme, rate), outcome in data.items():
+        # The resilience contract: every request completes despite loss.
+        assert outcome["completed"] == outcome["total"], (scheme, rate)
+        assert not math.isnan(outcome["mean_ms"])
+
+    for scheme in ("smr", "ssmr"):
+        # No faults, no retries: the layer is free until a timeout fires.
+        assert data[(scheme, 0.0)]["timeouts"] == 0
+        assert data[(scheme, 0.0)]["resends"] == 0
+        # Under loss the retry machinery engages and latency grows.
+        assert data[(scheme, 0.05)]["timeouts"] > 0
+        assert data[(scheme, 0.05)]["mean_ms"] \
+            > data[(scheme, 0.0)]["mean_ms"]

@@ -34,6 +34,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig12": figures.figure12_async_oracle,
         "fig13": figures.figure13_multicast_comparison,
         "fig14": figures.figure14_batching,
+        "fig15": figures.figure15_chaos_overhead,
     }
 
 
@@ -68,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     partition.add_argument("--parts", type=int, default=4)
     partition.add_argument("--seed", type=int, default=7)
 
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos campaign against every scheme")
+    chaos.add_argument("--scenarios", type=int, default=10,
+                       help="number of generated fault scenarios")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--clients", type=int, default=3)
+    chaos.add_argument("--ops", type=int, default=8,
+                       help="operations per client per scenario")
+
     return parser
 
 
@@ -81,9 +91,10 @@ def cmd_figure(args) -> int:
     kwargs = {"seed": args.seed}
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
-    if args.figure_id in ("fig5", "fig10", "fig13", "fig14"):
+    if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15"):
         # figures without duration parameters
-        kwargs = {"seed": args.seed} if args.figure_id in ("fig13", "fig14") else {}
+        kwargs = {"seed": args.seed} \
+            if args.figure_id in ("fig13", "fig14", "fig15") else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
     print(f"\n(wall time: {time.perf_counter() - started:.1f}s)")
@@ -143,6 +154,19 @@ def cmd_partition(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.harness.chaos import run_campaign
+
+    started = time.perf_counter()
+    campaign = run_campaign(num_scenarios=args.scenarios, seed=args.seed,
+                            num_clients=args.clients,
+                            ops_per_client=args.ops)
+    print(campaign.report())
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    return 0 if campaign.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -150,6 +174,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list-figures": cmd_list_figures,
         "experiment": cmd_experiment,
         "partition": cmd_partition,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -6,6 +6,17 @@ when a partition replies that variables moved away, and falls back to
 S-SMR-style all-partition execution after ``max_retries`` attempts so that
 every command terminates.
 
+Two retry layers coexist and must not be confused:
+
+* *algorithm attempts* — Algorithm 2's do/while iterations (re-consult
+  after a ``retry`` reply, fall back after ``max_retries``); these change
+  the attempt tag on the command envelope.
+* *network resends* — timeout-driven re-multicasts of the *same* logical
+  step under fresh uids (:class:`~repro.resilience.RetryPolicy`); servers
+  deduplicate by command id, so resends are exactly-once. A lost oracle
+  notification for a synchronous move is recovered by re-consulting: the
+  consult is idempotent and reports the post-move locations.
+
 Metrics counted per client (and aggregated by the harness): consults, cache
 hits, retries, moves initiated and fallbacks — the quantities behind the
 motivation and oracle-load figures.
@@ -13,10 +24,12 @@ motivation and oracle-load figures.
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.net import Message, Network
 from repro.ordering import GroupDirectory
+from repro.resilience import RequestTimeout, RetryPolicy, with_timeout
 from repro.sim import Environment, LatencyRecorder
 from repro.smr.client import BaseClient
 from repro.smr.command import Command, CommandType, Reply, ReplyStatus, new_command_id
@@ -33,9 +46,12 @@ class DssmrClient(BaseClient):
                  max_retries: int = 3,
                  use_cache: bool = True,
                  latency: Optional[LatencyRecorder] = None,
-                 broadcast_submit: bool = False):
+                 broadcast_submit: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rng: Optional[random.Random] = None):
         super().__init__(env, network, directory, name, latency,
-                         broadcast_submit=broadcast_submit)
+                         broadcast_submit=broadcast_submit,
+                         retry_policy=retry_policy, rng=rng)
         self.partitions = tuple(partitions)
         self.max_retries = max_retries
         self.use_cache = use_cache
@@ -58,21 +74,38 @@ class DssmrClient(BaseClient):
             event.succeed(payload["prophecy"])
 
     def _consult(self, command: Command, attempt: int):
-        """Generator: ask the oracle about ``command``; returns the prophecy."""
+        """Generator: ask the oracle about ``command``; returns the prophecy.
+
+        Consults are idempotent at the oracle (pure recompute + resend), so
+        a timed-out consult is simply re-multicast under a fresh uid.
+        """
         self.consult_count += 1
         consult_cid = f"{command.cid}:c{attempt}"
         consult = Command(op="consult", ctype=CommandType.CONSULT,
                           variables=command.variables,
                           args={"inner_ctype": command.ctype.value},
                           cid=consult_cid, client=self.name)
-        event = self.env.event()
-        self._prophecy_waits[consult_cid] = event
-        self.mcast.multicast([ORACLE_GROUP],
-                             {"command": consult},
-                             size=consult.payload_size(),
-                             uid=f"am:{consult_cid}")
-        prophecy: Prophecy = yield event
-        return prophecy
+        policy = self.retry_policy
+        sends = 0
+        while True:
+            sends += 1
+            event = self.env.event()
+            self._prophecy_waits[consult_cid] = event
+            self.mcast.multicast([ORACLE_GROUP],
+                                 {"command": consult},
+                                 size=consult.payload_size(),
+                                 uid=self.next_uid(f"am:{consult_cid}"))
+            if sends > 1:
+                self.resends += 1
+            fired, prophecy = yield from with_timeout(
+                self.env, event, policy.timeout_ms if policy else None)
+            if fired:
+                return prophecy
+            self._prophecy_waits.pop(consult_cid, None)
+            self.timeouts += 1
+            if policy.gives_up(sends):
+                raise RequestTimeout(consult_cid, sends)
+            yield self.env.timeout(policy.backoff_ms(sends, self._rng))
 
     # -- main entry point -----------------------------------------------------
 
@@ -122,32 +155,43 @@ class DssmrClient(BaseClient):
             if None not in cached and len(cached) == 1:
                 self.cache_hits += 1
                 return {"dests": [cached.pop()]}
-        prophecy = yield from self._consult(command, attempt)
-        if prophecy.status is ProphecyStatus.NOK:
-            return Reply(cid=command.cid, status=ReplyStatus.NOK,
-                         value=prophecy.reason, sender=ORACLE_GROUP)
-        if prophecy.status is ProphecyStatus.OK:
-            return Reply(cid=command.cid, status=ReplyStatus.OK,
-                         value=prophecy.reason, sender=ORACLE_GROUP)
-        self.location_cache.update(prophecy.tuples)
-        if command.ctype in (CommandType.CREATE, CommandType.DELETE):
-            return {"dests": [prophecy.target or
-                              next(iter(prophecy.partitions))],
-                    "with_oracle": True}
-        dests = sorted(prophecy.partitions)
-        if len(dests) <= 1:
-            return {"dests": dests}
-        # Multi-partition access: gather everything at the target first.
-        target = prophecy.target
-        if prophecy.sync:
-            # The oracle already issued the move; wait for the destination
-            # partition's acknowledgement.
-            reply = yield self.wait_reply(prophecy.move_cid)
-            for key in command.variables:
-                self.location_cache[key] = target
+        while True:
+            prophecy = yield from self._consult(command, attempt)
+            if prophecy.status is ProphecyStatus.NOK:
+                return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                             value=prophecy.reason, sender=ORACLE_GROUP)
+            if prophecy.status is ProphecyStatus.OK:
+                return Reply(cid=command.cid, status=ReplyStatus.OK,
+                             value=prophecy.reason, sender=ORACLE_GROUP)
+            self.location_cache.update(prophecy.tuples)
+            if command.ctype in (CommandType.CREATE, CommandType.DELETE):
+                return {"dests": [prophecy.target or
+                                  next(iter(prophecy.partitions))],
+                        "with_oracle": True}
+            dests = sorted(prophecy.partitions)
+            if len(dests) <= 1:
+                return {"dests": dests}
+            # Multi-partition access: gather everything at the target first.
+            target = prophecy.target
+            if prophecy.sync:
+                # The oracle already issued the move; wait for the
+                # destination partition's acknowledgement. If it is lost,
+                # re-consult: the oracle reports the post-move locations,
+                # so the loop converges without re-issuing the move.
+                policy = self.retry_policy
+                event = self.wait_reply(prophecy.move_cid)
+                fired, _ = yield from with_timeout(
+                    self.env, event,
+                    policy.timeout_ms if policy else None)
+                if not fired:
+                    self.cancel_wait(prophecy.move_cid)
+                    self.timeouts += 1
+                    continue
+                for key in command.variables:
+                    self.location_cache[key] = target
+                return {"dests": [target]}
+            yield from self._move(command, prophecy, target, attempt)
             return {"dests": [target]}
-        yield from self._move(command, prophecy, target, attempt)
-        return {"dests": [target]}
 
     def _move(self, command: Command, prophecy: Prophecy, target: str,
               attempt: int):
@@ -164,10 +208,16 @@ class DssmrClient(BaseClient):
                        cid=move_cid, client=self.name)
         self.moves_initiated += len(variables)
         dests = sorted({ORACLE_GROUP, target, *sources})
-        event = self.wait_reply(move_cid)
-        self.mcast.multicast(dests, {"command": move, "dests": dests},
-                             size=move.payload_size(), uid=f"am:{move_cid}")
-        yield event  # destination partition confirms the variables arrived
+
+        def send() -> None:
+            self.mcast.multicast(dests, {"command": move, "dests": dests},
+                                 size=move.payload_size(),
+                                 uid=self.next_uid(f"am:{move_cid}"))
+
+        # Destination partition confirms the variables arrived; moves are
+        # deduplicated by command id at every participant, so resends are
+        # exactly-once.
+        yield from self.send_with_retries(move_cid, send)
         for key in variables:
             self.location_cache[key] = target
 
@@ -181,10 +231,14 @@ class DssmrClient(BaseClient):
         if command.ctype in (CommandType.CREATE, CommandType.DELETE):
             command.args = dict(command.args, partition=dests[0])
         envelope = {"command": command, "dests": dests, "attempt": attempt}
-        event = self.wait_reply(command.cid, attempt=attempt)
-        self.mcast.multicast(groups, envelope, size=command.payload_size(),
-                             uid=f"am:{command.cid}:a{attempt}")
-        reply: Reply = yield event
+
+        def send() -> None:
+            self.mcast.multicast(groups, envelope,
+                                 size=command.payload_size(),
+                                 uid=self.next_uid(f"am:{command.cid}:a{attempt}"))
+
+        reply: Reply = yield from self.send_with_retries(
+            command.cid, send, expected_attempt=attempt)
         return reply
 
     def _fallback(self, command: Command, attempt: int):
@@ -193,10 +247,14 @@ class DssmrClient(BaseClient):
         dests = sorted(self.partitions)
         envelope = {"command": command, "dests": dests, "mode": "fallback",
                     "attempt": attempt}
-        event = self.wait_reply(command.cid, attempt=attempt)
-        self.mcast.multicast(dests, envelope, size=command.payload_size(),
-                             uid=f"am:{command.cid}:a{attempt}")
-        reply: Reply = yield event
+
+        def send() -> None:
+            self.mcast.multicast(dests, envelope,
+                                 size=command.payload_size(),
+                                 uid=self.next_uid(f"am:{command.cid}:a{attempt}"))
+
+        reply: Reply = yield from self.send_with_retries(
+            command.cid, send, expected_attempt=attempt)
         return reply
 
     # -- cache ---------------------------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Optional
 from repro.net import Network
 from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, ReliableMulticast, SequencerLog)
+from repro.resilience import ReplyCache
 from repro.sim import BusyTracker, Channel, Counter, Environment, Interrupted
 from repro.smr.command import Command, CommandType, Reply, ReplyStatus, new_command_id
 from repro.smr.replica import REPLY_KIND
@@ -56,7 +57,8 @@ class OracleReplica:
                  oracle_issues_moves: bool = False,
                  async_repartition: bool = False,
                  log_factory=SequencerLog,
-                 speaker_only: bool = True):
+                 speaker_only: bool = True,
+                 dedup: bool = True):
         self.env = env
         self.partitions = tuple(partitions)
         self.directory = directory
@@ -79,6 +81,11 @@ class OracleReplica:
         self._next_partitioning_id = 0
         self._pending_ideals: dict[int, dict] = {}
         self._repartition_inflight = False
+
+        # Re-delivered creates/deletes (client resends) must not re-run
+        # Task 2 — the verdict would flip ("exists"/"missing") and race the
+        # partition's cached reply — so the oracle caches its replies too.
+        self.replies = ReplyCache(enabled=dedup)
 
         # The dynamic mapping: variable key -> partition name, plus the
         # incrementally maintained variable count per partition.
@@ -145,15 +152,16 @@ class OracleReplica:
             self._task_activate(envelope["activate_partitioning"])
             return
         command: Command = envelope["command"]
+        attempt = envelope.get("attempt", 1)
         cost = self.CONSULT_COST + self.PER_VARIABLE_COST * len(
             command.variables)
         yield self.env.timeout(cost)
         if command.ctype is CommandType.CONSULT:
             self._task_consult(command)
         elif command.ctype is CommandType.CREATE:
-            yield from self._task_create(command)
+            yield from self._task_create(command, attempt)
         elif command.ctype is CommandType.DELETE:
-            yield from self._task_delete(command)
+            yield from self._task_delete(command, attempt)
         elif command.ctype is CommandType.MOVE:
             self._task_move(command)
         else:
@@ -223,7 +231,9 @@ class OracleReplica:
 
     # -- Task 2: create / delete ----------------------------------------------
 
-    def _task_create(self, command: Command):
+    def _task_create(self, command: Command, attempt: int = 1):
+        if self._resend_cached(command, attempt):
+            return
         key = command.variables[0]
         partition = command.args["partition"]
         # The verdict rides on the signal: a create that lost the race
@@ -236,11 +246,13 @@ class OracleReplica:
         if verdict == "ok":
             self._relocate(key, partition)
             self.policy.on_create(key, partition)
-            self._reply(command, ReplyStatus.OK, "created")
+            self._reply(command, ReplyStatus.OK, "created", attempt)
         else:
-            self._reply(command, ReplyStatus.NOK, "exists")
+            self._reply(command, ReplyStatus.NOK, "exists", attempt)
 
-    def _task_delete(self, command: Command):
+    def _task_delete(self, command: Command, attempt: int = 1):
+        if self._resend_cached(command, attempt):
+            return
         key = command.variables[0]
         partition = command.args["partition"]
         current = self.location.get(key)
@@ -251,9 +263,17 @@ class OracleReplica:
         if verdict == "ok":
             self._forget(key)
             self.policy.on_delete(key)
-            self._reply(command, ReplyStatus.OK, "deleted")
+            self._reply(command, ReplyStatus.OK, "deleted", attempt)
         else:
-            self._reply(command, ReplyStatus.NOK, "missing")
+            self._reply(command, ReplyStatus.NOK, "missing", attempt)
+
+    def _resend_cached(self, command: Command, attempt: int) -> bool:
+        cached = self.replies.lookup(command.cid, attempt)
+        if cached is None:
+            return False
+        if command.client:
+            self.node.send(command.client, REPLY_KIND, cached, size=128)
+        return True
 
     # -- Task 3: move -----------------------------------------------------------
 
@@ -324,9 +344,10 @@ class OracleReplica:
                            size=128 + 32 * len(prophecy.tuples))
 
     def _reply(self, command: Command, status: ReplyStatus,
-               value) -> None:
+               value, attempt: int = 1) -> None:
+        reply = Reply(cid=command.cid, status=status, value=value,
+                      sender=self.node.name, partition=ORACLE_GROUP,
+                      attempt=attempt)
+        self.replies.store(command.cid, reply)
         if command.client:
-            self.node.send(command.client, REPLY_KIND,
-                           Reply(cid=command.cid, status=status, value=value,
-                                 sender=self.node.name,
-                                 partition=ORACLE_GROUP), size=128)
+            self.node.send(command.client, REPLY_KIND, reply, size=128)

@@ -54,10 +54,9 @@ class DssmrServer(SsmrServer):
 
     def _exec_single_partition_access(self, command: Command,
                                       attempt: int = 1):
-        cached = self._replies.get(command.cid)
+        cached = self.replies.lookup(command.cid, attempt)
         if cached is not None:
-            from dataclasses import replace
-            self._send_reply(command, replace(cached, attempt=attempt))
+            self._send_reply(command, cached)
             return
         missing = [key for key in command.variables
                    if key not in self.store]
@@ -82,7 +81,7 @@ class DssmrServer(SsmrServer):
         reply = Reply(cid=command.cid, status=status, value=value,
                       sender=self.node.name, partition=self.partition,
                       attempt=attempt)
-        self._replies[command.cid] = reply
+        self.replies.store(command.cid, reply)
         self.executed.append(command.cid)
         self._send_reply(command, reply)
 
@@ -104,7 +103,7 @@ class DssmrServer(SsmrServer):
             yield self.env.timeout(self.execution.base_ms)
             return
         if self.partition == dest:
-            cached = self._replies.get(command.cid)
+            cached = self.replies.lookup(command.cid)
             if cached is not None:
                 if notify:
                     self.node.send(notify, REPLY_KIND, cached, size=128)
@@ -118,7 +117,7 @@ class DssmrServer(SsmrServer):
             reply = Reply(cid=command.cid, status=ReplyStatus.OK,
                           value={"moved": len(received)},
                           sender=self.node.name, partition=self.partition)
-            self._replies[command.cid] = reply
+            self.replies.store(command.cid, reply)
             if notify:
                 self.node.send(notify, REPLY_KIND, reply, size=128)
 

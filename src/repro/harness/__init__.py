@@ -7,6 +7,14 @@ behind every figure of the paper: throughput and latency, move counts over
 time, retry/consult rates, and oracle CPU load.
 """
 
+from repro.harness.chaos import (
+    CampaignResult,
+    ChaosScenario,
+    ScenarioResult,
+    generate_scenario,
+    run_campaign,
+    run_scenario,
+)
 from repro.harness.cluster import Cluster, ClusterConfig, build_cluster
 from repro.harness.metrics import ExperimentMetrics
 from repro.harness.experiment import (
@@ -18,15 +26,21 @@ from repro.harness.report import format_series, format_table
 from repro.harness.sweep import SweepResult, sweep
 
 __all__ = [
+    "CampaignResult",
+    "ChaosScenario",
     "ChirperDeployment",
     "Cluster",
     "ClusterConfig",
     "ExperimentMetrics",
     "ExperimentResult",
+    "ScenarioResult",
     "SweepResult",
     "build_cluster",
     "format_series",
     "format_table",
+    "generate_scenario",
+    "run_campaign",
     "run_chirper_experiment",
+    "run_scenario",
     "sweep",
 ]

@@ -1,0 +1,473 @@
+"""Chaos campaign: randomized fault schedules against every scheme.
+
+Each scenario is drawn from a seeded generator — a mix of message drops,
+latency spikes, duplication, bounded reordering, a network partition window
+and a follower crash (recovered through :mod:`repro.smr.recovery` for
+classic SMR, permanent for the partitioned schemes, whose recovery story is
+out of scope — see that module's docstring). The campaign runs each
+scenario against classic SMR, S-SMR and DS-SMR deployments whose clients
+use the resilience layer (:mod:`repro.resilience`), then checks the
+system's guarantees after the network heals:
+
+* every client request completed before the deadline;
+* the recorded history is linearizable (Wing–Gong checker);
+* no replica executed a command twice (exactly-once under resends);
+* live replicas of each partition converged (state and execution order);
+* for DS-SMR: every variable lives in exactly one partition and the
+  oracle's location map agrees with the actual placement.
+
+Everything — fault schedule, workload, backoff jitter — derives from the
+campaign seed, so ``run_campaign(n, seed)`` is fully deterministic: two
+runs produce byte-identical reports. The CLI entry point is
+``python -m repro chaos --scenarios N --seed S``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.checkers import History, KvSequentialSpec, check_linearizable
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.report import format_table
+from repro.net import FailureInjector
+from repro.resilience import RetryPolicy
+from repro.sim import SeedStream
+from repro.smr import Command, ReplyStatus
+from repro.smr.recovery import RecoveryHost, recover_replica
+
+#: Schemes every scenario is run against.
+CHAOS_SCHEMES = ("smr", "ssmr", "dssmr")
+
+#: Keys preloaded into every cluster (spread over both partitions).
+KEYS = tuple(f"k{i}" for i in range(6))
+INITIAL = {key: 0 for key in KEYS}
+
+#: Virtual-time bounds of one scenario run (ms).
+DEADLINE_MS = 8_000.0
+SETTLE_MS = 400.0
+
+
+def _reset_id_counters() -> None:
+    """Reset the module-global id counters commands and multicasts draw
+    from. Scenario behaviour then depends only on (seed, index, scheme),
+    never on what ran earlier in the process — the property behind the
+    campaign's run-twice-compare-reports determinism test."""
+    import repro.ordering.atomic_multicast as atomic_multicast
+    import repro.smr.command as command
+    import repro.smr.recovery as recovery
+    command._cmd_counter = itertools.count()
+    atomic_multicast._am_counter = itertools.count()
+    recovery._recovery_counter = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# scenario generation
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One seeded fault schedule (times in virtual ms).
+
+    Optional faults are ``None`` when the scenario does not include them;
+    ``crash`` is ``(time, partition_index, recover_time)`` and always hits
+    a *follower* replica — sequencers are a fixed point of the ordering
+    layer (crash-tolerant ordering is :mod:`repro.ordering.paxos`'s job).
+    """
+
+    index: int
+    fault_end: float
+    drop_fraction: float
+    delay: Optional[tuple] = None        # (fraction, spike_ms)
+    duplicate: Optional[tuple] = None    # (fraction, extra_copies)
+    reorder: Optional[tuple] = None      # (fraction, window_ms)
+    partition_window: Optional[tuple] = None   # (start, end)
+    crash: Optional[tuple] = None        # (time, partition_index, recover)
+
+    def describe(self) -> str:
+        parts = [f"drop={self.drop_fraction:.3f}"]
+        if self.delay:
+            parts.append(f"delay({self.delay[0]:.2f},{self.delay[1]:.0f}ms)")
+        if self.duplicate:
+            parts.append(f"dup({self.duplicate[0]:.2f})")
+        if self.reorder:
+            parts.append(f"reorder({self.reorder[0]:.2f})")
+        if self.partition_window:
+            start, end = self.partition_window
+            parts.append(f"split[{start:.0f},{end:.0f})")
+        if self.crash:
+            parts.append(f"crash(p{self.crash[1]}@{self.crash[0]:.0f})")
+        return " ".join(parts)
+
+
+def generate_scenario(seed: int, index: int,
+                      fault_end: float = 300.0) -> ChaosScenario:
+    """Draw scenario ``index`` of campaign ``seed`` (pure function)."""
+    rng = SeedStream(seed).child("scenario").stream(f"s{index}")
+    drop_fraction = round(rng.uniform(0.005, 0.025), 4)
+    delay = duplicate = reorder = partition_window = crash = None
+    if rng.random() < 0.5:
+        delay = (round(rng.uniform(0.05, 0.20), 3),
+                 round(rng.uniform(5.0, 20.0), 2))
+    if rng.random() < 0.5:
+        duplicate = (round(rng.uniform(0.05, 0.20), 3), 1)
+    if rng.random() < 0.5:
+        reorder = (round(rng.uniform(0.10, 0.30), 3),
+                   round(rng.uniform(1.0, 4.0), 2))
+    if rng.random() < 0.4:
+        start = round(rng.uniform(40.0, 180.0), 1)
+        partition_window = (start,
+                            round(start + rng.uniform(30.0, 60.0), 1))
+    if rng.random() < 0.4:
+        time = round(rng.uniform(40.0, 150.0), 1)
+        crash = (time, rng.randrange(2),
+                 round(time + rng.uniform(50.0, 100.0), 1))
+    return ChaosScenario(index=index, fault_end=fault_end,
+                         drop_fraction=drop_fraction, delay=delay,
+                         duplicate=duplicate, reorder=reorder,
+                         partition_window=partition_window, crash=crash)
+
+
+# ---------------------------------------------------------------------------
+# one scenario run
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one (scenario, scheme) run."""
+
+    scheme: str
+    scenario: ChaosScenario
+    ops_completed: int
+    ops_expected: int
+    finished_at: Optional[float]    # virtual ms; None if the run got stuck
+    timeouts: int
+    resends: int
+    messages_sent: int
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _random_access(rng: random.Random) -> Command:
+    """The linearizability workload mix: reads, increments, swaps, sums."""
+    kind = rng.random()
+    if kind < 0.30:
+        key = rng.choice(KEYS)
+        return Command(op="get", args={"key": key}, variables=(key,))
+    if kind < 0.65:
+        key = rng.choice(KEYS)
+        return Command(op="incr", args={"key": key}, variables=(key,),
+                       writes=(key,))
+    if kind < 0.85:
+        a, b = rng.sample(KEYS, 2)
+        return Command(op="swap", args={"a": a, "b": b}, variables=(a, b),
+                       writes=(a, b))
+    keys = rng.sample(KEYS, 2)
+    return Command(op="sum", args={"keys": keys}, variables=tuple(keys))
+
+
+def _build_cluster(scheme: str, seed: int, tag: str,
+                   dedup: bool = True) -> Cluster:
+    assignment = None
+    if scheme != "smr":
+        assignment = {key: i % 2 for i, key in enumerate(KEYS)}
+    cluster_seed = SeedStream(seed).child(scheme).stream(tag).randrange(2**31)
+    cluster = Cluster(ClusterConfig(
+        scheme=scheme, num_partitions=2, replicas_per_partition=2,
+        seed=cluster_seed, retry_policy=RetryPolicy(),
+        initial_assignment=assignment, dedup=dedup))
+    cluster.preload(dict(INITIAL))
+    return cluster
+
+
+def _spawn_workload(cluster: Cluster, history: Optional[History],
+                    num_clients: int, ops_per_client: int,
+                    workload_tag: str):
+    """Start client processes; returns (status dict, all-done event)."""
+    env = cluster.env
+    status = {"completed": 0, "finished_clients": 0}
+    done = env.event()
+    clients = [cluster.new_client(f"c{i}") for i in range(num_clients)]
+
+    def loop(client, index):
+        rng = random.Random(f"{workload_tag}/{index}")
+        for _ in range(ops_per_client):
+            command = _random_access(rng)
+            invoked = env.now
+            reply = yield from client.run_command(command)
+            result = reply.value if reply.status is not ReplyStatus.NOK \
+                else str(reply.value)
+            if history is not None:
+                history.record(client.name, command.op, command.args,
+                               result, invoked, env.now)
+            status["completed"] += 1
+            yield env.timeout(rng.uniform(0.0, 1.0))
+        status["finished_clients"] += 1
+        if status["finished_clients"] == num_clients:
+            done.succeed(None)
+
+    for index, client in enumerate(clients):
+        env.process(loop(client, index), name=f"chaos/{client.name}")
+    return status, done
+
+
+def _freeze(store: dict) -> tuple:
+    return tuple(sorted(store.items()))
+
+
+def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
+                 num_clients: int = 3, ops_per_client: int = 8,
+                 dedup: bool = True) -> ScenarioResult:
+    """Run one scenario against one scheme and check every invariant."""
+    _reset_id_counters()
+    cluster = _build_cluster(scheme, seed, f"cluster{scenario.index}",
+                             dedup=dedup)
+    env = cluster.env
+
+    if scheme == "smr":
+        for server in cluster.servers.values():
+            RecoveryHost(server)
+
+    # -- fault schedule ----------------------------------------------------
+    injector = FailureInjector(env, cluster.network,
+                               cluster.seeds.child(f"chaos{scenario.index}"))
+    injector.drop_fraction(scenario.drop_fraction)
+    if scenario.delay:
+        injector.delay_spikes(*scenario.delay)
+    if scenario.duplicate:
+        injector.duplicate_fraction(*scenario.duplicate)
+    if scenario.reorder:
+        injector.reorder_fraction(*scenario.reorder)
+    if scenario.partition_window:
+        start, end = scenario.partition_window
+        if len(cluster.partitions) > 1:
+            island_a = cluster.directory.members(cluster.partitions[0])
+            island_b = cluster.directory.members(cluster.partitions[1])
+        else:  # classic SMR: cut the follower off from the sequencer
+            members = cluster.directory.members(cluster.partitions[0])
+            island_a, island_b = members[:1], members[1:]
+        injector.partition_between(start, end, island_a, island_b)
+    # A clean network for the post-fault phase: invariants are end-state
+    # guarantees, and trailing in-window faults would otherwise race them.
+    env.schedule_callback(scenario.fault_end, injector.heal_all)
+
+    dead: set[str] = set()
+    if scenario.crash:
+        crash_time, partition_index, recover_time = scenario.crash
+        partition = cluster.partitions[partition_index
+                                       % len(cluster.partitions)]
+        victim = f"{partition}s1"   # follower; never the sequencer
+
+        def do_crash() -> None:
+            cluster.servers[victim].crash()
+
+        env.schedule_callback(crash_time, do_crash)
+        if scheme == "smr":
+            peer = cluster.servers[f"{partition}s0"]
+
+            def do_recover() -> None:
+                cluster.servers[victim] = recover_replica(
+                    cluster.servers[victim], peer)
+
+            env.schedule_callback(recover_time, do_recover)
+        else:
+            dead.add(victim)
+
+    # -- workload ----------------------------------------------------------
+    history = History()
+    status, done = _spawn_workload(
+        cluster, history, num_clients, ops_per_client,
+        workload_tag=f"{seed}/{scheme}/{scenario.index}")
+    end_marker = {"at": None}
+
+    def driver():
+        yield done
+        if env.now < scenario.fault_end + 10.0:
+            yield env.timeout(scenario.fault_end + 10.0 - env.now)
+        # Cooldown round on a fresh client: new log entries make any
+        # replica with a trailing gap detect it and request backfill
+        # (gaps in the *middle* of a log self-heal on later traffic, but
+        # a gap at the very end needs one more entry to become visible).
+        cooldown = cluster.new_client("cool")
+        for key in KEYS:
+            yield from cooldown.run_command(
+                Command(op="get", args={"key": key}, variables=(key,)))
+        yield env.timeout(SETTLE_MS)
+        end_marker["at"] = env.now
+
+    env.process(driver(), name="chaos/driver")
+    env.run(until=DEADLINE_MS)
+
+    # -- invariants --------------------------------------------------------
+    violations: list[str] = []
+    expected = num_clients * ops_per_client
+    if status["completed"] != expected or end_marker["at"] is None:
+        violations.append(f"only {status['completed']}/{expected} ops "
+                          f"completed before the deadline")
+    elif not check_linearizable(history, KvSequentialSpec(dict(INITIAL))):
+        violations.append("history is not linearizable")
+
+    for name in sorted(cluster.servers):
+        if name in dead:
+            continue
+        executed = cluster.servers[name].executed
+        duplicated = len(executed) - len(set(executed))
+        if duplicated:
+            violations.append(f"{name} executed {duplicated} command(s) "
+                              f"more than once")
+
+    for partition in cluster.partitions:
+        live = [name for name in cluster.directory.members(partition)
+                if name not in dead]
+        stores = {_freeze(cluster.servers[name].store.snapshot())
+                  for name in live}
+        if len(stores) > 1:
+            violations.append(f"{partition} replicas diverge on state")
+        orders = {tuple(cluster.servers[name].executed) for name in live}
+        if len(orders) > 1:
+            violations.append(f"{partition} replicas diverge on "
+                              f"execution order")
+
+    if cluster.oracles:
+        placement: dict[str, str] = {}
+        for partition in cluster.partitions:
+            witness = next(name for name
+                           in cluster.directory.members(partition)
+                           if name not in dead)
+            for key in cluster.servers[witness].store.snapshot():
+                if key in placement:
+                    violations.append(f"{key} present in both "
+                                      f"{placement[key]} and {partition}")
+                placement[key] = partition
+        maps = {_freeze(oracle.location) for oracle in cluster.oracles}
+        if len(maps) > 1:
+            violations.append("oracle replicas diverge on the location map")
+        oracle_map = cluster.oracles[0].location
+        for key, partition in sorted(placement.items()):
+            if oracle_map.get(key) != partition:
+                violations.append(
+                    f"oracle maps {key} to {oracle_map.get(key)} "
+                    f"but it lives in {partition}")
+        for key in sorted(set(oracle_map) - set(placement)):
+            violations.append(f"oracle maps {key} to {oracle_map[key]} "
+                              f"but no partition stores it")
+
+    return ScenarioResult(
+        scheme=scheme, scenario=scenario,
+        ops_completed=status["completed"], ops_expected=expected,
+        finished_at=end_marker["at"],
+        timeouts=sum(c.timeouts for c in cluster.clients),
+        resends=sum(c.resends for c in cluster.clients),
+        messages_sent=cluster.network.messages_sent,
+        violations=tuple(violations))
+
+
+# ---------------------------------------------------------------------------
+# campaign
+
+
+@dataclass
+class CampaignResult:
+    """All scenario runs of one campaign, plus the printable report."""
+
+    seed: int
+    results: tuple[ScenarioResult, ...]
+
+    @property
+    def violations(self) -> list[tuple[ScenarioResult, str]]:
+        return [(result, violation) for result in self.results
+                for violation in result.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        schemes = sorted({result.scheme for result in self.results},
+                         key=CHAOS_SCHEMES.index)
+        scenarios = {result.scenario.index for result in self.results}
+        rows = []
+        for result in self.results:
+            rows.append([
+                result.scenario.index, result.scheme,
+                result.scenario.describe(),
+                f"{result.ops_completed}/{result.ops_expected}",
+                (f"{result.finished_at:.0f}"
+                 if result.finished_at is not None else "stuck"),
+                result.timeouts, result.resends,
+                "ok" if result.ok else "FAIL",
+            ])
+        table = format_table(
+            ["#", "scheme", "faults", "ops", "done-ms",
+             "timeouts", "resends", "verdict"], rows)
+        lines = [f"chaos campaign: seed={self.seed}, "
+                 f"{len(scenarios)} scenario(s) x "
+                 f"{'/'.join(schemes)}", "", table, ""]
+        if self.ok:
+            lines.append(f"no invariant violations in "
+                         f"{len(self.results)} runs")
+        else:
+            lines.append(f"{len(self.violations)} violation(s):")
+            for result, violation in self.violations:
+                lines.append(f"  - [{result.scheme} #"
+                             f"{result.scenario.index}] {violation}")
+        return "\n".join(lines)
+
+
+def run_campaign(num_scenarios: int = 10, seed: int = 0,
+                 schemes: Sequence[str] = CHAOS_SCHEMES,
+                 num_clients: int = 3, ops_per_client: int = 8,
+                 dedup: bool = True) -> CampaignResult:
+    """Run ``num_scenarios`` seeded scenarios against every scheme."""
+    results = []
+    for index in range(num_scenarios):
+        scenario = generate_scenario(seed, index)
+        for scheme in schemes:
+            results.append(run_scenario(
+                scheme, scenario, seed, num_clients=num_clients,
+                ops_per_client=ops_per_client, dedup=dedup))
+    return CampaignResult(seed=seed, results=tuple(results))
+
+
+# ---------------------------------------------------------------------------
+# overhead measurement (experiment E15)
+
+
+def run_overhead_point(scheme: str, drop_fraction: float, seed: int,
+                       num_clients: int = 4,
+                       ops_per_client: int = 15) -> dict:
+    """Throughput/latency of the resilience layer at one drop rate."""
+    _reset_id_counters()
+    cluster = _build_cluster(scheme, seed, f"overhead{drop_fraction}")
+    env = cluster.env
+    if drop_fraction:
+        injector = FailureInjector(env, cluster.network,
+                                   cluster.seeds.child("overhead"))
+        injector.drop_fraction(drop_fraction)
+    status, done = _spawn_workload(
+        cluster, None, num_clients, ops_per_client,
+        workload_tag=f"{seed}/{scheme}/overhead/{drop_fraction}")
+    end_marker = {"at": None}
+
+    def driver():
+        yield done
+        end_marker["at"] = env.now
+
+    env.process(driver(), name="chaos/overhead")
+    env.run(until=DEADLINE_MS * 4)
+    elapsed = end_marker["at"] or env.now
+    total = num_clients * ops_per_client
+    return {
+        "completed": status["completed"],
+        "total": total,
+        "throughput": total / (elapsed / 1000.0) if elapsed else 0.0,
+        "mean_ms": cluster.latency.mean(),
+        "p95_ms": cluster.latency.percentile(95),
+        "timeouts": sum(c.timeouts for c in cluster.clients),
+        "resends": sum(c.resends for c in cluster.clients),
+    }

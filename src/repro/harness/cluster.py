@@ -26,6 +26,7 @@ from repro.core import (DssmrClient, DssmrServer, MajorityTargetPolicy,
 from repro.dynastar import GraphTargetPolicy
 from repro.net import Network, SwitchedClusterLatency, paper_cluster_topology
 from repro.ordering import GroupDirectory
+from repro.resilience import RetryPolicy
 from repro.sim import Environment, LatencyRecorder, SeedStream
 from repro.smr import (ExecutionModel, KeyValueStateMachine, SmrClient,
                        SmrReplica, StateMachine)
@@ -56,6 +57,13 @@ class ClusterConfig:
     # Static assignment for the ssmr scheme and for preloading: maps
     # variable key -> partition index. Unmapped keys fall back to hashing.
     initial_assignment: Optional[dict] = None
+    # Client-side timeout/retry/backoff (see repro.resilience); None keeps
+    # the legacy block-forever clients. The chaos campaign sets a policy.
+    retry_policy: Optional[RetryPolicy] = None
+    # Server-side request deduplication (reply caches). Disabling it is a
+    # test-only switch for the chaos sentinel: with dedup off, client
+    # resends execute twice and the checkers must catch it.
+    dedup: bool = True
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -122,7 +130,8 @@ class Cluster:
                     self.env, self.network, self.directory, name,
                     self.partitions, policy=policy_factory(),
                     oracle_issues_moves=config.scheme == "dynastar",
-                    async_repartition=config.async_repartition))
+                    async_repartition=config.async_repartition,
+                    dedup=config.dedup))
 
     def _make_server(self, partition: str, name: str):
         config = self.config
@@ -130,14 +139,17 @@ class Cluster:
         if config.scheme == "smr":
             return SmrReplica(self.env, self.network, self.directory,
                               partition, name, state_machine,
-                              execution=config.execution)
+                              execution=config.execution,
+                              dedup=config.dedup)
         if config.scheme == "ssmr":
             return SsmrServer(self.env, self.network, self.directory,
                               partition, name, state_machine,
-                              execution=config.execution)
+                              execution=config.execution,
+                              dedup=config.dedup)
         return DssmrServer(self.env, self.network, self.directory,
                            partition, name, state_machine,
-                           execution=config.execution)
+                           execution=config.execution,
+                           dedup=config.dedup)
 
     def _policy_factory(self):
         config = self.config
@@ -180,19 +192,25 @@ class Cluster:
         """Create a protocol client proxy appropriate for the scheme."""
         config = self.config
         name = name or f"c{next(self._client_counter)}"
+        # Each client's backoff jitter has its own seeded stream, so
+        # retries desynchronise deterministically.
+        rng = self.seeds.child("clients").stream(name)
         if config.scheme == "smr":
             client = SmrClient(self.env, self.network, self.directory, name,
-                               self.partitions[0], latency=self.latency)
+                               self.partitions[0], latency=self.latency,
+                               retry_policy=config.retry_policy, rng=rng)
         elif config.scheme == "ssmr":
             client = SsmrClient(self.env, self.network, self.directory, name,
                                 StaticOracle(self.partition_map),
-                                latency=self.latency)
+                                latency=self.latency,
+                                retry_policy=config.retry_policy, rng=rng)
         else:
             client = DssmrClient(self.env, self.network, self.directory,
                                  name, self.partitions,
                                  max_retries=config.max_retries,
                                  use_cache=config.use_cache,
-                                 latency=self.latency)
+                                 latency=self.latency,
+                                 retry_policy=config.retry_policy, rng=rng)
         self.clients.append(client)
         return client
 

@@ -628,3 +628,41 @@ def figure14_batching(entry_count: int = 400, submitters: int = 8,
     report = format_table(["batch-window-ms", "applied", "lat-mean",
                            "decisions", "net-msgs"], rows)
     return FigureData("fig14", "Sequencer batching ablation", report, data)
+
+
+def figure15_chaos_overhead(seed: int = 5,
+                            drop_rates=(0.0, 0.01, 0.02, 0.05),
+                            schemes=("smr", "ssmr"),
+                            num_clients: int = 4,
+                            ops_per_client: int = 15) -> FigureData:
+    """Robustness ablation: cost of the resilience layer under faults.
+
+    Clients run with timeout/retry/backoff (:mod:`repro.resilience`)
+    against clusters whose network drops an increasing fraction of
+    messages. The drop-rate-zero row is the overhead baseline: the
+    resilience layer is pure bookkeeping until a timeout actually fires,
+    so throughput and latency should match the non-resilient client's.
+    Higher rates show the recovery cost — timeouts, resent requests, and
+    the latency tail they produce.
+    """
+    from repro.harness.chaos import run_overhead_point
+
+    rows = []
+    data: dict = {}
+    for scheme in schemes:
+        for rate in drop_rates:
+            outcome = run_overhead_point(scheme, rate, seed,
+                                         num_clients=num_clients,
+                                         ops_per_client=ops_per_client)
+            data[(scheme, rate)] = outcome
+            rows.append([scheme, f"{rate:.2f}",
+                         f"{outcome['completed']}/{outcome['total']}",
+                         round(outcome["throughput"], 1),
+                         round(outcome["mean_ms"], 3),
+                         round(outcome["p95_ms"], 3),
+                         outcome["timeouts"], outcome["resends"]])
+    report = format_table(["scheme", "drop-rate", "completed", "ops/s",
+                           "lat-mean", "lat-p95", "timeouts", "resends"],
+                          rows)
+    return FigureData("fig15", "Resilience overhead under message loss",
+                      report, data)

@@ -1,15 +1,22 @@
 """Failure injection utilities.
 
 Built on the :class:`~repro.net.transport.Network` hooks: crash/recover
-nodes at given times, drop a random fraction of messages, or partition the
-network into isolated islands for a time window. Used by the fault-tolerance
-tests to check that the protocols keep their guarantees under failures.
+nodes at given times, drop/delay/duplicate a random fraction of messages,
+reorder traffic within bounded windows, or partition the network into
+isolated islands for a time window. Used by the fault-tolerance tests and
+by the chaos campaign (:mod:`repro.harness.chaos`) to check that the
+protocols keep their guarantees under failures.
+
+Every rule installer returns a remover, accepts an optional
+``(start, end)`` activity window, and records what it installed so that
+:meth:`FailureInjector.heal_all` can restore a clean, quiescent network
+before invariant checking.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.net.message import Message
 from repro.net.transport import Network
@@ -20,28 +27,53 @@ class FailureInjector:
     """Schedules failures against a network.
 
     All schedules are set up before ``env.run()``; the injector registers
-    callbacks on the simulation clock.
+    callbacks on the simulation clock. :meth:`heal_all` removes every rule
+    this injector installed, cancels its not-yet-fired schedules and
+    recovers every node it crashed.
     """
 
     def __init__(self, env: Environment, network: Network,
                  seeds: SeedStream | None = None):
         self.env = env
         self.network = network
-        self._rng: random.Random = (seeds or SeedStream(0)).stream("failure")
+        seeds = seeds or SeedStream(0)
+        self._rng: random.Random = seeds.stream("failure")
+        self._reorder_rng: random.Random = seeds.stream("reorder")
+        self._removers: list[Callable[[], None]] = []
+        self._crashed_nodes: set[str] = set()
+        # Bumped by heal_all(); scheduled actions from older generations
+        # become no-ops, so a heal genuinely quiesces the injector.
+        self._generation = 0
+
+    # -- crashes ------------------------------------------------------------
 
     def crash_at(self, time: float, node: str) -> None:
         """Crash ``node`` at virtual time ``time``."""
-        self._at(time, lambda: self.network.crash(node))
+        def crash() -> None:
+            self._crashed_nodes.add(node)
+            self.network.crash(node)
+
+        self._at(time, crash)
 
     def recover_at(self, time: float, node: str) -> None:
         """Recover ``node`` at virtual time ``time``."""
-        self._at(time, lambda: self.network.recover(node))
+        def recover() -> None:
+            self._crashed_nodes.discard(node)
+            self.network.recover(node)
+
+        self._at(time, recover)
+
+    # -- message-level faults ----------------------------------------------
 
     def drop_fraction(self, fraction: float,
-                      kinds: Sequence[str] | None = None) -> None:
+                      kinds: Sequence[str] | None = None,
+                      start: Optional[float] = None,
+                      end: Optional[float] = None) -> Callable[[], None]:
         """Drop a random ``fraction`` of messages (optionally only ``kinds``).
 
-        Installs the rule immediately and permanently.
+        Without a window the rule is installed immediately; with
+        ``(start, end)`` it is active only during that interval (mirroring
+        :meth:`partition_between`). Returns a remover either way.
         """
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction out of range: {fraction}")
@@ -52,7 +84,71 @@ class FailureInjector:
                 return False
             return self._rng.random() < fraction
 
-        self.network.add_drop_rule(rule)
+        return self._install(lambda: self.network.add_drop_rule(rule),
+                             start, end)
+
+    def delay_spikes(self, fraction: float, spike_ms: float,
+                     kinds: Sequence[str] | None = None,
+                     start: Optional[float] = None,
+                     end: Optional[float] = None) -> Callable[[], None]:
+        """Add a latency spike of up to ``spike_ms`` to a random
+        ``fraction`` of messages; returns a remover."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction out of range: {fraction}")
+        if spike_ms <= 0:
+            raise ValueError("spike_ms must be positive")
+        kind_set = set(kinds) if kinds is not None else None
+
+        def rule(message: Message) -> float:
+            if kind_set is not None and message.kind not in kind_set:
+                return 0.0
+            if self._rng.random() >= fraction:
+                return 0.0
+            return spike_ms * (0.5 + 0.5 * self._rng.random())
+
+        return self._install(lambda: self.network.add_delay_rule(rule),
+                             start, end)
+
+    def duplicate_fraction(self, fraction: float, copies: int = 1,
+                           kinds: Sequence[str] | None = None,
+                           start: Optional[float] = None,
+                           end: Optional[float] = None
+                           ) -> Callable[[], None]:
+        """Deliver ``copies`` extra copies of a random ``fraction`` of
+        messages; returns a remover."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction out of range: {fraction}")
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        kind_set = set(kinds) if kinds is not None else None
+
+        def rule(message: Message) -> int:
+            if kind_set is not None and message.kind not in kind_set:
+                return 0
+            return copies if self._rng.random() < fraction else 0
+
+        return self._install(lambda: self.network.add_duplicate_rule(rule),
+                             start, end)
+
+    def reorder_fraction(self, fraction: float, window_ms: float,
+                         kinds: Sequence[str] | None = None,
+                         start: Optional[float] = None,
+                         end: Optional[float] = None) -> Callable[[], None]:
+        """Divert a random ``fraction`` of messages through a bounded
+        reorder window of ``window_ms``; returns a remover."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction out of range: {fraction}")
+        kind_set = set(kinds) if kinds is not None else None
+
+        def predicate(message: Message) -> bool:
+            if kind_set is not None and message.kind not in kind_set:
+                return False
+            return self._rng.random() < fraction
+
+        return self._install(
+            lambda: self.network.add_reorder_rule(predicate, window_ms,
+                                                  rng=self._reorder_rng),
+            start, end)
 
     def partition_between(self, start: float, end: float,
                           island_a: Iterable[str],
@@ -67,20 +163,80 @@ class FailureInjector:
                        or (message.src in set_b and message.dst in set_a))
             return crosses
 
-        remover_holder: list = []
+        self._install(lambda: self.network.add_drop_rule(rule), start, end)
+
+    # -- healing -------------------------------------------------------------
+
+    def heal_all(self) -> None:
+        """Restore a clean network: remove every rule this injector
+        installed, cancel its not-yet-fired schedules and recover every
+        node it crashed.
+
+        Campaign scenarios call this before the quiescent phase so that
+        invariant checking runs against a fault-free network.
+        """
+        self._generation += 1
+        removers, self._removers = self._removers, []
+        for remove in removers:
+            remove()
+        crashed, self._crashed_nodes = self._crashed_nodes, set()
+        for node in sorted(crashed):
+            self.network.recover(node)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _install(self, installer: Callable[[], Callable[[], None]],
+                 start: Optional[float],
+                 end: Optional[float]) -> Callable[[], None]:
+        """Install a rule now or inside a ``[start, end)`` window.
+
+        Returns a remover that works in either mode (before the window
+        opens it simply cancels the pending installation).
+        """
+        if (start is None) != (end is None):
+            raise ValueError("start and end must be given together")
+        if start is None:
+            remover = installer()
+            self._removers.append(remover)
+            return self._tracked(remover)
+        if end <= start:
+            raise ValueError("fault window must have positive length")
+        holder: list[Callable[[], None]] = []
+        cancelled = [False]
 
         def install() -> None:
-            remover_holder.append(self.network.add_drop_rule(rule))
+            if cancelled[0]:
+                return
+            remover = installer()
+            holder.append(remover)
+            self._removers.append(remover)
 
         def uninstall() -> None:
-            if remover_holder:
-                remover_holder[0]()
+            cancelled[0] = True
+            if holder:
+                self._tracked(holder[0])()
 
         self._at(start, install)
         self._at(end, uninstall)
+        return uninstall
+
+    def _tracked(self, remover: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a remover so a manual removal also drops the heal_all ref."""
+        def remove() -> None:
+            remover()
+            if remover in self._removers:
+                self._removers.remove(remover)
+
+        return remove
 
     def _at(self, time: float, action) -> None:
         delay = time - self.env.now
         if delay < 0:
             raise ValueError(f"cannot schedule in the past: t={time}")
-        self.env.schedule_callback(delay, action)
+        generation = self._generation
+
+        def fire() -> None:
+            if generation == self._generation:
+                action()
+
+        self.env.schedule_callback(delay, fire)

@@ -1,10 +1,23 @@
-"""Message transport: endpoints, delivery scheduling and drop rules.
+"""Message transport: endpoints, delivery scheduling and fault rules.
 
 The :class:`Network` owns one :class:`Endpoint` (an inbox channel) per node.
 ``send`` stamps the message, consults the latency model and schedules
 delivery. Quasi-reliable links: messages between correct nodes are delivered
 exactly once, possibly reordered (latency is per-message); failure injection
-can drop messages or disconnect nodes.
+can drop, delay, duplicate or reorder messages, and disconnect nodes.
+
+Fault rules are first-class and composable (all seed-deterministic):
+
+* *drop rules* — predicates; a matching message is discarded at the source.
+* *delay rules* — return extra latency (ms) added to a message's delivery.
+* *duplicate rules* — return how many extra copies to deliver; each copy
+  draws its own latency, so copies interleave with other traffic.
+* *reorder rules* — matching messages are held in a bounded window and
+  released in a seeded-shuffled order, which reorders them even on links
+  with deterministic latency.
+
+Every ``add_*_rule`` returns a remover, so failure injectors can install
+rules for a time window and guarantee a clean network afterwards.
 """
 
 from __future__ import annotations
@@ -17,6 +30,40 @@ from repro.net.message import DEFAULT_MESSAGE_SIZE, Message
 from repro.sim import Channel, Environment, SeedStream
 
 DropRule = Callable[[Message], bool]
+DelayRule = Callable[[Message], float]      # extra delay in ms (0 = none)
+DuplicateRule = Callable[[Message], int]    # number of extra copies
+
+
+class _ReorderWindow:
+    """Holds matching messages for up to ``window_ms`` and releases the
+    batch in a shuffled order — bounded reordering."""
+
+    def __init__(self, network: "Network", predicate: DropRule,
+                 window_ms: float, rng: random.Random):
+        self.network = network
+        self.predicate = predicate
+        self.window_ms = window_ms
+        self.rng = rng
+        self._held: list[tuple[Endpoint, Message]] = []
+        self._flush_scheduled = False
+
+    def capture(self, endpoint: Endpoint, message: Message,
+                delay: float) -> bool:
+        if not self.predicate(message):
+            return False
+        self._held.append((endpoint, message))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.network.env.schedule_callback(delay + self.window_ms,
+                                               self._flush)
+        return True
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        batch, self._held = self._held, []
+        self.rng.shuffle(batch)
+        for endpoint, message in batch:
+            self.network._deliver(endpoint, message)
 
 
 class Endpoint:
@@ -51,8 +98,14 @@ class Network:
         self._endpoints: dict[str, Endpoint] = {}
         self._crashed: set[str] = set()
         self._drop_rules: list[DropRule] = []
+        self._delay_rules: list[DelayRule] = []
+        self._duplicate_rules: list[DuplicateRule] = []
+        self._reorder_windows: list[_ReorderWindow] = []
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_duplicated = 0
+        self.messages_delayed = 0
+        self.messages_reordered = 0
         self.bytes_sent = 0
         # Per-kind traffic accounting (message counts and bytes), used by
         # the message-complexity experiment.
@@ -112,11 +165,43 @@ class Network:
 
     def add_drop_rule(self, rule: DropRule) -> Callable[[], None]:
         """Install a predicate dropping matching messages; returns a remover."""
-        self._drop_rules.append(rule)
+        return self._install(self._drop_rules, rule)
+
+    def add_delay_rule(self, rule: DelayRule) -> Callable[[], None]:
+        """Install a rule adding extra latency (ms) to matching messages.
+
+        Returns a remover. Multiple matching rules stack additively.
+        """
+        return self._install(self._delay_rules, rule)
+
+    def add_duplicate_rule(self, rule: DuplicateRule) -> Callable[[], None]:
+        """Install a rule returning how many *extra* copies of a matching
+        message to deliver (each with its own latency draw); returns a
+        remover."""
+        return self._install(self._duplicate_rules, rule)
+
+    def add_reorder_rule(self, predicate: DropRule, window_ms: float,
+                         rng: Optional[random.Random] = None
+                         ) -> Callable[[], None]:
+        """Hold matching messages for up to ``window_ms`` and release each
+        batch in a shuffled order (bounded reordering); returns a remover.
+
+        Pass a dedicated seeded ``rng`` to keep the shuffle independent of
+        the latency stream; campaigns rely on this for determinism.
+        """
+        if window_ms <= 0:
+            raise ValueError("reorder window must be positive")
+        window = _ReorderWindow(self, predicate, window_ms,
+                                rng or random.Random(0))
+        return self._install(self._reorder_windows, window)
+
+    @staticmethod
+    def _install(rules: list, rule) -> Callable[[], None]:
+        rules.append(rule)
 
         def remove() -> None:
-            if rule in self._drop_rules:
-                self._drop_rules.remove(rule)
+            if rule in rules:
+                rules.remove(rule)
 
         return remove
 
@@ -143,9 +228,22 @@ class Network:
             self._trace("dropped", message)
             return None
         self._trace("sent", message)
-        delay = self.latency.delay(src, dst, size, self._rng)
-        self.env.schedule_callback(delay,
-                                   lambda: self._deliver(endpoint, message))
+        extra = 0.0
+        for rule in self._delay_rules:
+            added = rule(message)
+            if added:
+                extra += added
+        if extra:
+            self.messages_delayed += 1
+        copies = 1
+        for rule in self._duplicate_rules:
+            copies += int(rule(message) or 0)
+        self.messages_duplicated += copies - 1
+        for copy_index in range(copies):
+            if copy_index:
+                self._trace("duplicated", message)
+            delay = self.latency.delay(src, dst, size, self._rng) + extra
+            self._dispatch(endpoint, message, delay)
         return message
 
     def send_all(self, src: str, dsts: Iterable[str], kind: str,
@@ -154,6 +252,16 @@ class Network:
         """Send the same logical message to several destinations."""
         for dst in sorted(set(dsts)):
             self.send(src, dst, kind, payload, size)
+
+    def _dispatch(self, endpoint: Endpoint, message: Message,
+                  delay: float) -> None:
+        """Route one delivery: through a reorder window or straight on."""
+        for window in self._reorder_windows:
+            if window.capture(endpoint, message, delay):
+                self.messages_reordered += 1
+                return
+        self.env.schedule_callback(delay,
+                                   lambda: self._deliver(endpoint, message))
 
     def _deliver(self, endpoint: Endpoint, message: Message) -> None:
         # Crash may have happened while the message was in flight.

@@ -41,6 +41,10 @@ _am_counter = itertools.count()
 
 DeliverCallback = Callable[["AmcastDelivery"], None]
 
+# Self-heal pull request: a group stuck on a non-final message asks another
+# destination group's speaker for its missing timestamp announcement.
+AM_TS_PULL = "am-ts-pull"
+
 
 @dataclass
 class AmcastDelivery:
@@ -87,21 +91,33 @@ class AtomicMulticast:
     TS_SIZE = 96  # wire size of a timestamp announcement
 
     def __init__(self, node: ProtocolNode, directory: GroupDirectory,
-                 log: GroupLog, speaker_only: bool = True):
+                 log: GroupLog, speaker_only: bool = True,
+                 heal_interval_ms: Optional[float] = 40.0):
         self.node = node
         self.directory = directory
         self.log = log
         self.group = log.group
         self.speaker_only = speaker_only
+        # A multi-group message still non-final after this long triggers a
+        # self-heal round (re-propose + timestamp pull); None disables.
+        # Without it, one dropped propose or timestamp announcement blocks
+        # the whole delivery queue of a destination group forever.
+        self.heal_interval_ms = heal_interval_ms
         self._log_client = LogClient(node, directory,
                                      broadcast=not speaker_only)
         self._pending: dict[str, _Pending] = {}
         self._clock = 0
         self._delivered_uids: set[str] = set()
+        # Own group's timestamp per multi-group muid, kept past delivery so
+        # other groups can pull a lost announcement at any time.
+        self._my_ts: dict[str, int] = {}
         self._callbacks: list[DeliverCallback] = []
         self._deliver_count = 0
+        self.heals = 0
+        self.ts_pulls = 0
         self.delivery_log: list[str] = []  # uids in delivery order (tests)
         log.on_decide(self._apply)
+        node.on(AM_TS_PULL, self._on_ts_pull)
 
     # -- API ------------------------------------------------------------------
 
@@ -152,14 +168,21 @@ class AtomicMulticast:
             state.final_ts = state.local_ts
         else:
             state.group_ts[self.group] = state.local_ts
+            self._my_ts[muid] = state.local_ts
             self._announce_ts(muid, state)
             self._maybe_finalize(state)
+            if self.heal_interval_ms:
+                self.node.env.schedule_callback(
+                    self.heal_interval_ms, lambda: self._heal(muid))
         self._try_deliver()
 
+    @property
+    def _announcing(self) -> bool:
+        return (not self.speaker_only
+                or self.directory.speaker(self.group) == self.node.name)
+
     def _announce_ts(self, muid: str, state: _Pending) -> None:
-        announcing = (not self.speaker_only
-                      or self.directory.speaker(self.group) == self.node.name)
-        if not announcing:
+        if not self._announcing:
             return
         for group in state.groups:
             entry = {
@@ -190,6 +213,56 @@ class AtomicMulticast:
             return
         if all(group in state.group_ts for group in state.groups):
             state.final_ts = max(state.group_ts.values())
+
+    # -- self-heal under message loss --------------------------------------
+    #
+    # A multi-group message wedges a destination group if (a) the propose to
+    # some other group was lost — that group never announces, the message
+    # never finalises, and it blocks every later delivery here — or (b) a
+    # timestamp announcement to *us* was lost. The announcing member
+    # periodically (i) re-proposes the full entry to the other groups and
+    # (ii) pulls missing timestamps from their speakers. Log entries keep
+    # their original uids, so every redundant copy deduplicates and the
+    # heal is idempotent.
+
+    def _heal(self, muid: str) -> None:
+        state = self._pending.get(muid)
+        if (state is None or state.final_ts is not None
+                or not state.proposed or not self._announcing):
+            return
+        self.heals += 1
+        entry = _propose_entry(muid, state.groups, state.payload,
+                               state.origin, state.size)
+        for group in state.groups:
+            if group == self.group or group in state.group_ts:
+                continue  # its announcement arrived, so it has the propose
+            self._log_client.submit(group, entry, size=state.size + 128)
+            self.ts_pulls += 1
+            self.node.send(self.directory.speaker(group), AM_TS_PULL,
+                           {"muid": muid, "reply_group": self.group},
+                           size=64)
+        self.node.env.schedule_callback(self.heal_interval_ms,
+                                        lambda: self._heal(muid))
+
+    def _on_ts_pull(self, message) -> None:
+        if not self._announcing:
+            return
+        muid = message.payload["muid"]
+        ts = self._my_ts.get(muid)
+        if ts is None:
+            return  # never saw the propose; the puller's re-propose fixes that
+        reply_group = message.payload["reply_group"]
+        entry = {
+            "uid": f"ts:{muid}:{self.group}:{reply_group}",
+            "kind": "am-ts",
+            "muid": muid,
+            "from_group": self.group,
+            "ts": ts,
+        }
+        if reply_group == self.group:
+            self.log.submit(entry)
+        else:
+            self._log_client.submit(reply_group, entry, size=self.TS_SIZE)
 
     # -- logical clock ----------------------------------------------------
 

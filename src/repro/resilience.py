@@ -1,0 +1,132 @@
+"""Request-level resilience: timeouts, retry/backoff and reply dedup.
+
+The protocols in this repository are safe under message loss (ordered logs
+and servers deduplicate by uid/command id), but a client that never resends
+a lost request — or never re-elicits a lost reply — blocks forever. This
+module holds the pieces every client/server stack shares:
+
+* :class:`RetryPolicy` — per-request virtual-time timeout plus capped
+  exponential backoff with jitter, drawn from the simulation's seeded RNG
+  so chaos campaigns stay bit-for-bit reproducible.
+* :func:`with_timeout` — generator helper racing a reply event against a
+  timeout, the building block of every resilient wait.
+* :class:`ReplyCache` — server-side request deduplication: replies are
+  cached per command id and re-sent (re-tagged with the caller's current
+  attempt) when a retry re-delivers an already-executed command, which is
+  what makes client resends exactly-once.
+
+Clients tag every resend with an attempt number and servers echo it, so a
+straggling reply from an abandoned attempt can never answer a newer one
+(see :class:`~repro.smr.command.Reply`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.sim import Environment, Event
+
+
+class RequestTimeout(Exception):
+    """A request exhausted its retry budget without receiving a reply."""
+
+    def __init__(self, cid: str, attempts: int):
+        super().__init__(f"request {cid!r} timed out after "
+                         f"{attempts} attempt(s)")
+        self.cid = cid
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/backoff knobs of one client's resilient request loop.
+
+    ``timeout_ms`` is the per-attempt virtual-time wait for a reply;
+    ``backoff_base_ms * backoff_factor^(attempt-1)`` (capped at
+    ``backoff_max_ms``) is slept between attempts, shrunk by up to
+    ``jitter`` (a fraction of the backoff) drawn from the client's seeded
+    RNG so that synchronised clients desynchronise deterministically.
+    ``max_attempts == 0`` retries forever — the right default for chaos
+    campaigns where every injected fault eventually heals.
+    """
+
+    timeout_ms: float = 50.0
+    backoff_base_ms: float = 5.0
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 200.0
+    jitter: float = 0.5
+    max_attempts: int = 0
+
+    def __post_init__(self):
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def backoff_ms(self, attempt: int,
+                   rng: Optional[random.Random] = None) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempts count from 1)."""
+        base = min(self.backoff_max_ms,
+                   self.backoff_base_ms
+                   * self.backoff_factor ** max(0, attempt - 1))
+        if self.jitter <= 0 or rng is None:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+    def gives_up(self, attempts: int) -> bool:
+        """True when ``attempts`` completed attempts exhaust the budget."""
+        return bool(self.max_attempts) and attempts >= self.max_attempts
+
+
+def with_timeout(env: Environment, event: Event,
+                 timeout_ms: Optional[float]):
+    """Generator: wait on ``event`` for at most ``timeout_ms``.
+
+    Returns ``(fired, value)``; with ``timeout_ms=None`` it degenerates to
+    a plain wait (legacy block-forever behaviour).
+    """
+    if timeout_ms is None:
+        value = yield event
+        return True, value
+    timer = env.timeout(timeout_ms)
+    yield env.any_of([event, timer])
+    if event.triggered:
+        return True, event.value
+    return False, None
+
+
+class ReplyCache:
+    """Per-server reply cache keyed by command id.
+
+    ``lookup`` returns the cached reply re-tagged with the retry's attempt
+    number (so the client's stale-attempt filter accepts it), or None when
+    the command has not executed here. ``enabled=False`` turns the cache
+    into a no-op — a **test-only** switch that lets the chaos campaign
+    prove its checkers catch duplicate execution.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._replies: dict = {}
+        self.hits = 0
+
+    def lookup(self, cid: str, attempt: int = 1):
+        if not self.enabled:
+            return None
+        cached = self._replies.get(cid)
+        if cached is None:
+            return None
+        self.hits += 1
+        return replace(cached, attempt=attempt)
+
+    def store(self, cid: str, reply) -> None:
+        if self.enabled:
+            self._replies[cid] = reply
+
+    def __contains__(self, cid: str) -> bool:
+        return self.enabled and cid in self._replies
+
+    def __len__(self) -> int:
+        return len(self._replies)

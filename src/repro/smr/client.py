@@ -2,29 +2,40 @@
 
 :class:`BaseClient` holds the machinery shared by every protocol's client
 proxy — reply matching by command id, first-reply-wins deduplication (all
-replicas of a partition reply), and latency recording. :class:`SmrClient`
-is the classic-SMR specialisation that multicasts every command to the
-single replica group.
+replicas of a partition reply), attempt-tagged retry with timeout/backoff
+(:mod:`repro.resilience`), and latency recording. :class:`SmrClient` is the
+classic-SMR specialisation that multicasts every command to the single
+replica group.
+
+Retry semantics: a resend must use a *fresh* multicast uid — the ordered
+logs deduplicate by uid, so re-sending the original uid can never re-elicit
+a lost reply. Servers deduplicate by command id instead (reply caches), so
+a resent command is executed at most once and its cached reply is re-sent,
+re-tagged with the attempt number the client is currently waiting for.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import random
+from typing import Callable, Iterable, Optional
 
 from repro.net import Message, Network
 from repro.ordering import GroupDirectory, MulticastClient, ProtocolNode
+from repro.resilience import RequestTimeout, RetryPolicy, with_timeout
 from repro.sim import Environment, Event, LatencyRecorder
 from repro.smr.command import Command, Reply
 from repro.smr.replica import REPLY_KIND
 
 
 class BaseClient:
-    """A client process endpoint with reply matching."""
+    """A client process endpoint with reply matching and retries."""
 
     def __init__(self, env: Environment, network: Network,
                  directory: GroupDirectory, name: str,
                  latency: Optional[LatencyRecorder] = None,
-                 broadcast_submit: bool = False):
+                 broadcast_submit: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rng: Optional[random.Random] = None):
         self.env = env
         self.directory = directory
         self.node = ProtocolNode(env, network, name)
@@ -34,8 +45,15 @@ class BaseClient:
         self.mcast = MulticastClient(self.node, directory,
                                      broadcast_submit=broadcast_submit)
         self.latency = latency if latency is not None else LatencyRecorder(name)
+        # retry_policy=None keeps the legacy block-forever behaviour.
+        self.retry_policy = retry_policy
+        self._rng = rng if rng is not None else random.Random(0)
         self._waiting: dict[str, tuple[Event, Optional[int]]] = {}
         self._done: set[str] = set()
+        # Fresh-uid suffix counters, one per logical request.
+        self._uid_seq: dict[str, int] = {}
+        self.timeouts = 0
+        self.resends = 0
         self.node.on(REPLY_KIND, self._on_reply)
 
     @property
@@ -70,6 +88,75 @@ class BaseClient:
     def cancel_wait(self, cid: str) -> None:
         self._waiting.pop(cid, None)
 
+    # -- resilient requests --------------------------------------------------
+
+    def next_uid(self, base: str) -> str:
+        """Fresh multicast uid for a resend of the request behind ``base``.
+
+        The first send keeps ``base`` itself (byte-compatible with the
+        non-resilient protocol); resends append ``:r{n}`` so the ordered
+        logs treat them as new entries while servers still deduplicate by
+        command id.
+        """
+        n = self._uid_seq.get(base, 0) + 1
+        self._uid_seq[base] = n
+        return base if n == 1 else f"{base}:r{n}"
+
+    def resilient_request(self, cid: str,
+                          send: Callable[[int], None]):
+        """Generator: run ``send(attempt)`` until a reply for ``cid`` lands.
+
+        ``send`` multicasts the request tagged with the given attempt
+        number (and must use a fresh uid per call, see :meth:`next_uid`).
+        With no :class:`RetryPolicy` this is a single send and an unbounded
+        wait; with one, timed-out attempts are resent after capped
+        exponential backoff with jitter. Raises :class:`RequestTimeout`
+        once the policy's attempt budget is exhausted.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            event = self.wait_reply(cid, attempt=attempt)
+            send(attempt)
+            if attempt > 1:
+                self.resends += 1
+            fired, reply = yield from with_timeout(
+                self.env, event, policy.timeout_ms if policy else None)
+            if fired:
+                return reply
+            self.cancel_wait(cid)
+            self.timeouts += 1
+            if policy.gives_up(attempt):
+                raise RequestTimeout(cid, attempt)
+            yield self.env.timeout(policy.backoff_ms(attempt, self._rng))
+
+    def send_with_retries(self, cid: str, send: Callable[[], None],
+                          expected_attempt: Optional[int] = None):
+        """Generator: like :meth:`resilient_request`, but the request's
+        attempt tag is fixed by the caller — resends repeat the same
+        logical attempt under fresh uids (DS-SMR's algorithm attempts are
+        protocol-level; network resends must not consume them)."""
+        policy = self.retry_policy
+        sends = 0
+        while True:
+            sends += 1
+            event = self.wait_reply(cid, attempt=expected_attempt)
+            send()
+            if sends > 1:
+                self.resends += 1
+            fired, reply = yield from with_timeout(
+                self.env, event, policy.timeout_ms if policy else None)
+            if fired:
+                return reply
+            self.cancel_wait(cid)
+            self.timeouts += 1
+            if policy.gives_up(sends):
+                raise RequestTimeout(cid, sends)
+            yield self.env.timeout(policy.backoff_ms(sends, self._rng))
+
+    # -- legacy single-shot API ----------------------------------------------
+
     def submit(self, command: Command, groups: Iterable[str]) -> Event:
         """Multicast ``command`` to ``groups`` and return the reply event."""
         command.client = self.name
@@ -79,14 +166,23 @@ class BaseClient:
         return event
 
     def execute(self, command: Command, groups: Iterable[str]):
-        """Generator: submit, wait, record latency, return the reply.
+        """Generator: submit (with retries), wait, record latency.
 
         Usage inside a client process::
 
             reply = yield from client.execute(command, ["partition-0"])
         """
+        command.client = self.name
+        groups = list(groups)
         start = self.env.now
-        reply = yield self.submit(command, groups)
+
+        def send(attempt: int) -> None:
+            self.mcast.multicast(
+                groups, {"command": command, "attempt": attempt},
+                size=command.payload_size(),
+                uid=self.next_uid(f"am:{command.cid}"))
+
+        reply = yield from self.resilient_request(command.cid, send)
         self.latency.record(self.env.now, self.env.now - start)
         return reply
 
@@ -96,8 +192,11 @@ class SmrClient(BaseClient):
 
     def __init__(self, env: Environment, network: Network,
                  directory: GroupDirectory, name: str, group: str,
-                 latency: Optional[LatencyRecorder] = None):
-        super().__init__(env, network, directory, name, latency)
+                 latency: Optional[LatencyRecorder] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rng: Optional[random.Random] = None):
+        super().__init__(env, network, directory, name, latency,
+                         retry_policy=retry_policy, rng=rng)
         self.group = group
 
     def run_command(self, command: Command):

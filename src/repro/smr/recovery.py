@@ -70,6 +70,14 @@ class RecoveryHost:
         self.snapshots_served += 1
 
 
+def _delivery_cid(delivery) -> str:
+    """Command id of a queued delivery (envelope or legacy raw Command)."""
+    payload = delivery.payload
+    if isinstance(payload, dict):
+        return payload["command"].cid
+    return payload.cid
+
+
 class RecoveringReplica:
     """A replacement replica that bootstraps from a peer's snapshot.
 
@@ -77,22 +85,39 @@ class RecoveringReplica:
     ``network.recover(name)``); commands delivered by the log while the
     snapshot is in flight are buffered by the replica's delivery channel
     and deduplicated against the snapshot's executed set after install.
+
+    The snapshot request is retried every ``retry_ms`` until the response
+    arrives: either message may be lost, and an un-retried request would
+    leave the replacement replica gated forever. The request id stays the
+    same across retries, so late duplicate responses install at most once.
     """
 
-    def __init__(self, replica: SmrReplica, peer_name: str):
+    def __init__(self, replica: SmrReplica, peer_name: str,
+                 retry_ms: Optional[float] = 60.0):
         if replica._start_gate is None:
             raise ValueError("the replacement replica must be constructed "
                              "with a start_gate (use recover_replica)")
         self.replica = replica
         self.peer_name = peer_name
         self.installed = False
+        self.attempts = 0
+        self.retry_ms = retry_ms
         self._request_id = f"rec-{next(_recovery_counter)}"
         self._gate = replica._start_gate
         replica.node.on(SNAPSHOT_RESPONSE, self._on_snapshot)
-        replica.node.send(peer_name, SNAPSHOT_REQUEST, {
+        self._send_request()
+
+    def _send_request(self) -> None:
+        if self.installed:
+            return
+        self.attempts += 1
+        self.replica.node.send(self.peer_name, SNAPSHOT_REQUEST, {
             "request_id": self._request_id,
-            "reply_to": replica.node.name,
+            "reply_to": self.replica.node.name,
         }, size=128)
+        if self.retry_ms is not None:
+            self.replica.env.schedule_callback(self.retry_ms,
+                                               self._send_request)
 
     def _on_snapshot(self, message: Message) -> None:
         snapshot = message.payload
@@ -105,7 +130,7 @@ class RecoveringReplica:
         replica._executed_set = set(replica.executed)
         # Drop queued deliveries the snapshot already covers.
         retained = [d for d in replica._deliveries._items
-                    if d.payload.cid not in replica._executed_set]
+                    if _delivery_cid(d) not in replica._executed_set]
         replica._deliveries._items.clear()
         replica._deliveries._items.extend(retained)
         # Positions below the snapshot are covered by the installed state;

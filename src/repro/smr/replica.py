@@ -15,6 +15,7 @@ from repro.net import Network
 from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, SequencerLog)
 from repro.ordering.log import GroupLog
+from repro.resilience import ReplyCache
 from repro.sim import Channel, Environment, Interrupted
 from repro.smr.command import Command, Reply, ReplyStatus
 from repro.smr.execution import ExecutionModel
@@ -32,7 +33,8 @@ class SmrReplica:
                  state_machine: StateMachine,
                  execution: Optional[ExecutionModel] = None,
                  log_factory=SequencerLog,
-                 start_gate=None):
+                 start_gate=None,
+                 dedup: bool = True):
         self.env = env
         self.group = group
         self.node = ProtocolNode(env, network, name)
@@ -43,6 +45,9 @@ class SmrReplica:
         self.store = VariableStore()
         self.executed: list[str] = []  # command ids, in execution order
         self._executed_set: set[str] = set()
+        # dedup=False (test-only) lets the chaos sentinel prove the
+        # checkers catch duplicate execution when resends are not filtered.
+        self.replies = ReplyCache(enabled=dedup)
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._deliveries.put)
         # A recovering replica's executor must not touch the store until
@@ -66,16 +71,30 @@ class SmrReplica:
                 yield self._start_gate
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
-                command: Command = delivery.payload
-                if command.cid in self._executed_set:
-                    # Already covered (recovery snapshot overlap with
-                    # backfilled log entries): re-executing would
-                    # double-apply the command's writes.
+                payload = delivery.payload
+                if isinstance(payload, dict):    # resilient-client envelope
+                    command: Command = payload["command"]
+                    attempt = payload.get("attempt", 1)
+                else:                            # legacy raw Command
+                    command = payload
+                    attempt = 1
+                if self.replies.enabled and command.cid in self._executed_set:
+                    # Already covered: a client resend, or recovery-snapshot
+                    # overlap with backfilled log entries. Re-executing
+                    # would double-apply the command's writes; resend the
+                    # cached reply instead (the resend's reply may have
+                    # been the message that was lost).
+                    cached = self.replies.lookup(command.cid, attempt)
+                    if cached is not None and command.client:
+                        self.node.send(command.client, REPLY_KIND, cached,
+                                       size=128)
                     continue
                 yield self.env.timeout(self.execution.cost(command))
                 reply = self._apply(command)
+                reply.attempt = attempt
                 self.executed.append(command.cid)
                 self._executed_set.add(command.cid)
+                self.replies.store(command.cid, reply)
                 if command.client:
                     self.node.send(command.client, REPLY_KIND, reply,
                                    size=128)

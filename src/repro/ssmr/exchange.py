@@ -6,30 +6,43 @@ one message carrying their signal and their share of the variables, and
 wait until every expected peer's signal has arrived. Used by S-SMR
 multi-partition execution, DS-SMR moves, and create/delete coordination
 with the oracle.
+
+Loss recovery is pull-based: every outbound exchange is cached, and a
+waiter that has not heard from an expected peer within ``retry_ms``
+multicasts a pull request to that peer's group; any member that already
+sent for the command re-sends its cached message (receivers deduplicate
+by sender, so redundant copies are harmless). Without this, one dropped
+signal blocks a partition's executor forever.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.ordering import ReliableMulticast
 from repro.sim import Environment
 
 EXCHANGE = "ssmr-exchange"
+EXCHANGE_PULL = "ssmr-exchange-pull"
 
 
 class ExchangeBuffer:
     """Per-node buffer of exchange messages, keyed by command id."""
 
     def __init__(self, env: Environment, rmcast: ReliableMulticast,
-                 local_name: str):
+                 local_name: str, retry_ms: Optional[float] = 60.0):
         self.env = env
         self.rmcast = rmcast
         self.local_name = local_name  # partition (or "oracle") we speak for
+        self.retry_ms = retry_ms      # None: legacy block-forever waits
         self._signals: dict[str, set[str]] = {}
         self._vars: dict[str, dict] = {}
         self._done: set[str] = set()
         self._waiters: dict[str, object] = {}
+        # Outbound cache for pull-based retransmission, cid -> payload.
+        self._sent: dict[str, dict] = {}
+        self.pulls_sent = 0
+        self.pulls_served = 0
         rmcast.on_deliver(self._on_rmcast)
 
     def send(self, groups: Iterable[str], cid: str, variables: dict,
@@ -43,16 +56,31 @@ class ExchangeBuffer:
         groups = list(groups)
         if not groups:
             return
-        self.rmcast.multicast(groups, {
+        payload = {
             "kind": EXCHANGE,
             "cid": cid,
             "from": self.local_name,
             "vars": variables,
             "done": done,
-        }, size=128 + 64 * len(variables))
+        }
+        cached = self._sent.get(cid)
+        if cached is not None:
+            # A re-delivery (client resend) repeats the exchange, usually
+            # with no variables left to ship. Merge so the cache — and the
+            # resend itself — still carries the original transfer.
+            payload["vars"] = {**cached["vars"], **variables}
+            payload["done"] = done or cached["done"]
+        self._sent[cid] = payload
+        self.rmcast.multicast(groups, payload,
+                              size=128 + 64 * len(variables))
 
     def _on_rmcast(self, payload, message) -> None:
-        if not isinstance(payload, dict) or payload.get("kind") != EXCHANGE:
+        if not isinstance(payload, dict):
+            return
+        if payload.get("kind") == EXCHANGE_PULL:
+            self._serve_pull(payload)
+            return
+        if payload.get("kind") != EXCHANGE:
             return
         cid = payload["cid"]
         sender = payload["from"]
@@ -67,14 +95,40 @@ class ExchangeBuffer:
         if waiter is not None:
             waiter.succeed(None)
 
+    def _serve_pull(self, payload: dict) -> None:
+        cached = self._sent.get(payload["cid"])
+        if cached is None:
+            return  # we have not executed the command yet; nothing to resend
+        self.pulls_served += 1
+        self.rmcast.multicast([payload["reply_to"]], cached,
+                              size=128 + 64 * len(cached["vars"]))
+
     def wait(self, cid: str, expected: set[str]):
-        """Generator: block until signals from all ``expected`` arrived."""
+        """Generator: block until signals from all ``expected`` arrived.
+
+        With ``retry_ms`` set, a lost peer message is recovered by pulling
+        the peer's cached exchange for ``cid``.
+        """
         while not expected.issubset(self._signals.get(cid, set())):
             if cid in self._waiters:
                 raise RuntimeError(f"two executors waiting on {cid}")
             event = self.env.event()
             self._waiters[cid] = event
-            yield event
+            if self.retry_ms is None:
+                yield event
+                continue
+            timer = self.env.timeout(self.retry_ms)
+            yield self.env.any_of([event, timer])
+            if not event.triggered:
+                self._waiters.pop(cid, None)
+                missing = expected - self._signals.get(cid, set())
+                for group in sorted(missing):
+                    self.pulls_sent += 1
+                    self.rmcast.multicast([group], {
+                        "kind": EXCHANGE_PULL,
+                        "cid": cid,
+                        "reply_to": self.local_name,
+                    }, size=96)
 
     def any_done(self, cid: str) -> bool:
         """True if any participant reported it already executed ``cid``."""

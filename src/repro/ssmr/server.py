@@ -22,12 +22,12 @@ Implementation notes:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional
 
 from repro.net import Network
 from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, ReliableMulticast, SequencerLog)
+from repro.resilience import ReplyCache
 from repro.sim import Channel, Environment, Interrupted
 from repro.smr.command import Command, Reply, ReplyStatus
 from repro.smr.execution import ExecutionModel
@@ -45,7 +45,8 @@ class SsmrServer:
                  state_machine: StateMachine,
                  execution: Optional[ExecutionModel] = None,
                  log_factory=SequencerLog,
-                 speaker_only: bool = True):
+                 speaker_only: bool = True,
+                 dedup: bool = True):
         self.env = env
         self.partition = partition
         self.directory = directory
@@ -59,7 +60,9 @@ class SsmrServer:
         self.store = VariableStore()
         self.executed: list[str] = []       # command ids in execution order
         self.multi_partition_count = 0
-        self._replies: dict[str, Reply] = {}
+        # dedup=False (test-only) disables exactly-once retry filtering so
+        # the chaos sentinel can prove the checkers catch double execution.
+        self.replies = ReplyCache(enabled=dedup)
         self.exchange = ExchangeBuffer(env, self.rmcast, partition)
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._deliveries.put)
@@ -92,7 +95,7 @@ class SsmrServer:
         command: Command = envelope["command"]
         dests = tuple(envelope["dests"])
         attempt = envelope.get("attempt", 1)
-        cached = self._replies.get(command.cid)
+        cached = self.replies.lookup(command.cid, attempt)
         if cached is not None:
             # Already executed here (the client re-multicast after a lost
             # race). We must still take part in the signal exchange — with
@@ -102,7 +105,7 @@ class SsmrServer:
             others = [d for d in dests if d != self.partition]
             if command.ctype.value == "access" and others:
                 self.exchange.send(others, command.cid, {}, done=True)
-            self._send_reply(command, replace(cached, attempt=attempt))
+            self._send_reply(command, cached)
             return
         handler = {
             "access": self._exec_access,
@@ -116,7 +119,7 @@ class SsmrServer:
         reply = yield from handler(command, dests)
         if reply is not None:
             reply.attempt = attempt
-            self._replies[command.cid] = reply
+            self.replies.store(command.cid, reply)
             self.executed.append(command.cid)
             self._send_reply(command, reply)
 

@@ -1,0 +1,109 @@
+"""Tests for the chaos campaign harness.
+
+The campaign's value rests on three properties: it is deterministic (same
+seed, same report — byte for byte), it passes on the real protocols, and
+it CAN fail — the sentinel run disables server-side dedup and the checkers
+must catch the resulting duplicate execution.
+"""
+
+import pytest
+
+from repro.harness.chaos import (CHAOS_SCHEMES, ChaosScenario,
+                                 generate_scenario, run_campaign,
+                                 run_scenario)
+
+
+class TestScenarioGenerator:
+    def test_deterministic(self):
+        assert generate_scenario(9, 4) == generate_scenario(9, 4)
+
+    def test_varies_with_index_and_seed(self):
+        scenarios = {generate_scenario(0, i) for i in range(8)}
+        assert len(scenarios) == 8
+        assert generate_scenario(0, 0) != generate_scenario(1, 0)
+
+    def test_bounds(self):
+        for index in range(20):
+            scenario = generate_scenario(3, index)
+            assert 0.005 <= scenario.drop_fraction <= 0.025
+            if scenario.partition_window:
+                start, end = scenario.partition_window
+                assert 0 < start < end <= scenario.fault_end
+            if scenario.crash:
+                time, partition_index, recover = scenario.crash
+                assert 0 < time < recover < scenario.fault_end
+                assert partition_index in (0, 1)
+
+    def test_describe_lists_active_faults(self):
+        scenario = ChaosScenario(index=0, fault_end=300.0,
+                                 drop_fraction=0.01,
+                                 crash=(50.0, 1, 120.0))
+        text = scenario.describe()
+        assert "drop=0.010" in text
+        assert "crash(p1@50)" in text
+        assert "dup" not in text
+
+
+class TestCampaign:
+    def test_campaign_is_deterministic_and_clean(self):
+        first = run_campaign(num_scenarios=3, seed=0)
+        second = run_campaign(num_scenarios=3, seed=0)
+        assert first.report() == second.report()
+        assert first.ok, first.report()
+        assert len(first.results) == 3 * len(CHAOS_SCHEMES)
+
+    def test_two_percent_drop_everything_completes(self):
+        """The issue's headline guarantee: at a 2% drop rate every client
+        request completes and histories stay linearizable."""
+        scenario = ChaosScenario(index=0, fault_end=300.0,
+                                 drop_fraction=0.02)
+        for scheme in CHAOS_SCHEMES:
+            result = run_scenario(scheme, scenario, seed=1)
+            assert result.ops_completed == result.ops_expected
+            assert result.ok, (scheme, result.violations)
+
+    @pytest.mark.parametrize("scheme", CHAOS_SCHEMES)
+    def test_crash_scenarios_pass(self, scheme):
+        scenario = ChaosScenario(index=0, fault_end=300.0,
+                                 drop_fraction=0.01,
+                                 crash=(60.0, 1, 140.0))
+        result = run_scenario(scheme, scenario, seed=2)
+        assert result.ok, result.violations
+
+    def test_partition_window_passes(self):
+        scenario = ChaosScenario(index=0, fault_end=300.0,
+                                 drop_fraction=0.01,
+                                 partition_window=(50.0, 110.0))
+        for scheme in CHAOS_SCHEMES:
+            result = run_scenario(scheme, scenario, seed=4)
+            assert result.ok, (scheme, result.violations)
+
+
+class TestSentinel:
+    """Prove the campaign can fail: with server-side dedup disabled, a
+    client resend executes twice and the checkers must say so."""
+
+    HEAVY = ChaosScenario(index=0, fault_end=300.0, drop_fraction=0.12)
+
+    def test_dedup_off_is_caught(self):
+        result = run_scenario("smr", self.HEAVY, seed=3, dedup=False)
+        assert not result.ok
+        assert any("more than once" in violation
+                   for violation in result.violations)
+        assert any("not linearizable" in violation
+                   for violation in result.violations)
+
+    def test_same_run_with_dedup_is_clean(self):
+        result = run_scenario("smr", self.HEAVY, seed=3)
+        assert result.ok, result.violations
+        assert result.resends > 0   # the faults did force retries
+
+
+class TestReport:
+    def test_report_mentions_every_scheme_and_verdict(self):
+        campaign = run_campaign(num_scenarios=1, seed=5)
+        report = campaign.report()
+        for scheme in CHAOS_SCHEMES:
+            assert scheme in report
+        assert "verdict" in report
+        assert "no invariant violations" in report

@@ -61,9 +61,17 @@ class TestFigureSmoke:
         assert figure.figure_id in text
         assert figure.title in text
 
+    def test_fig15_chaos_overhead_small(self):
+        figure = figures.figure15_chaos_overhead(drop_rates=(0.0, 0.02),
+                                                 schemes=("smr",),
+                                                 num_clients=2,
+                                                 ops_per_client=4)
+        assert set(figure.data) == {("smr", 0.0), ("smr", 0.02)}
+        assert figure.data[("smr", 0.0)]["completed"] == 8
+
     def test_registry_covers_all_figures(self):
         from repro.cli import _figure_registry
         registry = _figure_registry()
-        assert len(registry) == 14
+        assert len(registry) == 15
         for name, fn in registry.items():
             assert fn.__doc__, f"{name} lacks a docstring"

@@ -83,6 +83,128 @@ class TestDropFraction:
             injector.drop_fraction(1.5)
 
 
+class TestDropWindow:
+    def test_windowed_drop_rule(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.drop_fraction(1.0, start=2.0, end=4.0)
+
+        def sender(env):
+            for t in (1.0, 3.0, 5.0):
+                yield env.timeout(t - env.now)
+                net.send("a", "b", "k", payload=t)
+
+        env.process(sender(env))
+        env.run()
+        payloads = [m.payload for m in net.endpoint("b").inbox._items]
+        assert payloads == [1.0, 5.0]
+
+    def test_remover_before_window_opens(self, env):
+        net, injector = make(env)
+        net.register("b")
+        remove = injector.drop_fraction(1.0, start=2.0, end=4.0)
+        remove()
+
+        def sender(env):
+            yield env.timeout(3.0)
+            net.send("a", "b", "k")
+
+        env.process(sender(env))
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_immediate_rule_remover(self, env):
+        net, injector = make(env)
+        net.register("b")
+        remove = injector.drop_fraction(1.0)
+        net.send("a", "b", "k")
+        remove()
+        net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_window_needs_both_bounds(self, env):
+        _net, injector = make(env)
+        with pytest.raises(ValueError):
+            injector.drop_fraction(1.0, start=2.0)
+
+
+class TestMessageFaults:
+    def test_delay_spikes_slow_messages_down(self, env):
+        net, injector = make(env)
+        b = net.register("b")
+        injector.delay_spikes(1.0, spike_ms=10.0)
+        arrivals = []
+
+        def consumer(env):
+            message = yield b.receive()
+            arrivals.append(env.now)
+
+        env.process(consumer(env))
+        net.send("a", "b", "k")
+        env.run()
+        # Base latency 0.1ms plus a spike in [5, 10]ms.
+        assert 5.0 <= arrivals[0] <= 10.2
+
+    def test_duplicate_fraction(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.duplicate_fraction(1.0, copies=2)
+        net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 3
+
+    def test_reorder_fraction_delivers_everything(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.reorder_fraction(1.0, window_ms=2.0)
+        for i in range(10):
+            net.send("a", "b", "k", payload=i)
+        env.run()
+        payloads = [m.payload for m in net.endpoint("b").inbox._items]
+        assert sorted(payloads) == list(range(10))
+
+
+class TestHealAll:
+    def test_removes_rules_and_recovers_nodes(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.drop_fraction(1.0)
+        injector.crash_at(0.0, "a")
+        env.run()
+        injector.heal_all()
+        net.send("a", "b", "k")
+        env.run()
+        assert not net.is_crashed("a")
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_cancels_pending_schedules(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.crash_at(10.0, "a")
+        injector.drop_fraction(1.0, start=10.0, end=20.0)
+        injector.heal_all()   # before anything fired
+
+        def sender(env):
+            yield env.timeout(15.0)
+            net.send("a", "b", "k")
+
+        env.process(sender(env))
+        env.run()
+        assert not net.is_crashed("a")
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_manual_removal_does_not_confuse_heal(self, env):
+        net, injector = make(env)
+        net.register("b")
+        remove = injector.drop_fraction(1.0)
+        remove()
+        injector.heal_all()   # must not fail or double-remove
+        net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+
 class TestPartition:
     def test_partition_window(self, env):
         net, injector = make(env)

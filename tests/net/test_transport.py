@@ -105,3 +105,112 @@ class TestDropRules:
         net.send("a", "b", "k")
         env.run()
         assert len(net.endpoint("b").inbox) == 1
+
+
+class TestDelayRules:
+    def test_delay_rule_adds_latency(self, env):
+        net = make_net(env, delay=0.5)
+        b = net.register("b")
+        net.add_delay_rule(lambda m: 2.0 if m.kind == "slow" else 0.0)
+        arrivals = []
+
+        def consumer(env):
+            for _ in range(2):
+                message = yield b.receive()
+                arrivals.append((message.kind, env.now))
+
+        env.process(consumer(env))
+        net.send("a", "b", "slow")
+        net.send("a", "b", "fast")
+        env.run()
+        assert dict(arrivals) == {"fast": 0.5, "slow": 2.5}
+        assert net.messages_delayed == 1
+
+    def test_delay_rules_stack_additively(self, env):
+        net = make_net(env, delay=0.5)
+        b = net.register("b")
+        net.add_delay_rule(lambda m: 1.0)
+        net.add_delay_rule(lambda m: 2.0)
+        arrivals = []
+
+        def consumer(env):
+            message = yield b.receive()
+            arrivals.append(env.now)
+
+        env.process(consumer(env))
+        net.send("a", "b", "k")
+        env.run()
+        assert arrivals == [3.5]
+
+    def test_remover(self, env):
+        net = make_net(env, delay=0.5)
+        net.register("b")
+        remove = net.add_delay_rule(lambda m: 5.0)
+        remove()
+        net.send("a", "b", "k")
+        env.run(until=1.0)
+        assert len(net.endpoint("b").inbox) == 1
+
+
+class TestDuplicateRules:
+    def test_extra_copies_delivered(self, env):
+        net = make_net(env)
+        net.register("b")
+        net.add_duplicate_rule(lambda m: 2 if m.kind == "dup" else 0)
+        net.send("a", "b", "dup")
+        net.send("a", "b", "single")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 4
+        assert net.messages_duplicated == 2
+        # Accounting: the duplicate was not *sent* twice.
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 4
+
+    def test_remover(self, env):
+        net = make_net(env)
+        net.register("b")
+        remove = net.add_duplicate_rule(lambda m: 1)
+        remove()
+        net.send("a", "b", "k")
+        env.run()
+        assert len(net.endpoint("b").inbox) == 1
+
+
+class TestReorderRules:
+    def test_window_shuffles_but_delivers_all(self, env):
+        import random
+
+        net = make_net(env, delay=0.1)
+        b = net.register("b")
+        net.add_reorder_rule(lambda m: True, window_ms=5.0,
+                             rng=random.Random(7))
+        received = []
+
+        def consumer(env):
+            while True:
+                message = yield b.receive()
+                received.append(message.payload)
+
+        env.process(consumer(env))
+        for i in range(8):
+            net.send("a", "b", "k", payload=i)
+        env.run(until=100.0)
+        assert sorted(received) == list(range(8))
+        assert received != list(range(8))  # seed 7 shuffles this batch
+        assert net.messages_reordered == 8
+
+    def test_remover_flushes_nothing_pending(self, env):
+        net = make_net(env, delay=0.1)
+        net.register("b")
+        remove = net.add_reorder_rule(lambda m: True, window_ms=5.0)
+        remove()
+        net.send("a", "b", "k")
+        env.run(until=1.0)
+        assert len(net.endpoint("b").inbox) == 1
+
+    def test_positive_window_required(self, env):
+        import pytest
+
+        net = make_net(env)
+        with pytest.raises(ValueError):
+            net.add_reorder_rule(lambda m: True, window_ms=0.0)

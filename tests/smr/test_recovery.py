@@ -110,6 +110,115 @@ class TestRecovery:
         assert holder[0].store.read("x") == 3
 
 
+class TestRecoveryUnderLoss:
+    """Satellite of the chaos PR: snapshot traffic is not reliable either.
+
+    A dropped snapshot request or response must lead to a timed-out,
+    retried recovery — never a replacement replica gated forever.
+    """
+
+    def _recover_with_handle(self, crashed, peer, retry_ms=20.0):
+        """recover_replica, but keeping the RecoveringReplica handle."""
+        from repro.smr.recovery import RecoveringReplica
+        from repro.smr import KeyValueStateMachine, SmrReplica
+
+        network = crashed.node.network
+        name = crashed.node.name
+        network.recover(name)
+        replacement = SmrReplica(
+            crashed.env, network, crashed.amcast.directory, crashed.group,
+            name, KeyValueStateMachine(), execution=crashed.execution,
+            log_factory=type(crashed.log), start_gate=crashed.env.event())
+        handle = RecoveringReplica(replacement, peer.node.name,
+                                   retry_ms=retry_ms)
+        return replacement, handle
+
+    def _drop_first(self, net, kind, count):
+        dropped = []
+
+        def rule(message):
+            if message.kind == kind and len(dropped) < count:
+                dropped.append(message)
+                return True
+            return False
+
+        net.add_drop_rule(rule)
+        return dropped
+
+    def _run_loss_scenario(self, env, lost_kind, lost_count=2):
+        from repro.smr.recovery import RecoveryHost
+
+        net, _directory, replicas = build_smr(env)
+        host = RecoveryHost(replicas[0])
+        for replica in replicas:
+            replica.load_state({"x": 0})
+        client = SmrClient(env, net, directory=replicas[0].amcast.directory,
+                           name="c0", group="smr")
+        replies = []
+        run_commands(env, client, 6, replies, pause=2.0)
+        outcome = {}
+
+        def chaos(env):
+            yield env.timeout(8)
+            replicas[2].crash()
+            outcome["dropped"] = self._drop_first(net, lost_kind, lost_count)
+            yield env.timeout(4)
+            replacement, handle = self._recover_with_handle(
+                replicas[2], replicas[0])
+            yield env.timeout(2_000)
+            outcome.update(replacement=replacement, handle=handle)
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        assert replies == list(range(1, 7))
+        assert len(outcome["dropped"]) == lost_count
+        handle = outcome["handle"]
+        assert handle.installed, "recovery hung instead of retrying"
+        assert handle.attempts >= lost_count + 1
+        replacement = outcome["replacement"]
+        assert replacement.store.snapshot() == replicas[0].store.snapshot()
+        assert replacement.executed == replicas[0].executed
+        return host, handle
+
+    def test_lost_snapshot_request_is_retried(self, env):
+        from repro.smr.recovery import SNAPSHOT_REQUEST
+
+        self._run_loss_scenario(env, SNAPSHOT_REQUEST)
+
+    def test_lost_snapshot_response_is_retried(self, env):
+        from repro.smr.recovery import SNAPSHOT_RESPONSE
+
+        host, _handle = self._run_loss_scenario(env, SNAPSHOT_RESPONSE)
+        # The peer served every (retried) request; duplicates of the
+        # response install at most once at the recovering side.
+        assert host.snapshots_served >= 2
+
+    def test_recovery_survives_random_loss(self, env):
+        from repro.net import FailureInjector
+        from repro.sim import SeedStream
+        from repro.smr.recovery import (RecoveryHost, SNAPSHOT_REQUEST,
+                                        SNAPSHOT_RESPONSE, recover_replica)
+
+        net, _directory, replicas = build_smr(env, seed=11)
+        RecoveryHost(replicas[0])
+        for replica in replicas:
+            replica.load_state({"x": 0})
+        injector = FailureInjector(env, net, SeedStream(4))
+        injector.drop_fraction(0.5, kinds=[SNAPSHOT_REQUEST,
+                                           SNAPSHOT_RESPONSE])
+        holder = []
+
+        def chaos(env):
+            replicas[2].crash()
+            yield env.timeout(5)
+            holder.append(recover_replica(replicas[2], replicas[0]))
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        # Retry-until-installed beats a 50% loss rate on snapshot traffic.
+        assert holder[0].store.snapshot() == replicas[0].store.snapshot()
+
+
 class TestLogBackfill:
     def test_gap_triggers_backfill(self, env):
         """A member that misses a decision fills the hole via backfill."""

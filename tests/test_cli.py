@@ -21,6 +21,11 @@ class TestParser:
         assert args.figure_id == "fig5"
         assert args.seed == 3
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenarios == 10
+        assert args.seed == 0
+
 
 class TestCommands:
     def test_list_figures(self, capsys):
@@ -51,3 +56,12 @@ class TestCommands:
         assert main(["figure", "fig10"]) == 0
         out = capsys.readouterr().out
         assert "multilevel" in out
+
+    def test_chaos_command(self, capsys):
+        assert main(["chaos", "--scenarios", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out
+        assert "no invariant violations" in out
+        # The report itself is deterministic: run-to-run identical.
+        assert main(["chaos", "--scenarios", "2", "--seed", "0"]) == 0
+        assert capsys.readouterr().out == out

@@ -1,0 +1,114 @@
+"""Unit tests for the request-resilience building blocks."""
+
+import random
+
+import pytest
+
+from repro.resilience import (ReplyCache, RequestTimeout, RetryPolicy,
+                              with_timeout)
+from repro.smr import Reply, ReplyStatus
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base_ms=5.0, backoff_factor=2.0,
+                             backoff_max_ms=40.0, jitter=0.0)
+        assert [policy.backoff_ms(a) for a in (1, 2, 3, 4, 5)] \
+            == [5.0, 10.0, 20.0, 40.0, 40.0]
+
+    def test_jitter_shrinks_backoff_deterministically(self):
+        policy = RetryPolicy(backoff_base_ms=10.0, jitter=0.5)
+        values = [policy.backoff_ms(1, random.Random(7)) for _ in range(2)]
+        assert values[0] == values[1]          # same seed, same draw
+        assert 5.0 <= values[0] <= 10.0        # at most half shaved off
+
+    def test_gives_up_only_with_finite_budget(self):
+        assert not RetryPolicy(max_attempts=0).gives_up(10 ** 6)
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.gives_up(2)
+        assert policy.gives_up(3)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ms=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestWithTimeout:
+    def test_event_fires_first(self, env):
+        event = env.event()
+        env.schedule_callback(1.0, lambda: event.succeed("reply"))
+        outcome = []
+
+        def waiter():
+            outcome.append((yield from with_timeout(env, event, 10.0)))
+
+        env.process(waiter())
+        env.run()
+        assert outcome == [(True, "reply")]
+
+    def test_timeout_fires_first(self, env):
+        event = env.event()
+        outcome = []
+
+        def waiter():
+            outcome.append((yield from with_timeout(env, event, 2.0)))
+
+        env.process(waiter())
+        env.run()
+        assert outcome == [(False, None)]
+        assert env.now == 2.0
+
+    def test_none_means_block_forever(self, env):
+        event = env.event()
+        env.schedule_callback(500.0, lambda: event.succeed("late"))
+        outcome = []
+
+        def waiter():
+            outcome.append((yield from with_timeout(env, event, None)))
+
+        env.process(waiter())
+        env.run()
+        assert outcome == [(True, "late")]
+
+
+class TestReplyCache:
+    def make_reply(self, cid="c1"):
+        return Reply(cid=cid, status=ReplyStatus.OK, value=7, attempt=1)
+
+    def test_lookup_retags_attempt(self):
+        cache = ReplyCache()
+        cache.store("c1", self.make_reply())
+        resent = cache.lookup("c1", attempt=3)
+        assert resent.attempt == 3
+        assert resent.value == 7
+        assert cache.hits == 1
+        # The stored reply is untouched (lookup returns a copy).
+        assert cache.lookup("c1").attempt == 1
+
+    def test_miss_returns_none(self):
+        cache = ReplyCache()
+        assert cache.lookup("nope") is None
+        assert cache.hits == 0
+
+    def test_contains_and_len(self):
+        cache = ReplyCache()
+        cache.store("c1", self.make_reply())
+        assert "c1" in cache
+        assert "c2" not in cache
+        assert len(cache) == 1
+
+    def test_disabled_cache_is_inert(self):
+        cache = ReplyCache(enabled=False)
+        cache.store("c1", self.make_reply())
+        assert cache.lookup("c1") is None
+        assert "c1" not in cache
+
+
+class TestRequestTimeout:
+    def test_carries_cid_and_attempts(self):
+        error = RequestTimeout("cmd-1", 4)
+        assert error.cid == "cmd-1"
+        assert error.attempts == 4
+        assert "4 attempt(s)" in str(error)
