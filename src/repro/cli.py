@@ -78,6 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--ops", type=int, default=8,
                        help="operations per client per scenario")
 
+    trace = sub.add_parser(
+        "trace", help="traced workload: spans, latency breakdown, anomalies")
+    trace.add_argument("--scheme", default="dssmr",
+                       choices=["smr", "ssmr", "dssmr", "dynastar"])
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--clients", type=int, default=3)
+    trace.add_argument("--ops", type=int, default=10,
+                       help="operations per client")
+    trace.add_argument("--partitions", type=int, default=2)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the span stream as JSONL to PATH")
+    trace.add_argument("--timelines", type=int, default=3,
+                       help="print timelines of the N slowest commands")
+    trace.add_argument("--k", type=float, default=3.0,
+                       help="slow-command anomaly threshold (x p95)")
+
     return parser
 
 
@@ -167,6 +183,50 @@ def cmd_chaos(args) -> int:
     return 0 if campaign.ok else 1
 
 
+def cmd_trace(args) -> int:
+    from repro.harness.tracerun import run_traced_workload
+    from repro.obs import (command_timeline, dump_jsonl, find_anomalies,
+                           latency_breakdown, stage_sum_errors)
+    from repro.obs.report import slowest_traces
+
+    started = time.perf_counter()
+    run = run_traced_workload(args.scheme, seed=args.seed,
+                              num_clients=args.clients,
+                              ops_per_client=args.ops,
+                              num_partitions=args.partitions)
+    spans = run.spans
+    if args.out:
+        count = dump_jsonl(spans, args.out)
+        print(f"wrote {count} span(s) to {args.out}")
+    print(f"traced {run.completed}/{run.expected} command(s), "
+          f"{len(spans)} span(s), scheme={run.scheme} seed={run.seed}")
+    print()
+    print(latency_breakdown(spans,
+                            label=f"{run.scheme} seed={run.seed}"))
+    errors = stage_sum_errors(spans)
+    if errors:
+        print(f"\nstage-sum mismatches in {len(errors)} command(s): "
+              f"{', '.join(errors[:5])}")
+    else:
+        print("\nper-command stage sums match end-to-end latency exactly")
+    anomalies = find_anomalies(spans, k=args.k)
+    if anomalies:
+        print("\nanomalies:")
+        for flag in anomalies:
+            print(f"  - {flag}")
+    else:
+        print("no anomalies flagged")
+    if args.timelines:
+        print("\nslowest command timeline(s):")
+        for trace_id in slowest_traces(spans, args.timelines):
+            print()
+            print(command_timeline(spans, trace_id))
+    # Wall time goes to stderr: stdout must be byte-identical across runs.
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    return 0 if run.completed == run.expected and not errors else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -175,6 +235,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": cmd_experiment,
         "partition": cmd_partition,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -48,10 +48,11 @@ class DssmrClient(BaseClient):
                  latency: Optional[LatencyRecorder] = None,
                  broadcast_submit: bool = False,
                  retry_policy: Optional[RetryPolicy] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 tracer=None):
         super().__init__(env, network, directory, name, latency,
                          broadcast_submit=broadcast_submit,
-                         retry_policy=retry_policy, rng=rng)
+                         retry_policy=retry_policy, rng=rng, tracer=tracer)
         self.partitions = tuple(partitions)
         self.max_retries = max_retries
         self.use_cache = use_cache
@@ -91,6 +92,9 @@ class DssmrClient(BaseClient):
             sends += 1
             event = self.env.event()
             self._prophecy_waits[consult_cid] = event
+            if self.tracer.enabled:
+                self.tracer.mark_send(consult_cid, self.env.now)
+            wait_start = self.env.now
             self.mcast.multicast([ORACLE_GROUP],
                                  {"command": consult},
                                  size=consult.payload_size(),
@@ -100,12 +104,16 @@ class DssmrClient(BaseClient):
             fired, prophecy = yield from with_timeout(
                 self.env, event, policy.timeout_ms if policy else None)
             if fired:
+                self.trace_stage(consult_cid, "consult", wait_start)
                 return prophecy
+            self.trace_stage(consult_cid, "consult", wait_start, timeout=True)
             self._prophecy_waits.pop(consult_cid, None)
             self.timeouts += 1
             if policy.gives_up(sends):
                 raise RequestTimeout(consult_cid, sends)
+            backoff_start = self.env.now
             yield self.env.timeout(policy.backoff_ms(sends, self._rng))
+            self.trace_stage(consult_cid, "retry-wait", backoff_start)
 
     # -- main entry point -----------------------------------------------------
 
@@ -117,6 +125,7 @@ class DssmrClient(BaseClient):
         """
         command.client = self.name
         start = self.env.now
+        self.tracer.begin_trace(command.cid, self.name, start, op=command.op)
         attempt = 0
         fell_back = False
         while True:
@@ -142,6 +151,9 @@ class DssmrClient(BaseClient):
             for key in command.variables:
                 self.location_cache[key] = reply.partition
         self.latency.record(self.env.now, self.env.now - start)
+        self.tracer.end_trace(command.cid, self.env.now,
+                              status=reply.status.value, attempts=attempt,
+                              fallback=fell_back)
         return reply
 
     # -- routing: cache or oracle ------------------------------------------------
@@ -180,13 +192,18 @@ class DssmrClient(BaseClient):
                 # so the loop converges without re-issuing the move.
                 policy = self.retry_policy
                 event = self.wait_reply(prophecy.move_cid)
+                wait_start = self.env.now
                 fired, _ = yield from with_timeout(
                     self.env, event,
                     policy.timeout_ms if policy else None)
                 if not fired:
+                    self.trace_stage(prophecy.move_cid, "move", wait_start,
+                                     sync=True, timeout=True)
                     self.cancel_wait(prophecy.move_cid)
                     self.timeouts += 1
                     continue
+                self.trace_stage(prophecy.move_cid, "move", wait_start,
+                                 sync=True)
                 for key in command.variables:
                     self.location_cache[key] = target
                 return {"dests": [target]}
@@ -217,7 +234,7 @@ class DssmrClient(BaseClient):
         # Destination partition confirms the variables arrived; moves are
         # deduplicated by command id at every participant, so resends are
         # exactly-once.
-        yield from self.send_with_retries(move_cid, send)
+        yield from self.send_with_retries(move_cid, send, stage="move")
         for key in variables:
             self.location_cache[key] = target
 

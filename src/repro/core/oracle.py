@@ -29,12 +29,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net import Network
+from repro.obs.tracing import NULL_TRACER, trace_id_of
 from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, ReliableMulticast, SequencerLog)
 from repro.resilience import ReplyCache
 from repro.sim import BusyTracker, Channel, Counter, Environment, Interrupted
 from repro.smr.command import Command, CommandType, Reply, ReplyStatus, new_command_id
-from repro.smr.replica import REPLY_KIND
+from repro.smr.replica import REPLY_KIND, delivery_command
 from repro.core.policy import MajorityTargetPolicy, OraclePolicy
 from repro.core.prophecy import Prophecy, ProphecyStatus
 from repro.ssmr.exchange import ExchangeBuffer
@@ -58,8 +59,10 @@ class OracleReplica:
                  async_repartition: bool = False,
                  log_factory=SequencerLog,
                  speaker_only: bool = True,
-                 dedup: bool = True):
+                 dedup: bool = True,
+                 tracer=None):
         self.env = env
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.partitions = tuple(partitions)
         self.directory = directory
         self.node = ProtocolNode(env, network, name)
@@ -99,8 +102,10 @@ class OracleReplica:
         self.moves_issued = Counter(f"{name}/moves")
         self.repartitions = Counter(f"{name}/repartitions")
 
+        self.queue_peak = 0
+        self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
-        self.amcast.on_deliver(self._deliveries.put)
+        self.amcast.on_deliver(self._enqueue)
         self._executor = env.process(self._execute_loop(),
                                      name=f"{name}/executor")
 
@@ -130,12 +135,45 @@ class OracleReplica:
         if old is not None:
             self.partition_sizes[old] -= 1
 
+    # -- delivery intake --------------------------------------------------------
+
+    def _enqueue(self, delivery: AmcastDelivery) -> None:
+        """Queue an ordered delivery for the executor (tracing tap).
+
+        Mirrors the replica servers' intake: emits the *order* server span
+        for commands with a marked send time, stamps the enqueue time for
+        the *queue* span, and tracks the peak oracle-queue depth (the
+        oracle hot-spot signal). Hint/activation payloads carry no command
+        and get queue accounting only.
+        """
+        if self.tracer.enabled:
+            command = delivery_command(delivery.payload)
+            if command is not None:
+                sent = self.tracer.sent_at(command.cid)
+                if sent is not None:
+                    self.tracer.span(trace_id_of(command.cid), "order",
+                                     self.node.name, sent, self.env.now,
+                                     uid=delivery.uid)
+            self._enqueue_times[delivery.uid] = self.env.now
+        self._deliveries.put(delivery)
+        depth = len(self._deliveries) or 1
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
     # -- executor ---------------------------------------------------------------
 
     def _execute_loop(self):
         try:
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
+                if self.tracer.enabled:
+                    enqueued = self._enqueue_times.pop(delivery.uid, None)
+                    command = delivery_command(delivery.payload)
+                    if (command is not None and enqueued is not None
+                            and self.env.now > enqueued):
+                        self.tracer.span(trace_id_of(command.cid), "queue",
+                                         self.node.name, enqueued,
+                                         self.env.now)
                 started = self.env.now
                 yield from self._handle_delivery(delivery)
                 if self.env.now > started:
@@ -155,7 +193,12 @@ class OracleReplica:
         attempt = envelope.get("attempt", 1)
         cost = self.CONSULT_COST + self.PER_VARIABLE_COST * len(
             command.variables)
+        exec_start = self.env.now
         yield self.env.timeout(cost)
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now,
+                             task=command.ctype.value)
         if command.ctype is CommandType.CONSULT:
             self._task_consult(command)
         elif command.ctype is CommandType.CREATE:
@@ -223,6 +266,10 @@ class OracleReplica:
                        cid=move_cid, client=command.client)
         dests = [ORACLE_GROUP, target] + sources
         envelope = {"command": move, "dests": sorted(set(dests))}
+        if self.tracer.enabled and self.tracer.sent_at(move_cid) is None:
+            # First replica to issue wins the mark: the move's *order*
+            # span measures from the earliest issue to delivery.
+            self.tracer.mark_send(move_cid, self.env.now)
         # Every oracle replica multicasts with the same uid; the ordered
         # logs deduplicate, so exactly one move is ordered.
         self.amcast.multicast(sorted(set(dests)), envelope,

@@ -18,6 +18,7 @@ Extends the S-SMR server with the dynamic-partitioning behaviours:
 
 from __future__ import annotations
 
+from repro.obs.tracing import trace_id_of
 from repro.ordering import AmcastDelivery
 from repro.sim import Counter
 from repro.smr.command import Command, Reply, ReplyStatus
@@ -68,7 +69,11 @@ class DssmrServer(SsmrServer):
                 value={"missing": missing}, sender=self.node.name,
                 partition=self.partition, attempt=attempt))
             return
+        exec_start = self.env.now
         yield self.env.timeout(self.execution.cost(command))
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now)
         from repro.smr.state_machine import ExecutionView
         view = ExecutionView(self.store)
         try:
@@ -100,7 +105,12 @@ class DssmrServer(SsmrServer):
                     shipped[key] = self.store.pop(key)
             self.moves_out.increment(self.env.now, len(shipped))
             self.exchange.send([dest], command.cid, shipped)
+            ship_start = self.env.now
             yield self.env.timeout(self.execution.base_ms)
+            if self.tracer.enabled:
+                self.tracer.span(trace_id_of(command.cid), "move",
+                                 self.node.name, ship_start, self.env.now,
+                                 role="source", shipped=len(shipped))
             return
         if self.partition == dest:
             cached = self.replies.lookup(command.cid)
@@ -108,12 +118,17 @@ class DssmrServer(SsmrServer):
                 if notify:
                     self.node.send(notify, REPLY_KIND, cached, size=128)
                 return
+            gather_start = self.env.now
             yield from self.exchange.wait(command.cid, sources)
             received = self.exchange.collect(command.cid)
             for key, value in received.items():
                 self.store.write(key, value)
             self.moves_in.increment(self.env.now, len(received))
             yield self.env.timeout(self.execution.base_ms)
+            if self.tracer.enabled:
+                self.tracer.span(trace_id_of(command.cid), "move",
+                                 self.node.name, gather_start, self.env.now,
+                                 role="dest", received=len(received))
             reply = Reply(cid=command.cid, status=ReplyStatus.OK,
                           value={"moved": len(received)},
                           sender=self.node.name, partition=self.partition)
@@ -128,7 +143,12 @@ class DssmrServer(SsmrServer):
         # Signal exchange with the oracle (both sides send, then wait); the
         # oracle's signal carries the verdict of the create/create race.
         self.exchange.send([ORACLE_GROUP], command.cid, {})
+        exchange_start = self.env.now
         yield from self.exchange.wait(command.cid, {ORACLE_GROUP})
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "exchange",
+                             self.node.name, exchange_start, self.env.now,
+                             peers=1)
         verdict = self.exchange.collect(command.cid).get("verdict")
         if verdict != "ok" or key in self.store:
             return Reply(cid=command.cid, status=ReplyStatus.NOK,
@@ -136,20 +156,33 @@ class DssmrServer(SsmrServer):
                          partition=self.partition)
         self.store.create(
             key, self.state_machine.initial_value(key, command.args))
+        exec_start = self.env.now
         yield self.env.timeout(self.execution.cost(command))
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="created",
                      sender=self.node.name, partition=self.partition)
 
     def _exec_delete(self, command: Command, dests: tuple):
         key = command.variables[0]
         self.exchange.send([ORACLE_GROUP], command.cid, {})
+        exchange_start = self.env.now
         yield from self.exchange.wait(command.cid, {ORACLE_GROUP})
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "exchange",
+                             self.node.name, exchange_start, self.env.now,
+                             peers=1)
         verdict = self.exchange.collect(command.cid).get("verdict")
         if verdict != "ok" or key not in self.store:
             return Reply(cid=command.cid, status=ReplyStatus.NOK,
                          value="missing", sender=self.node.name,
                          partition=self.partition)
         self.store.delete(key)
+        exec_start = self.env.now
         yield self.env.timeout(self.execution.cost(command))
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="deleted",
                      sender=self.node.name, partition=self.partition)

@@ -24,6 +24,7 @@ from repro.harness.experiment import (
 )
 from repro.harness.report import format_series, format_table
 from repro.harness.sweep import SweepResult, sweep
+from repro.harness.tracerun import TraceRun, run_traced_workload
 
 __all__ = [
     "CampaignResult",
@@ -35,6 +36,7 @@ __all__ = [
     "ExperimentResult",
     "ScenarioResult",
     "SweepResult",
+    "TraceRun",
     "build_cluster",
     "format_series",
     "format_table",
@@ -42,5 +44,6 @@ __all__ = [
     "run_campaign",
     "run_chirper_experiment",
     "run_scenario",
+    "run_traced_workload",
     "sweep",
 ]

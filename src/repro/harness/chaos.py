@@ -33,6 +33,8 @@ from repro.checkers import History, KvSequentialSpec, check_linearizable
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.harness.report import format_table
 from repro.net import FailureInjector
+from repro.obs import CommandTracer, command_timeline, find_anomalies
+from repro.obs.report import slowest_traces
 from repro.resilience import RetryPolicy
 from repro.sim import SeedStream
 from repro.smr import Command, ReplyStatus
@@ -147,6 +149,10 @@ class ScenarioResult:
     resends: int
     messages_sent: int
     violations: tuple[str, ...]
+    # Trace context for failed runs: stuck commands, anomaly flags and the
+    # slowest command's timeline — enough to start debugging without
+    # re-running the scenario. Empty when the run passed.
+    trace_notes: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -172,7 +178,7 @@ def _random_access(rng: random.Random) -> Command:
 
 
 def _build_cluster(scheme: str, seed: int, tag: str,
-                   dedup: bool = True) -> Cluster:
+                   dedup: bool = True, tracer=None) -> Cluster:
     assignment = None
     if scheme != "smr":
         assignment = {key: i % 2 for i, key in enumerate(KEYS)}
@@ -180,7 +186,7 @@ def _build_cluster(scheme: str, seed: int, tag: str,
     cluster = Cluster(ClusterConfig(
         scheme=scheme, num_partitions=2, replicas_per_partition=2,
         seed=cluster_seed, retry_policy=RetryPolicy(),
-        initial_assignment=assignment, dedup=dedup))
+        initial_assignment=assignment, dedup=dedup), tracer=tracer)
     cluster.preload(dict(INITIAL))
     return cluster
 
@@ -225,8 +231,12 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
                  dedup: bool = True) -> ScenarioResult:
     """Run one scenario against one scheme and check every invariant."""
     _reset_id_counters()
+    # Spans touch no RNG and schedule no events, so tracing every scenario
+    # costs only memory and never perturbs the fault schedule — and a
+    # failing run carries its own trace context (see trace_notes).
+    tracer = CommandTracer()
     cluster = _build_cluster(scheme, seed, f"cluster{scenario.index}",
-                             dedup=dedup)
+                             dedup=dedup, tracer=tracer)
     env = cluster.env
 
     if scheme == "smr":
@@ -357,6 +367,19 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
             violations.append(f"oracle maps {key} to {oracle_map[key]} "
                               f"but no partition stores it")
 
+    trace_notes: list[str] = []
+    if violations:
+        stuck = tracer.open_traces()
+        if stuck:
+            trace_notes.append(
+                "stuck commands (root span never closed): "
+                + ", ".join(stuck[:6])
+                + (f" (+{len(stuck) - 6} more)" if len(stuck) > 6 else ""))
+        trace_notes.extend(find_anomalies(tracer.spans)[:4])
+        slow = slowest_traces(tracer.spans, 1)
+        if slow:
+            trace_notes.append(command_timeline(tracer.spans, slow[0]))
+
     return ScenarioResult(
         scheme=scheme, scenario=scenario,
         ops_completed=status["completed"], ops_expected=expected,
@@ -364,7 +387,8 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
         timeouts=sum(c.timeouts for c in cluster.clients),
         resends=sum(c.resends for c in cluster.clients),
         messages_sent=cluster.network.messages_sent,
-        violations=tuple(violations))
+        violations=tuple(violations),
+        trace_notes=tuple(trace_notes))
 
 
 # ---------------------------------------------------------------------------
@@ -416,6 +440,14 @@ class CampaignResult:
             for result, violation in self.violations:
                 lines.append(f"  - [{result.scheme} #"
                              f"{result.scenario.index}] {violation}")
+            for result in self.results:
+                if result.ok or not result.trace_notes:
+                    continue
+                lines.append(f"  trace context [{result.scheme} "
+                             f"#{result.scenario.index}]:")
+                for note in result.trace_notes:
+                    for note_line in note.splitlines():
+                        lines.append(f"    {note_line}")
         return "\n".join(lines)
 
 

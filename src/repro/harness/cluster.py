@@ -25,6 +25,8 @@ from repro.core import (DssmrClient, DssmrServer, MajorityTargetPolicy,
                         ORACLE_GROUP, OracleReplica)
 from repro.dynastar import GraphTargetPolicy
 from repro.net import Network, SwitchedClusterLatency, paper_cluster_topology
+from repro.obs import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
 from repro.ordering import GroupDirectory
 from repro.resilience import RetryPolicy
 from repro.sim import Environment, LatencyRecorder, SeedStream
@@ -78,10 +80,14 @@ class ClusterConfig:
 class Cluster:
     """A running deployment plus its measurement instruments."""
 
-    def __init__(self, config: ClusterConfig):
+    def __init__(self, config: ClusterConfig, tracer=None):
         self.config = config
         self.env = Environment()
         self.seeds = SeedStream(config.seed)
+        # tracer=None keeps span collection disabled (NULL_TRACER): every
+        # emission site no-ops, so tracing is strictly opt-in and the
+        # disabled path adds no bookkeeping.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.partitions = tuple(f"p{i}"
                                 for i in range(config.num_partitions))
         self._client_counter = itertools.count()
@@ -115,6 +121,8 @@ class Cluster:
         # recorder serves every client.
         self.latency = LatencyRecorder("cluster")
         self.clients: list = []
+        self.registry = MetricsRegistry()
+        self._register_metrics()
 
     # -- construction ------------------------------------------------------
 
@@ -131,7 +139,7 @@ class Cluster:
                     self.partitions, policy=policy_factory(),
                     oracle_issues_moves=config.scheme == "dynastar",
                     async_repartition=config.async_repartition,
-                    dedup=config.dedup))
+                    dedup=config.dedup, tracer=self.tracer))
 
     def _make_server(self, partition: str, name: str):
         config = self.config
@@ -140,16 +148,59 @@ class Cluster:
             return SmrReplica(self.env, self.network, self.directory,
                               partition, name, state_machine,
                               execution=config.execution,
-                              dedup=config.dedup)
+                              dedup=config.dedup, tracer=self.tracer)
         if config.scheme == "ssmr":
             return SsmrServer(self.env, self.network, self.directory,
                               partition, name, state_machine,
                               execution=config.execution,
-                              dedup=config.dedup)
+                              dedup=config.dedup, tracer=self.tracer)
         return DssmrServer(self.env, self.network, self.directory,
                            partition, name, state_machine,
                            execution=config.execution,
-                           dedup=config.dedup)
+                           dedup=config.dedup, tracer=self.tracer)
+
+    def _register_metrics(self) -> None:
+        """Register the deployment's scrape-time gauges (see repro.obs).
+
+        Gauges read the live component counters at scrape time, so
+        registration happens once here and the rest of the codebase keeps
+        its existing plumbing. Dict-valued gauges are flattened by
+        ``MetricsRegistry.scrape`` as ``name.key``.
+        """
+        reg = self.registry
+        net = self.network
+        reg.gauge("net.messages_sent", lambda: net.messages_sent)
+        reg.gauge("net.messages_delivered", lambda: net.messages_delivered)
+        reg.gauge("net.bytes_sent", lambda: net.bytes_sent)
+        reg.gauge("net.sent_by_kind", lambda: dict(net.sent_by_kind))
+        reg.gauge("queue.peak", lambda: {
+            name: server.queue_peak
+            for name, server in sorted(self.servers.items())})
+        reg.gauge("oracle.queue_peak", lambda: sum(
+            o.queue_peak for o in self.oracles))
+        reg.gauge("replies.cache_hits", lambda: sum(
+            s.replies.hits for s in self.servers.values())
+            + sum(o.replies.hits for o in self.oracles))
+        reg.gauge("exchange.pulls_sent", lambda: sum(
+            s.exchange.pulls_sent for s in self.servers.values()
+            if hasattr(s, "exchange")))
+        reg.gauge("exchange.pulls_served", lambda: sum(
+            s.exchange.pulls_served for s in self.servers.values()
+            if hasattr(s, "exchange")))
+        reg.gauge("oracle.consults", lambda: sum(
+            o.consults.total for o in self.oracles))
+        reg.gauge("oracle.moves_issued", lambda: self.moves_total())
+        reg.gauge("oracle.repartitions", lambda: sum(
+            o.repartitions.total for o in self.oracles))
+        reg.gauge("clients.count", lambda: len(self.clients))
+        reg.gauge("clients.timeouts", lambda: sum(
+            c.timeouts for c in self.clients))
+        reg.gauge("clients.resends", lambda: sum(
+            c.resends for c in self.clients))
+        reg.gauge("clients.consults", self.total_consults)
+        reg.gauge("clients.cache_hits", self.total_cache_hits)
+        reg.gauge("clients.retries", self.total_retries)
+        reg.gauge("clients.fallbacks", self.total_fallbacks)
 
     def _policy_factory(self):
         config = self.config
@@ -198,19 +249,22 @@ class Cluster:
         if config.scheme == "smr":
             client = SmrClient(self.env, self.network, self.directory, name,
                                self.partitions[0], latency=self.latency,
-                               retry_policy=config.retry_policy, rng=rng)
+                               retry_policy=config.retry_policy, rng=rng,
+                               tracer=self.tracer)
         elif config.scheme == "ssmr":
             client = SsmrClient(self.env, self.network, self.directory, name,
                                 StaticOracle(self.partition_map),
                                 latency=self.latency,
-                                retry_policy=config.retry_policy, rng=rng)
+                                retry_policy=config.retry_policy, rng=rng,
+                                tracer=self.tracer)
         else:
             client = DssmrClient(self.env, self.network, self.directory,
                                  name, self.partitions,
                                  max_retries=config.max_retries,
                                  use_cache=config.use_cache,
                                  latency=self.latency,
-                                 retry_policy=config.retry_policy, rng=rng)
+                                 retry_policy=config.retry_policy, rng=rng,
+                                 tracer=self.tracer)
         self.clients.append(client)
         return client
 
@@ -250,6 +304,6 @@ class Cluster:
         return sum(getattr(c, "fallback_count", 0) for c in self.clients)
 
 
-def build_cluster(**kwargs) -> Cluster:
+def build_cluster(tracer=None, **kwargs) -> Cluster:
     """Convenience: ``build_cluster(scheme="dssmr", num_partitions=4, ...)``."""
-    return Cluster(ClusterConfig(**kwargs))
+    return Cluster(ClusterConfig(**kwargs), tracer=tracer)

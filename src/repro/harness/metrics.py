@@ -27,6 +27,7 @@ class ExperimentMetrics:
     latency_mean_ms: float
     latency_p50_ms: float
     latency_p95_ms: float
+    latency_p99_ms: float = math.nan
     moves: int = 0
     retries: int = 0
     consults: int = 0
@@ -44,12 +45,13 @@ class ExperimentMetrics:
             round(self.throughput, 1),
             round(self.latency_mean_ms, 3),
             round(self.latency_p95_ms, 3),
+            round(self.latency_p99_ms, 3),
             self.moves,
             self.retries,
         ]
 
     ROW_HEADERS = ["scheme", "parts", "cmds", "tput/s", "lat-mean",
-                   "lat-p95", "moves", "retries"]
+                   "lat-p95", "lat-p99", "moves", "retries"]
 
 
 def summarize(cluster, duration_ms: float, warmup_ms: float = 0.0,
@@ -78,6 +80,11 @@ def summarize(cluster, duration_ms: float, warmup_ms: float = 0.0,
     oracle_busy = 0.0
     if cluster.oracle is not None and duration_ms > 0:
         oracle_busy = cluster.oracle.busy.busy_fraction(0.0, duration_ms)
+    merged_extra = dict(extra or {})
+    registry = getattr(cluster, "registry", None)
+    if registry is not None:
+        for name, value in registry.scrape().items():
+            merged_extra.setdefault(name, value)
     return ExperimentMetrics(
         scheme=cluster.config.scheme,
         num_partitions=cluster.config.num_partitions,
@@ -87,13 +94,14 @@ def summarize(cluster, duration_ms: float, warmup_ms: float = 0.0,
         latency_mean_ms=(sum(window) / completed) if completed else math.nan,
         latency_p50_ms=pct(50),
         latency_p95_ms=pct(95),
+        latency_p99_ms=pct(99),
         moves=cluster.moves_total(),
         retries=cluster.total_retries(),
         consults=cluster.total_consults(),
         cache_hits=cluster.total_cache_hits(),
         fallbacks=cluster.total_fallbacks(),
         oracle_busy_fraction=oracle_busy,
-        extra=dict(extra or {}),
+        extra=merged_extra,
     )
 
 

@@ -1,0 +1,85 @@
+"""Seeded traced workload runs: the driver behind ``python -m repro trace``.
+
+Runs a fault-free workload (same command mix as the chaos campaign)
+against one scheme with a :class:`~repro.obs.tracing.CommandTracer`
+attached, and returns the cluster plus the collected spans. Everything
+derives from ``(scheme, seed, clients, ops)``, so two identical
+invocations produce byte-identical span streams — the property the trace
+CLI's determinism check (and its test) relies on.
+
+Tracing itself never perturbs the simulation: spans touch no RNG and
+schedule no events, so ``trace=False`` yields the exact same virtual-time
+results (the zero-overhead-when-disabled guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.harness.chaos import INITIAL, KEYS, _reset_id_counters, \
+    _spawn_workload
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.obs import CommandTracer
+from repro.resilience import RetryPolicy
+from repro.sim import SeedStream
+
+#: Virtual-time bound of one traced run (ms); fault-free runs finish far
+#: earlier, the bound only catches a wedged deployment.
+DEADLINE_MS = 20_000.0
+
+
+@dataclass
+class TraceRun:
+    """Outcome of one traced workload run."""
+
+    scheme: str
+    seed: int
+    completed: int
+    expected: int
+    finished_at: Optional[float]    # virtual ms; None if the run got stuck
+    tracer: Optional[CommandTracer]
+    cluster: Cluster
+
+    @property
+    def spans(self):
+        return self.tracer.spans if self.tracer is not None else []
+
+
+def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
+                        ops_per_client: int = 10, num_partitions: int = 2,
+                        trace: bool = True) -> TraceRun:
+    """Run the seeded workload against ``scheme``, collecting spans.
+
+    ``trace=False`` runs the identical workload with the null tracer —
+    used by the overhead test to show disabled tracing changes nothing.
+    """
+    _reset_id_counters()
+    tracer = CommandTracer() if trace else None
+    assignment = None
+    if scheme != "smr":
+        assignment = {key: i % num_partitions
+                      for i, key in enumerate(KEYS)}
+    cluster_seed = SeedStream(seed).child(scheme).stream("trace") \
+        .randrange(2 ** 31)
+    cluster = Cluster(ClusterConfig(
+        scheme=scheme, num_partitions=num_partitions,
+        replicas_per_partition=2, seed=cluster_seed,
+        retry_policy=RetryPolicy(), initial_assignment=assignment),
+        tracer=tracer)
+    cluster.preload(dict(INITIAL))
+    status, done = _spawn_workload(
+        cluster, None, num_clients, ops_per_client,
+        workload_tag=f"{seed}/{scheme}/trace")
+    end_marker = {"at": None}
+
+    def driver():
+        yield done
+        end_marker["at"] = cluster.env.now
+
+    cluster.env.process(driver(), name="trace/driver")
+    cluster.env.run(until=DEADLINE_MS)
+    return TraceRun(
+        scheme=scheme, seed=seed, completed=status["completed"],
+        expected=num_clients * ops_per_client,
+        finished_at=end_marker["at"], tracer=tracer, cluster=cluster)

@@ -17,6 +17,7 @@ messages); enable it for focused runs::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
@@ -44,31 +45,55 @@ class TraceRecord:
 
 
 class NetworkTracer:
-    """Collects :class:`TraceRecord` entries from an attached network."""
+    """Collects :class:`TraceRecord` entries from an attached network.
+
+    Memory is bounded either way; the two modes differ in *which* records
+    survive a full buffer:
+
+    * ``ring=False`` (default, the historical behaviour) — keep the first
+      ``capacity`` records and drop new ones: the run's *beginning*.
+    * ``ring=True`` — a ring buffer: evict the oldest record for each new
+      one, keeping the *most recent* window — the right mode for long
+      runs where the interesting traffic is near the failure at the end.
+
+    Either way, :attr:`evicted` counts the records lost, so a consumer can
+    tell a complete trace from a truncated one.
+    """
 
     def __init__(self, kinds: Optional[Iterable[str]] = None,
-                 capacity: int = 1_000_000):
-        self.records: list[TraceRecord] = []
+                 capacity: int = 1_000_000, ring: bool = False):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring = ring
+        self._records: deque = deque(maxlen=capacity) if ring else deque()
         self._kind_filter = set(kinds) if kinds is not None else None
         self._capacity = capacity
+        self.evicted = 0
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
 
     def record(self, time: float, event: str, src: str, dst: str,
                kind: str, size: int, msg_id: int) -> None:
         if self._kind_filter is not None and kind not in self._kind_filter:
             return
-        if len(self.records) >= self._capacity:
-            return  # bounded: never let tracing exhaust memory
-        self.records.append(TraceRecord(time, event, src, dst, kind, size,
-                                        msg_id))
+        if len(self._records) >= self._capacity:
+            self.evicted += 1
+            if not self._ring:
+                return  # bounded: never let tracing exhaust memory
+            # deque(maxlen=capacity) drops the oldest on append below.
+        self._records.append(TraceRecord(time, event, src, dst, kind, size,
+                                         msg_id))
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records)
 
     # -- queries -----------------------------------------------------------
 
     def filter(self, predicate: Callable[[TraceRecord], bool]) \
             -> list[TraceRecord]:
-        return [r for r in self.records if predicate(r)]
+        return [r for r in self._records if predicate(r)]
 
     def by_kind(self, kind: str) -> list[TraceRecord]:
         return self.filter(lambda r: r.kind == kind)

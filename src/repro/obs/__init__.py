@@ -1,0 +1,59 @@
+"""Deterministic observability: causal spans, metrics, latency reports.
+
+The simulation's virtual clock is global and monotonic, which makes
+tracing exact rather than statistical: every protocol stage a command
+passes through — oracle consults, moves, ordering, queueing, execution,
+exchange coordination, retry backoff — is bracketed by a :class:`Span`
+with virtual start/end timestamps and a parent link to the command's
+root span. Client-side *stage* spans partition a command's end-to-end
+latency exactly (the client's code between yields takes zero virtual
+time), so per-stage sums reconcile against the latency figures by
+construction.
+
+Three pieces:
+
+* :mod:`repro.obs.tracing` — :class:`CommandTracer` collects spans;
+  :data:`NULL_TRACER` is the disabled default (zero overhead: all
+  instrumentation sites guard on ``tracer.enabled``).
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`, process-scoped
+  counters/gauges/histograms registered once and scraped by the harness
+  into ``ExperimentMetrics.extra``.
+* :mod:`repro.obs.report` — latency-breakdown tables, per-command
+  timelines, anomaly detection and the JSONL event schema behind
+  ``python -m repro trace``.
+"""
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.report import (
+    command_timeline,
+    dump_jsonl,
+    find_anomalies,
+    latency_breakdown,
+    span_to_json,
+    stage_sum_errors,
+)
+from repro.obs.tracing import (
+    CommandTracer,
+    NULL_TRACER,
+    NullTracer,
+    STAGE_NAMES,
+    Span,
+    trace_id_of,
+)
+
+__all__ = [
+    "CommandTracer",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "STAGE_NAMES",
+    "Span",
+    "command_timeline",
+    "dump_jsonl",
+    "find_anomalies",
+    "latency_breakdown",
+    "span_to_json",
+    "stage_sum_errors",
+    "trace_id_of",
+]

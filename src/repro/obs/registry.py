@@ -1,0 +1,156 @@
+"""Unified metrics registry: counters, gauges and histograms.
+
+One :class:`MetricsRegistry` per cluster replaces the ad-hoc "sum this
+attribute over those objects" plumbing the harness grew: components
+register their instruments once (duplicate names are an error — two
+subsystems silently sharing a counter is how metrics lie), and the
+harness scrapes everything into a flat, deterministically ordered
+``name -> value`` dict that lands in ``ExperimentMetrics.extra``.
+
+Gauges are read-at-scrape callables, so registering one costs nothing on
+the hot path; a gauge may return a dict, which is flattened as
+``name.key`` — the idiom for per-kind / per-partition families whose key
+set is only known at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+class RegistryCounter:
+    """A monotonically increasing scalar."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+
+class Histogram:
+    """A sample distribution with nearest-rank percentiles."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples \
+            else math.nan
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile (0..100), nearest-rank; NaN when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        """The sub-metrics a scrape expands a histogram into."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+GaugeFn = Callable[[], Union[Number, Mapping[str, Number]]]
+
+
+class MetricsRegistry:
+    """Process-scoped instrument registry with duplicate-name protection."""
+
+    def __init__(self):
+        self._counters: dict[str, RegistryCounter] = {}
+        self._gauges: dict[str, GaugeFn] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _claim(self, name: str) -> None:
+        if name in self:
+            raise ValueError(f"metric {name!r} is already registered")
+
+    def counter(self, name: str) -> RegistryCounter:
+        self._claim(name)
+        counter = RegistryCounter(name)
+        self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str, fn: GaugeFn) -> None:
+        """Register a read-at-scrape gauge.
+
+        ``fn`` returns a number, or a mapping flattened as ``name.key``.
+        """
+        self._claim(name)
+        self._gauges[name] = fn
+
+    def histogram(self, name: str) -> Histogram:
+        self._claim(name)
+        histogram = Histogram(name)
+        self._histograms[name] = histogram
+        return histogram
+
+    # -- access ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return (name in self._counters or name in self._gauges
+                or name in self._histograms)
+
+    def get(self, name: str):
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                return table[name]
+        raise KeyError(f"unknown metric: {name!r}")
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    # -- scraping ----------------------------------------------------------
+
+    def scrape(self) -> dict[str, Number]:
+        """Flat ``name -> value`` snapshot, deterministically ordered.
+
+        Counters contribute their value, gauges are called (dict results
+        flattened as ``name.key``), histograms expand to
+        ``name.{count,mean,p50,p95,p99}``. Empty-histogram NaNs are
+        dropped — a scrape should never print ``nan`` rows.
+        """
+        out: dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, fn in self._gauges.items():
+            value = fn()
+            if isinstance(value, Mapping):
+                for key, sub in value.items():
+                    out[f"{name}.{key}"] = sub
+            else:
+                out[name] = value
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.summary().items():
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                out[f"{name}.{key}"] = value
+        return dict(sorted(out.items()))

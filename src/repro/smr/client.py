@@ -20,6 +20,7 @@ import random
 from typing import Callable, Iterable, Optional
 
 from repro.net import Message, Network
+from repro.obs.tracing import NULL_TRACER, trace_id_of
 from repro.ordering import GroupDirectory, MulticastClient, ProtocolNode
 from repro.resilience import RequestTimeout, RetryPolicy, with_timeout
 from repro.sim import Environment, Event, LatencyRecorder
@@ -35,7 +36,8 @@ class BaseClient:
                  latency: Optional[LatencyRecorder] = None,
                  broadcast_submit: bool = False,
                  retry_policy: Optional[RetryPolicy] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 tracer=None):
         self.env = env
         self.directory = directory
         self.node = ProtocolNode(env, network, name)
@@ -45,6 +47,10 @@ class BaseClient:
         self.mcast = MulticastClient(self.node, directory,
                                      broadcast_submit=broadcast_submit)
         self.latency = latency if latency is not None else LatencyRecorder(name)
+        # tracer=None disables span collection (see repro.obs.tracing);
+        # every emission site guards on tracer.enabled, so the disabled
+        # path does no bookkeeping at all.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # retry_policy=None keeps the legacy block-forever behaviour.
         self.retry_policy = retry_policy
         self._rng = rng if rng is not None else random.Random(0)
@@ -88,6 +94,19 @@ class BaseClient:
     def cancel_wait(self, cid: str) -> None:
         self._waiting.pop(cid, None)
 
+    # -- tracing -------------------------------------------------------------
+
+    def trace_stage(self, cid: str, name: str, start: float, **meta) -> None:
+        """Emit one client *stage* span covering ``[start, now)``.
+
+        Stage spans partition a command's end-to-end latency: every wait
+        the client performs while running a command is bracketed by
+        exactly one of them (consult, move, execute, retry-wait).
+        """
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(cid), name, self.name, start,
+                             self.env.now, stage=True, **meta)
+
     # -- resilient requests --------------------------------------------------
 
     def next_uid(self, base: str) -> str:
@@ -103,7 +122,8 @@ class BaseClient:
         return base if n == 1 else f"{base}:r{n}"
 
     def resilient_request(self, cid: str,
-                          send: Callable[[int], None]):
+                          send: Callable[[int], None],
+                          stage: str = "execute"):
         """Generator: run ``send(attempt)`` until a reply for ``cid`` lands.
 
         ``send`` multicasts the request tagged with the given attempt
@@ -112,27 +132,38 @@ class BaseClient:
         wait; with one, timed-out attempts are resent after capped
         exponential backoff with jitter. Raises :class:`RequestTimeout`
         once the policy's attempt budget is exhausted.
+
+        Reply waits are traced as ``stage`` spans and inter-attempt
+        backoff as ``retry-wait`` spans (see :meth:`trace_stage`).
         """
         policy = self.retry_policy
         attempt = 0
         while True:
             attempt += 1
             event = self.wait_reply(cid, attempt=attempt)
+            if self.tracer.enabled:
+                self.tracer.mark_send(cid, self.env.now)
+            wait_start = self.env.now
             send(attempt)
             if attempt > 1:
                 self.resends += 1
             fired, reply = yield from with_timeout(
                 self.env, event, policy.timeout_ms if policy else None)
             if fired:
+                self.trace_stage(cid, stage, wait_start)
                 return reply
+            self.trace_stage(cid, stage, wait_start, timeout=True)
             self.cancel_wait(cid)
             self.timeouts += 1
             if policy.gives_up(attempt):
                 raise RequestTimeout(cid, attempt)
+            backoff_start = self.env.now
             yield self.env.timeout(policy.backoff_ms(attempt, self._rng))
+            self.trace_stage(cid, "retry-wait", backoff_start)
 
     def send_with_retries(self, cid: str, send: Callable[[], None],
-                          expected_attempt: Optional[int] = None):
+                          expected_attempt: Optional[int] = None,
+                          stage: str = "execute"):
         """Generator: like :meth:`resilient_request`, but the request's
         attempt tag is fixed by the caller — resends repeat the same
         logical attempt under fresh uids (DS-SMR's algorithm attempts are
@@ -142,18 +173,25 @@ class BaseClient:
         while True:
             sends += 1
             event = self.wait_reply(cid, attempt=expected_attempt)
+            if self.tracer.enabled:
+                self.tracer.mark_send(cid, self.env.now)
+            wait_start = self.env.now
             send()
             if sends > 1:
                 self.resends += 1
             fired, reply = yield from with_timeout(
                 self.env, event, policy.timeout_ms if policy else None)
             if fired:
+                self.trace_stage(cid, stage, wait_start)
                 return reply
+            self.trace_stage(cid, stage, wait_start, timeout=True)
             self.cancel_wait(cid)
             self.timeouts += 1
             if policy.gives_up(sends):
                 raise RequestTimeout(cid, sends)
+            backoff_start = self.env.now
             yield self.env.timeout(policy.backoff_ms(sends, self._rng))
+            self.trace_stage(cid, "retry-wait", backoff_start)
 
     # -- legacy single-shot API ----------------------------------------------
 
@@ -175,6 +213,7 @@ class BaseClient:
         command.client = self.name
         groups = list(groups)
         start = self.env.now
+        self.tracer.begin_trace(command.cid, self.name, start, op=command.op)
 
         def send(attempt: int) -> None:
             self.mcast.multicast(
@@ -184,6 +223,8 @@ class BaseClient:
 
         reply = yield from self.resilient_request(command.cid, send)
         self.latency.record(self.env.now, self.env.now - start)
+        self.tracer.end_trace(command.cid, self.env.now,
+                              status=reply.status.value)
         return reply
 
 
@@ -194,9 +235,10 @@ class SmrClient(BaseClient):
                  directory: GroupDirectory, name: str, group: str,
                  latency: Optional[LatencyRecorder] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 tracer=None):
         super().__init__(env, network, directory, name, latency,
-                         retry_policy=retry_policy, rng=rng)
+                         retry_policy=retry_policy, rng=rng, tracer=tracer)
         self.group = group
 
     def run_command(self, command: Command):

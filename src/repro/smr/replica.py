@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net import Network
+from repro.obs.tracing import NULL_TRACER, trace_id_of
 from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, SequencerLog)
 from repro.ordering.log import GroupLog
@@ -25,6 +26,21 @@ from repro.smr.state_machine import (ExecutionView, StateMachine,
 REPLY_KIND = "reply"
 
 
+def delivery_command(payload) -> Optional[Command]:
+    """The command inside an amcast delivery payload, if any.
+
+    Payloads are resilient-client envelopes (dicts), legacy raw commands,
+    or oracle control messages (hints/activations) with no command.
+    """
+    if isinstance(payload, Command):
+        return payload
+    if isinstance(payload, dict):
+        command = payload.get("command")
+        if isinstance(command, Command):
+            return command
+    return None
+
+
 class SmrReplica:
     """One replica of a classically replicated state machine."""
 
@@ -34,7 +50,8 @@ class SmrReplica:
                  execution: Optional[ExecutionModel] = None,
                  log_factory=SequencerLog,
                  start_gate=None,
-                 dedup: bool = True):
+                 dedup: bool = True,
+                 tracer=None):
         self.env = env
         self.group = group
         self.node = ProtocolNode(env, network, name)
@@ -48,8 +65,11 @@ class SmrReplica:
         # dedup=False (test-only) lets the chaos sentinel prove the
         # checkers catch duplicate execution when resends are not filtered.
         self.replies = ReplyCache(enabled=dedup)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.queue_peak = 0
+        self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
-        self.amcast.on_deliver(self._deliveries.put)
+        self.amcast.on_deliver(self._enqueue)
         # A recovering replica's executor must not touch the store until
         # the state snapshot is installed; its gate event holds it back.
         self._start_gate = start_gate
@@ -65,6 +85,31 @@ class SmrReplica:
         for key, value in contents.items():
             self.store.write(key, value)
 
+    # -- delivery intake -------------------------------------------------------
+
+    def _enqueue(self, delivery: AmcastDelivery) -> None:
+        """Queue an ordered delivery for the executor (tracing tap).
+
+        Emits the *order* server span (client submit -> total-order
+        delivery) and stamps the enqueue time so the executor can emit a
+        *queue* span for time spent behind earlier commands. Also tracks
+        the peak executor-queue depth for the metrics registry; a direct
+        handoff to a waiting executor counts as depth 1.
+        """
+        if self.tracer.enabled:
+            command = delivery_command(delivery.payload)
+            if command is not None:
+                sent = self.tracer.sent_at(command.cid)
+                if sent is not None:
+                    self.tracer.span(trace_id_of(command.cid), "order",
+                                     self.node.name, sent, self.env.now,
+                                     uid=delivery.uid)
+            self._enqueue_times[delivery.uid] = self.env.now
+        self._deliveries.put(delivery)
+        depth = len(self._deliveries) or 1
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
     def _execute_loop(self):
         try:
             if self._start_gate is not None:
@@ -78,6 +123,12 @@ class SmrReplica:
                 else:                            # legacy raw Command
                     command = payload
                     attempt = 1
+                if self.tracer.enabled:
+                    enqueued = self._enqueue_times.pop(delivery.uid, None)
+                    if enqueued is not None and self.env.now > enqueued:
+                        self.tracer.span(trace_id_of(command.cid), "queue",
+                                         self.node.name, enqueued,
+                                         self.env.now)
                 if self.replies.enabled and command.cid in self._executed_set:
                     # Already covered: a client resend, or recovery-snapshot
                     # overlap with backfilled log entries. Re-executing
@@ -89,9 +140,13 @@ class SmrReplica:
                         self.node.send(command.client, REPLY_KIND, cached,
                                        size=128)
                     continue
+                exec_start = self.env.now
                 yield self.env.timeout(self.execution.cost(command))
                 reply = self._apply(command)
                 reply.attempt = attempt
+                if self.tracer.enabled:
+                    self.tracer.span(trace_id_of(command.cid), "execute",
+                                     self.node.name, exec_start, self.env.now)
                 self.executed.append(command.cid)
                 self._executed_set.add(command.cid)
                 self.replies.store(command.cid, reply)

@@ -29,9 +29,10 @@ class SsmrClient(BaseClient):
                  directory: GroupDirectory, name: str, oracle: StaticOracle,
                  latency: Optional[LatencyRecorder] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 tracer=None):
         super().__init__(env, network, directory, name, latency,
-                         retry_policy=retry_policy, rng=rng)
+                         retry_policy=retry_policy, rng=rng, tracer=tracer)
         self.oracle = oracle
         self.multi_partition_commands = 0
 
@@ -42,6 +43,7 @@ class SsmrClient(BaseClient):
             self.multi_partition_commands += 1
         command.client = self.name
         start = self.env.now
+        self.tracer.begin_trace(command.cid, self.name, start, op=command.op)
 
         def send(attempt: int) -> None:
             envelope = {"command": command, "dests": dests,
@@ -52,4 +54,7 @@ class SsmrClient(BaseClient):
 
         reply: Reply = yield from self.resilient_request(command.cid, send)
         self.latency.record(self.env.now, self.env.now - start)
+        self.tracer.end_trace(command.cid, self.env.now,
+                              status=reply.status.value,
+                              partitions=len(dests))
         return reply

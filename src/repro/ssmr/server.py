@@ -25,13 +25,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net import Network
+from repro.obs.tracing import NULL_TRACER, trace_id_of
 from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, ReliableMulticast, SequencerLog)
 from repro.resilience import ReplyCache
 from repro.sim import Channel, Environment, Interrupted
 from repro.smr.command import Command, Reply, ReplyStatus
 from repro.smr.execution import ExecutionModel
-from repro.smr.replica import REPLY_KIND
+from repro.smr.replica import REPLY_KIND, delivery_command
 from repro.smr.state_machine import (ExecutionView, StateMachine,
                                      VariableStore)
 from repro.ssmr.exchange import EXCHANGE, ExchangeBuffer
@@ -46,7 +47,8 @@ class SsmrServer:
                  execution: Optional[ExecutionModel] = None,
                  log_factory=SequencerLog,
                  speaker_only: bool = True,
-                 dedup: bool = True):
+                 dedup: bool = True,
+                 tracer=None):
         self.env = env
         self.partition = partition
         self.directory = directory
@@ -64,8 +66,11 @@ class SsmrServer:
         # the chaos sentinel can prove the checkers catch double execution.
         self.replies = ReplyCache(enabled=dedup)
         self.exchange = ExchangeBuffer(env, self.rmcast, partition)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.queue_peak = 0
+        self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
-        self.amcast.on_deliver(self._deliveries.put)
+        self.amcast.on_deliver(self._enqueue)
         self._executor = env.process(self._execute_loop(),
                                      name=f"{name}/executor")
 
@@ -80,12 +85,44 @@ class SsmrServer:
         for key, value in contents.items():
             self.store.write(key, value)
 
+    # -- delivery intake ------------------------------------------------------
+
+    def _enqueue(self, delivery: AmcastDelivery) -> None:
+        """Queue an ordered delivery for the executor (tracing tap).
+
+        Mirrors :meth:`repro.smr.replica.SmrReplica._enqueue`: emits the
+        *order* server span, stamps the enqueue time for the *queue* span,
+        and tracks peak executor-queue depth (a direct handoff to a
+        waiting executor counts as depth 1).
+        """
+        if self.tracer.enabled:
+            command = delivery_command(delivery.payload)
+            if command is not None:
+                sent = self.tracer.sent_at(command.cid)
+                if sent is not None:
+                    self.tracer.span(trace_id_of(command.cid), "order",
+                                     self.node.name, sent, self.env.now,
+                                     uid=delivery.uid)
+            self._enqueue_times[delivery.uid] = self.env.now
+        self._deliveries.put(delivery)
+        depth = len(self._deliveries) or 1
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
     # -- executor -------------------------------------------------------------
 
     def _execute_loop(self):
         try:
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
+                if self.tracer.enabled:
+                    enqueued = self._enqueue_times.pop(delivery.uid, None)
+                    command = delivery_command(delivery.payload)
+                    if (command is not None and enqueued is not None
+                            and self.env.now > enqueued):
+                        self.tracer.span(trace_id_of(command.cid), "queue",
+                                         self.node.name, enqueued,
+                                         self.env.now)
                 yield from self._handle_delivery(delivery)
         except Interrupted:
             return
@@ -133,9 +170,18 @@ class SsmrServer:
             local_vars = {key: self.store.read(key)
                           for key in command.variables if key in self.store}
             self.exchange.send(others, command.cid, local_vars)
+        exec_start = self.env.now
         yield self.env.timeout(self.execution.cost(command))
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now)
         if others:
+            exchange_start = self.env.now
             yield from self.exchange.wait(command.cid, set(others))
+            if self.tracer.enabled:
+                self.tracer.span(trace_id_of(command.cid), "exchange",
+                                 self.node.name, exchange_start,
+                                 self.env.now, peers=len(others))
             if self.exchange.any_done(command.cid):
                 # A peer already executed this command in a previous
                 # attempt; executing it here would double-apply its writes.
@@ -172,7 +218,11 @@ class SsmrServer:
                          partition=self.partition)
         self.store.create(
             key, self.state_machine.initial_value(key, command.args))
+        exec_start = self.env.now
         yield self.env.timeout(self.execution.cost(command))
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="created",
                      sender=self.node.name, partition=self.partition)
 
@@ -183,7 +233,11 @@ class SsmrServer:
                          value="missing", sender=self.node.name,
                          partition=self.partition)
         self.store.delete(key)
+        exec_start = self.env.now
         yield self.env.timeout(self.execution.cost(command))
+        if self.tracer.enabled:
+            self.tracer.span(trace_id_of(command.cid), "execute",
+                             self.node.name, exec_start, self.env.now)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="deleted",
                      sender=self.node.name, partition=self.partition)
 

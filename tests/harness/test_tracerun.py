@@ -1,0 +1,85 @@
+"""Traced-workload acceptance tests.
+
+These pin the issue's acceptance criteria: identical invocations yield
+byte-identical JSONL; per-command stage sums equal end-to-end latency for
+every scheme; and disabling tracing changes no simulation result.
+"""
+
+import io
+
+import pytest
+
+from repro.harness.tracerun import run_traced_workload
+from repro.obs import dump_jsonl, stage_sum_errors
+from repro.obs.report import latency_breakdown
+
+SCHEMES = ("smr", "ssmr", "dssmr", "dynastar")
+
+
+def _jsonl(run) -> str:
+    buffer = io.StringIO()
+    dump_jsonl(run.spans, buffer)
+    return buffer.getvalue()
+
+
+class TestDeterminism:
+    def test_run_twice_byte_identical_jsonl(self):
+        first = run_traced_workload("dssmr", seed=7, num_clients=2,
+                                    ops_per_client=5)
+        second = run_traced_workload("dssmr", seed=7, num_clients=2,
+                                     ops_per_client=5)
+        assert first.completed == first.expected
+        assert _jsonl(first) == _jsonl(second)
+        assert latency_breakdown(first.spans) == \
+            latency_breakdown(second.spans)
+
+    def test_different_seeds_differ(self):
+        a = run_traced_workload("dssmr", seed=7, num_clients=2,
+                                ops_per_client=5)
+        b = run_traced_workload("dssmr", seed=8, num_clients=2,
+                                ops_per_client=5)
+        assert _jsonl(a) != _jsonl(b)
+
+
+class TestStageSums:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_stage_sums_equal_end_to_end(self, scheme):
+        run = run_traced_workload(scheme, seed=7, num_clients=2,
+                                  ops_per_client=5)
+        assert run.completed == run.expected
+        assert run.tracer.open_traces() == []
+        roots = run.tracer.roots()
+        assert len(roots) == run.expected
+        assert stage_sum_errors(run.spans) == []
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_disabled_tracing_changes_no_results(self):
+        traced = run_traced_workload("dssmr", seed=7, num_clients=2,
+                                     ops_per_client=5, trace=True)
+        plain = run_traced_workload("dssmr", seed=7, num_clients=2,
+                                    ops_per_client=5, trace=False)
+        assert plain.tracer is None and plain.spans == []
+        assert plain.completed == traced.completed
+        assert plain.finished_at == traced.finished_at
+        assert plain.cluster.latency.samples == traced.cluster.latency.samples
+        assert plain.cluster.network.messages_sent == \
+            traced.cluster.network.messages_sent
+        assert plain.cluster.registry.scrape()["clients.resends"] == \
+            traced.cluster.registry.scrape()["clients.resends"]
+
+
+class TestRegistryScrape:
+    def test_cluster_metrics_land_in_extra(self):
+        from repro.harness.metrics import summarize
+
+        run = run_traced_workload("dssmr", seed=7, num_clients=2,
+                                  ops_per_client=5)
+        metrics = summarize(run.cluster, duration_ms=run.finished_at)
+        assert metrics.extra["clients.count"] == 2
+        assert metrics.extra["net.messages_sent"] > 0
+        assert "replies.cache_hits" in metrics.extra
+        assert any(key.startswith("net.sent_by_kind.")
+                   for key in metrics.extra)
+        assert any(key.startswith("queue.peak.") for key in metrics.extra)
+        assert metrics.latency_p99_ms >= metrics.latency_p95_ms

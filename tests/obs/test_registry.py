@@ -1,0 +1,94 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import math
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestRegistryCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("ops")
+        counter.inc()
+        counter.inc(4)
+        assert reg.scrape()["ops"] == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("ops")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestHistogram:
+    def test_summary(self):
+        hist = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 4.0
+
+    def test_empty_percentiles_nan(self):
+        hist = Histogram()
+        assert math.isnan(hist.mean())
+        assert math.isnan(hist.percentile(95))
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(-1)
+
+
+class TestMetricsRegistry:
+    def test_duplicate_names_rejected_across_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x", lambda: 1)
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_gauge_read_at_scrape(self):
+        reg = MetricsRegistry()
+        state = {"v": 1}
+        reg.gauge("g", lambda: state["v"])
+        assert reg.scrape()["g"] == 1
+        state["v"] = 7
+        assert reg.scrape()["g"] == 7
+
+    def test_dict_gauge_flattened(self):
+        reg = MetricsRegistry()
+        reg.gauge("net.by_kind", lambda: {"reply": 3, "amcast": 9})
+        scraped = reg.scrape()
+        assert scraped["net.by_kind.reply"] == 3
+        assert scraped["net.by_kind.amcast"] == 9
+
+    def test_histogram_expansion_drops_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        filled = reg.histogram("filled")
+        filled.observe(2.0)
+        scraped = reg.scrape()
+        assert scraped["empty.count"] == 0
+        assert "empty.mean" not in scraped     # NaN dropped
+        assert scraped["filled.p95"] == 2.0
+
+    def test_scrape_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("zz", lambda: 1)
+        reg.counter("aa")
+        assert list(reg.scrape()) == sorted(reg.scrape())
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b", lambda: 0)
+        assert "a" in reg and "b" in reg and "c" not in reg
+        assert reg.names() == ["a", "b"]
+        with pytest.raises(KeyError):
+            reg.get("c")

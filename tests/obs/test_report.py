@@ -1,0 +1,128 @@
+"""Unit tests for trace reports (repro.obs.report)."""
+
+import io
+import json
+
+from repro.obs import (CommandTracer, Span, command_timeline, dump_jsonl,
+                       find_anomalies, latency_breakdown, span_to_json,
+                       stage_sum_errors)
+from repro.obs.report import slowest_traces
+
+
+def _command(tracer, cid, start, stages, node="c0"):
+    """Build one closed trace whose stage spans tile [start, end)."""
+    tracer.begin_trace(cid, node, start, op="get")
+    t = start
+    for name, duration in stages:
+        tracer.span(cid, name, node, t, t + duration, stage=True)
+        t += duration
+    tracer.end_trace(cid, t, status="ok")
+
+
+class TestJsonl:
+    def test_span_to_json_is_canonical(self):
+        span = Span("t", "t#0", "t#root", "consult", "c0", 1.0, 2.0,
+                    stage=True, meta={"b": 1, "a": 2})
+        encoded = span_to_json(span)
+        assert encoded == json.dumps(json.loads(encoded), sort_keys=True,
+                                     separators=(",", ":"))
+        decoded = json.loads(encoded)
+        assert decoded["span"] == "t#0"
+        assert decoded["stage"] is True
+        assert decoded["meta"] == {"a": 2, "b": 1}
+
+    def test_dump_jsonl_to_file_object(self):
+        tracer = CommandTracer()
+        _command(tracer, "cmd-1", 0.0, [("execute", 1.0)])
+        buffer = io.StringIO()
+        count = dump_jsonl(tracer.spans, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_dump_jsonl_to_path(self, tmp_path):
+        tracer = CommandTracer()
+        _command(tracer, "cmd-1", 0.0, [("execute", 1.0)])
+        path = tmp_path / "spans.jsonl"
+        count = dump_jsonl(tracer.spans, str(path))
+        assert count == 2
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestBreakdown:
+    def test_stage_totals_partition_end_to_end(self):
+        tracer = CommandTracer()
+        _command(tracer, "a", 0.0, [("consult", 1.0), ("execute", 2.0)])
+        _command(tracer, "b", 5.0, [("consult", 0.5), ("execute", 1.5)])
+        table = latency_breakdown(tracer.spans, label="test")
+        assert "latency breakdown — test" in table
+        assert "consult" in table and "end-to-end" in table
+        # consult total 1.5 of 5.0 -> 30%, execute 3.5 -> 70%
+        assert "30.0%" in table and "70.0%" in table
+        assert stage_sum_errors(tracer.spans) == []
+
+    def test_stage_sum_errors_catch_gaps(self):
+        tracer = CommandTracer()
+        tracer.begin_trace("bad", "c0", 0.0)
+        tracer.span("bad", "execute", "c0", 0.0, 1.0, stage=True)
+        tracer.end_trace("bad", 3.0)    # 2ms unaccounted
+        assert stage_sum_errors(tracer.spans) == ["bad"]
+
+    def test_server_spans_do_not_affect_stage_sums(self):
+        tracer = CommandTracer()
+        _command(tracer, "a", 0.0, [("execute", 1.0)])
+        tracer.span("a", "order", "p0s0", 0.0, 0.4)      # overlapping
+        tracer.span("a", "queue", "p0s0", 0.4, 0.9)
+        assert stage_sum_errors(tracer.spans) == []
+
+
+class TestTimeline:
+    def test_timeline_renders_offsets_and_tags(self):
+        tracer = CommandTracer()
+        _command(tracer, "cmd-1", 10.0, [("consult", 1.0)])
+        tracer.span("cmd-1", "order", "p0s0", 10.0, 10.5)
+        text = command_timeline(tracer.spans, "cmd-1")
+        assert text.startswith("cmd-1")
+        assert "[stage ]" in text and "[server]" in text
+        assert "t+    0.000" in text
+
+    def test_timeline_unknown_trace(self):
+        assert "no spans" in command_timeline([], "ghost")
+
+    def test_slowest_traces_order(self):
+        tracer = CommandTracer()
+        _command(tracer, "fast", 0.0, [("execute", 1.0)])
+        _command(tracer, "slow", 0.0, [("execute", 9.0)])
+        _command(tracer, "mid", 0.0, [("execute", 5.0)])
+        assert slowest_traces(tracer.spans, 2) == ["slow", "mid"]
+
+
+class TestAnomalies:
+    def test_quiet_run_has_no_flags(self):
+        tracer = CommandTracer()
+        for i in range(5):
+            _command(tracer, f"c{i}", float(i), [("execute", 1.0)])
+        assert find_anomalies(tracer.spans) == []
+
+    def test_slow_command_flagged(self):
+        tracer = CommandTracer()
+        # Enough baseline samples that nearest-rank p95 excludes the whale.
+        for i in range(20):
+            _command(tracer, f"c{i}", float(i * 10), [("execute", 1.0)])
+        _command(tracer, "whale", 400.0, [("execute", 50.0)])
+        flags = find_anomalies(tracer.spans, k=3.0)
+        assert any("slow command whale" in flag for flag in flags)
+
+    def test_retry_storm_flagged(self):
+        tracer = CommandTracer()
+        _command(tracer, "stormy", 0.0,
+                 [("retry-wait", 1.0), ("retry-wait", 1.0),
+                  ("retry-wait", 1.0), ("execute", 1.0)])
+        flags = find_anomalies(tracer.spans)
+        assert any("retry storm stormy" in flag for flag in flags)
+
+    def test_oracle_hot_spot_flagged(self):
+        tracer = CommandTracer()
+        _command(tracer, "c1", 0.0, [("consult", 9.0), ("execute", 1.0)])
+        flags = find_anomalies(tracer.spans)
+        assert any("oracle hot-spot" in flag for flag in flags)

@@ -127,6 +127,98 @@ class TestBusyTracker:
         assert tracker.busy_fraction(1.0, 2.0) == pytest.approx(0.5)
 
 
+class TestWindowEdgeCases:
+    """Half-open windows, single samples and exact-boundary timestamps."""
+
+    def test_window_sum_boundaries_half_open(self):
+        series = TimeSeries()
+        series.record(1.0, 10)
+        series.record(2.0, 20)
+        # The start edge is inclusive, the end edge exclusive.
+        assert series.window_sum(1.0, 2.0) == 10
+        assert series.window_sum(2.0, 3.0) == 20
+
+    def test_window_sum_empty_window(self):
+        series = TimeSeries()
+        series.record(1.0, 10)
+        assert series.window_sum(2.0, 5.0) == 0
+        assert series.window_sum(1.0, 1.0) == 0  # zero-width
+
+    def test_windowed_mean_empty_bucket_is_nan(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5, 2.0)
+        recorder.record(2.5, 4.0)
+        windowed = recorder.windowed_mean(1.0, end=3.0)
+        assert windowed.values[0] == 2.0
+        assert math.isnan(windowed.values[1])   # nothing in [1, 2)
+        assert windowed.values[2] == 4.0
+
+    def test_single_sample_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0, 7.0)
+        for p in (0, 50, 95, 99, 100):
+            assert recorder.percentile(p) == 7.0
+        assert recorder.mean() == 7.0
+
+    def test_percentile_exact_rank_boundaries(self):
+        recorder = LatencyRecorder()
+        for i, latency in enumerate([1.0, 2.0, 3.0, 4.0]):
+            recorder.record(float(i), latency)
+        # Nearest-rank: p exactly on a rank boundary maps to that rank.
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(25) == 1.0
+        assert recorder.percentile(75) == 3.0
+        assert recorder.percentile(100) == 4.0
+
+
+class TestBusyFractionEdgeCases:
+    def test_empty_window_rejected(self):
+        tracker = BusyTracker()
+        with pytest.raises(ValueError):
+            tracker.busy_fraction(1.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.busy_fraction(2.0, 1.0)
+
+    def test_no_intervals_is_zero(self):
+        assert BusyTracker().busy_fraction(0.0, 10.0) == 0.0
+
+    def test_interval_exactly_on_window_boundary(self):
+        tracker = BusyTracker()
+        tracker.add_busy(2.0, 1.0)      # busy [2, 3)
+        # Windows touching the interval's edges see none of it.
+        assert tracker.busy_fraction(0.0, 2.0) == 0.0
+        assert tracker.busy_fraction(3.0, 4.0) == 0.0
+        # The exact window is fully busy.
+        assert tracker.busy_fraction(2.0, 3.0) == pytest.approx(1.0)
+
+    def test_zero_duration_interval_contributes_nothing(self):
+        tracker = BusyTracker()
+        tracker.add_busy(1.0, 0.0)
+        assert tracker.total_busy() == 0.0
+        assert tracker.busy_fraction(0.0, 2.0) == 0.0
+
+    def test_begin_end_at_same_time(self):
+        tracker = BusyTracker()
+        tracker.begin(1.0)
+        tracker.end(1.0)
+        assert tracker.total_busy() == 0.0
+
+    def test_interval_spanning_whole_window(self):
+        tracker = BusyTracker()
+        tracker.add_busy(0.0, 10.0)
+        assert tracker.busy_fraction(4.0, 6.0) == pytest.approx(1.0)
+
+    def test_add_busy_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BusyTracker().add_busy(1.0, -0.5)
+
+    def test_end_before_begin_rejected(self):
+        tracker = BusyTracker()
+        tracker.begin(2.0)
+        with pytest.raises(ValueError):
+            tracker.end(1.0)
+
+
 class TestHelpers:
     def test_merge_series(self):
         a = TimeSeries()

@@ -26,6 +26,12 @@ class TestParser:
         assert args.scenarios == 10
         assert args.seed == 0
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scheme == "dssmr"
+        assert args.seed == 7
+        assert args.out is None
+
 
 class TestCommands:
     def test_list_figures(self, capsys):
@@ -65,3 +71,23 @@ class TestCommands:
         # The report itself is deterministic: run-to-run identical.
         assert main(["chaos", "--scenarios", "2", "--seed", "0"]) == 0
         assert capsys.readouterr().out == out
+
+    def test_trace_command(self, capsys, tmp_path):
+        out_path = str(tmp_path / "spans.jsonl")
+        code = main(["trace", "--scheme", "dssmr", "--seed", "7",
+                     "--clients", "2", "--ops", "4", "--out", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency breakdown" in out
+        assert "end-to-end" in out
+        assert "stage sums match end-to-end latency exactly" in out
+        with open(out_path, encoding="utf-8") as fh:
+            first_jsonl = fh.read()
+        assert first_jsonl.count("\n") > 0
+        # Byte-identical on re-run: stdout and the JSONL span stream.
+        assert main(["trace", "--scheme", "dssmr", "--seed", "7",
+                     "--clients", "2", "--ops", "4", "--out",
+                     out_path]) == 0
+        assert capsys.readouterr().out == out
+        with open(out_path, encoding="utf-8") as fh:
+            assert fh.read() == first_jsonl
