@@ -1,0 +1,36 @@
+"""E16 — elastic scale-out: throughput dip and recovery during a live join.
+
+A saturated 2-partition DS-SMR deployment grows to three partitions
+mid-run via repro.reconfig (epoch fence + bulk migration); a static
+2-partition run of the same workload is the control. The companion smoke
+crash-restarts a partitioned replica (checkpoint-install recovery) and
+joins the new partition under chaos with every invariant checked.
+"""
+
+from repro.harness.figures import figure16_elastic_scaleout
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig16_elastic_scaleout(benchmark):
+    figure = run_figure(benchmark, figure16_elastic_scaleout)
+    data = figure.data
+    elastic, static, smoke = (data["elastic"], data["static"],
+                              data["smoke"])
+
+    # The join actually happened: epoch bumped, keys rebalanced.
+    assert elastic["epoch"] == 1
+    assert elastic["keys_migrated"] > 0
+    assert static["epoch"] == 0
+    assert static["keys_migrated"] == 0
+
+    # Scale-out pays off: post-join throughput beats the static ceiling.
+    assert elastic["after"] > static["after"]
+    assert elastic["total_ops"] > static["total_ops"]
+
+    # Safety smoke: crash-restart + join under chaos, all invariants hold.
+    assert smoke["ok"], smoke["violations"]
+    assert smoke["recovery"]
+    assert smoke["newcomer_keys"] > 0
+    assert smoke["metrics"]["reconfig.recoveries"] == 1
+    assert smoke["metrics"]["reconfig.keys_migrated"] > 0

@@ -1,22 +1,30 @@
 #!/usr/bin/env python
-"""Fault tolerance: DS-SMR over Multi-Paxos surviving replica crashes.
+"""Fault tolerance: DS-SMR surviving crashes, recoveries and scale-out.
 
-Builds a DS-SMR deployment where every group (both partitions and the
-oracle) runs a 3-replica Multi-Paxos log, then crashes a partition leader
-and an oracle replica mid-run. Commands keep completing and the survivors
-stay consistent — the paper's failure model in action.
+Part 1 builds a DS-SMR deployment where every group (both partitions and
+the oracle) runs a 3-replica Multi-Paxos log, then crashes a partition
+leader and an oracle replica mid-run. Commands keep completing and the
+survivors stay consistent — the paper's failure model in action.
+
+Part 2 shows the elastic side (repro.reconfig): while a workload runs, a
+partitioned replica crash-restarts and catches up by installing a peer
+checkpoint plus the ordered-log suffix, and a brand-new partition joins
+live — the oracle fences the configuration epoch and bulk-migrates
+variables onto the newcomer without stopping the clients.
 
 Run:  python examples/fault_tolerance_demo.py
 """
 
 from repro.core import DssmrClient, DssmrServer, ORACLE_GROUP, OracleReplica
+from repro.harness import build_cluster
 from repro.net import Network, SwitchedClusterLatency
 from repro.ordering import GroupDirectory, PaxosLog
+from repro.resilience import RetryPolicy
 from repro.sim import Environment, SeedStream
 from repro.smr import Command, CommandType, ExecutionModel, KeyValueStateMachine
 
 
-def main():
+def paxos_crash_demo():
     env = Environment()
     network = Network(env, SeedStream(13), SwitchedClusterLatency())
     partitions = ("p0", "p1")
@@ -71,6 +79,60 @@ def main():
     print(f"\nfinal counter on surviving replicas of {partition}: {values}")
     assert len(set(values.values())) == 1, "survivors diverged!"
     print("survivors agree; the crashes were absorbed by Paxos majorities.")
+
+
+def elastic_demo():
+    cluster = build_cluster(scheme="dssmr", num_partitions=2,
+                            replicas_per_partition=2, seed=11,
+                            retry_policy=RetryPolicy())
+    keys = tuple(f"acct{i}" for i in range(8))
+    cluster.preload({key: 100 for key in keys})
+    env = cluster.env
+    client = cluster.new_client("teller")
+
+    def workload(env):
+        for round_number in range(18):
+            key = keys[round_number % len(keys)]
+            reply = yield from client.run_command(
+                Command(op="incr", args={"key": key}, variables=(key,)))
+            print(f"t={env.now:8.1f} ms  incr {key} -> {reply.value}")
+            yield env.timeout(25)
+
+    def chaos(env):
+        yield env.timeout(100)
+        print(f"t={env.now:8.1f} ms  *** crashing replica p0s1 ***")
+        cluster.servers["p0s1"].crash()
+        yield env.timeout(120)
+        print(f"t={env.now:8.1f} ms  *** restarting p0s1: checkpoint "
+              f"install + log replay from a live peer ***")
+        cluster.recover_server("p0s1")
+        yield env.timeout(60)
+        print(f"t={env.now:8.1f} ms  *** partition p2 joining live ***")
+        yield from cluster.grow("p2")
+        print(f"t={env.now:8.1f} ms  *** p2 joined: epoch="
+              f"{cluster.reconfig.epoch}, "
+              f"{cluster.reconfig.keys_migrated} key(s) migrated ***")
+
+    env.process(workload(env))
+    env.process(chaos(env))
+    env.run(until=600_000)
+
+    recovered = cluster.servers["p0s1"]
+    peer_store = cluster.servers["p0s0"].store.snapshot()
+    assert recovered.recovery.installed, "recovery never completed!"
+    assert recovered.store.snapshot() == peer_store, "p0s1 diverged!"
+    newcomer = cluster.servers["p2s0"].store.snapshot()
+    assert newcomer, "the joined partition holds no variables!"
+    print(f"\np0s1 caught up with its partition ({len(peer_store)} "
+          f"variable(s)) and p2 now serves {sorted(newcomer)}.")
+    print("crash-recovery and live scale-out both absorbed mid-run.")
+
+
+def main():
+    print("== part 1: Multi-Paxos crash tolerance ==")
+    paxos_crash_demo()
+    print("\n== part 2: elastic reconfiguration ==")
+    elastic_demo()
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig13": figures.figure13_multicast_comparison,
         "fig14": figures.figure14_batching,
         "fig15": figures.figure15_chaos_overhead,
+        "fig16": figures.figure16_elastic_scaleout,
     }
 
 
@@ -94,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--k", type=float, default=3.0,
                        help="slow-command anomaly threshold (x p95)")
 
+    reconfig = sub.add_parser(
+        "reconfig", help="elastic reconfiguration smoke: crash-restart "
+                         "recovery + live partition join under chaos")
+    reconfig.add_argument("--scheme", default="dssmr",
+                          choices=["dssmr", "dynastar"])
+    reconfig.add_argument("--seed", type=int, default=0)
+    reconfig.add_argument("--clients", type=int, default=4)
+    reconfig.add_argument("--ops", type=int, default=36,
+                          help="operations per client")
+    reconfig.add_argument("--no-chaos", action="store_true",
+                          help="disable the background message faults")
+    reconfig.add_argument("--json", action="store_true",
+                          help="print canonical metrics JSON on stdout")
+    reconfig.add_argument("--out", default=None, metavar="PATH",
+                          help="write the metrics JSON to PATH (the "
+                               "determinism artifact CI byte-compares)")
+
     return parser
 
 
@@ -107,10 +125,12 @@ def cmd_figure(args) -> int:
     kwargs = {"seed": args.seed}
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
-    if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15"):
+    if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15",
+                          "fig16"):
         # figures without duration parameters
         kwargs = {"seed": args.seed} \
-            if args.figure_id in ("fig13", "fig14", "fig15") else {}
+            if args.figure_id in ("fig13", "fig14", "fig15", "fig16") \
+            else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
     print(f"\n(wall time: {time.perf_counter() - started:.1f}s)")
@@ -227,6 +247,28 @@ def cmd_trace(args) -> int:
     return 0 if run.completed == run.expected and not errors else 1
 
 
+def cmd_reconfig(args) -> int:
+    from repro.harness.elastic import run_elastic_scenario
+
+    started = time.perf_counter()
+    result = run_elastic_scenario(seed=args.seed, scheme=args.scheme,
+                                  num_clients=args.clients,
+                                  ops_per_client=args.ops,
+                                  chaos=not args.no_chaos)
+    payload = result.metrics_json()
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(payload + "\n")
+        print(f"wrote metrics JSON to {args.out}", file=sys.stderr)
+    # Report goes to stderr in --json mode: stdout stays byte-comparable.
+    print(result.report(), file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        print(payload)
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -236,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "partition": cmd_partition,
         "chaos": cmd_chaos,
         "trace": cmd_trace,
+        "reconfig": cmd_reconfig,
     }
     return handlers[args.command](args)
 

@@ -57,6 +57,11 @@ class DssmrClient(BaseClient):
         self.max_retries = max_retries
         self.use_cache = use_cache
         self.location_cache: dict = {}
+        # Last configuration epoch observed in a prophecy; a newer epoch
+        # flushes the location cache (entries may point at partitions the
+        # reconfiguration drained). See repro.reconfig.
+        self.config_epoch = 0
+        self.epoch_flushes = 0
         self._prophecy_waits: dict[str, object] = {}
         # Metrics.
         self.consult_count = 0
@@ -169,6 +174,10 @@ class DssmrClient(BaseClient):
                 return {"dests": [cached.pop()]}
         while True:
             prophecy = yield from self._consult(command, attempt)
+            if prophecy.epoch > self.config_epoch:
+                self.config_epoch = prophecy.epoch
+                self.location_cache.clear()
+                self.epoch_flushes += 1
             if prophecy.status is ProphecyStatus.NOK:
                 return Reply(cid=command.cid, status=ReplyStatus.NOK,
                              value=prophecy.reason, sender=ORACLE_GROUP)
@@ -279,6 +288,24 @@ class DssmrClient(BaseClient):
     def _invalidate_cache(self, command: Command) -> None:
         for key in command.variables:
             self.location_cache.pop(key, None)
+
+    # -- reconfiguration ------------------------------------------------------------
+
+    def update_partitions(self, partitions) -> None:
+        """Install the post-reconfiguration partition view.
+
+        Called by the harness once a join/leave completes; the fallback
+        path multicasts to ``self.partitions``, so a stale view would
+        miss the newcomer (or address a retired partition) there. Cached
+        locations pointing at a removed partition are dropped.
+        """
+        partitions = tuple(partitions)
+        removed = set(self.partitions) - set(partitions)
+        self.partitions = partitions
+        if removed:
+            for key in [k for k, p in self.location_cache.items()
+                        if p in removed]:
+                del self.location_cache[key]
 
     # -- hints (used by graph-partitioned oracle deployments) ---------------------
 

@@ -42,6 +42,9 @@ from repro.ssmr.exchange import ExchangeBuffer
 
 ORACLE_GROUP = "oracle"
 PROPHECY_KIND = "prophecy"
+# Oracle -> ReconfigurationManager acknowledgement of an ordered
+# reconfiguration entry (see repro.reconfig.manager).
+RECONFIG_ACK_KIND = "reconfig/ack"
 
 
 class OracleReplica:
@@ -95,12 +98,26 @@ class OracleReplica:
         self.location: dict = {}
         self.partition_sizes: dict[str, int] = {p: 0 for p in self.partitions}
 
+        # Elastic reconfiguration state (repro.reconfig): the configuration
+        # epoch (bumped per ordered join/leave-begin entry), partitions
+        # draining out, partitions fully retired, cached acknowledgements
+        # for re-delivered reconfiguration entries, and the per-partition
+        # leave-commit attempt counter (each commit retry re-plans the
+        # leftover keys under fresh move ids).
+        self.epoch = 0
+        self.draining: set[str] = set()
+        self.retired: set[str] = set()
+        self._reconfig_acks: dict[tuple[str, str], dict] = {}
+        self._commit_attempts: dict[str, int] = {}
+
         # Metrics.
         self.busy = BusyTracker(f"{name}/busy")
         self.busy_background = BusyTracker(f"{name}/busy-background")
         self.consults = Counter(f"{name}/consults")
         self.moves_issued = Counter(f"{name}/moves")
         self.repartitions = Counter(f"{name}/repartitions")
+        self.reconfigs = Counter(f"{name}/reconfigs")
+        self.evacuations = Counter(f"{name}/evacuations")
 
         self.queue_peak = 0
         self._enqueue_times: dict[str, float] = {}
@@ -126,14 +143,17 @@ class OracleReplica:
         if old == partition:
             return
         if old is not None:
-            self.partition_sizes[old] -= 1
+            self.partition_sizes[old] = self.partition_sizes.get(old, 1) - 1
         self.location[key] = partition
-        self.partition_sizes[partition] += 1
+        # get() tolerates a late relocation onto a retired partition (its
+        # size entry was dropped at leave-commit; evacuation moves it off).
+        self.partition_sizes[partition] = \
+            self.partition_sizes.get(partition, 0) + 1
 
     def _forget(self, key) -> None:
         old = self.location.pop(key, None)
         if old is not None:
-            self.partition_sizes[old] -= 1
+            self.partition_sizes[old] = self.partition_sizes.get(old, 1) - 1
 
     # -- delivery intake --------------------------------------------------------
 
@@ -188,6 +208,9 @@ class OracleReplica:
             return
         if "activate_partitioning" in envelope:
             self._task_activate(envelope["activate_partitioning"])
+            return
+        if "reconfig" in envelope:
+            yield from self._task_reconfig(envelope["reconfig"])
             return
         command: Command = envelope["command"]
         attempt = envelope.get("attempt", 1)
@@ -293,6 +316,9 @@ class OracleReplica:
         if verdict == "ok":
             self._relocate(key, partition)
             self.policy.on_create(key, partition)
+            # A create consulted before a leave fence may land on a
+            # draining/retired partition; move it to a live one.
+            self._maybe_evacuate(command.cid, (key,), partition)
             self._reply(command, ReplyStatus.OK, "created", attempt)
         else:
             self._reply(command, ReplyStatus.NOK, "exists", attempt)
@@ -326,12 +352,205 @@ class OracleReplica:
 
     def _task_move(self, command: Command) -> None:
         dest = command.args["dest"]
+        moved = []
         for key in command.variables:
             if key in self.location:
                 self._relocate(key, dest)
+                moved.append(key)
         if not self.oracle_issues_moves:
             self.moves_issued.increment(self.env.now,
                                         len(command.variables))
+        # A client-issued move whose target was consulted before a leave
+        # fence may gather variables on a draining/retired partition.
+        if moved:
+            self._maybe_evacuate(command.cid, tuple(moved), dest)
+
+    # -- Task 4: elastic reconfiguration (repro.reconfig) -----------------------
+
+    #: Keys per bulk-migration move during join/leave rebalancing.
+    RECONFIG_BATCH = 4
+
+    def _task_reconfig(self, spec: dict):
+        """Apply an ordered join / leave-begin / leave-commit entry.
+
+        Every oracle replica applies the entry at the same log position,
+        so the epoch bump, the membership change and the migration plan
+        are identical on all replicas. The plan (batched moves sourced
+        from the epoch checkpoints the partitions capture on the same
+        entry) is acknowledged to the driving
+        :class:`~repro.reconfig.ReconfigurationManager`, which issues the
+        moves; re-deliveries (manager retries under loss) resend the
+        cached acknowledgement instead of re-planning.
+        """
+        kind = spec["kind"]
+        partition = spec["partition"]
+        yield self.env.timeout(self.CONSULT_COST)
+        if kind == "join":
+            ack = self._reconfig_join(partition)
+        elif kind == "leave_begin":
+            ack = self._reconfig_leave_begin(partition)
+        elif kind == "leave_commit":
+            ack = self._reconfig_leave_commit(partition)
+        else:
+            ack = {"error": f"unknown reconfig kind {kind!r}"}
+        self._send_reconfig_ack(spec.get("manager"), spec.get("rid"),
+                                kind, partition, ack)
+
+    def _reconfig_join(self, partition: str) -> dict:
+        cached = self._reconfig_acks.get(("join", partition))
+        if cached is not None:
+            return cached
+        if partition in self.partitions:
+            return {"error": f"{partition} is already a member"}
+        self.retired.discard(partition)
+        self.partitions = tuple(list(self.partitions) + [partition])
+        self.partition_sizes.setdefault(partition, 0)
+        self.epoch += 1
+        self._sync_policy_partitions()
+        batches = self._plan_join(partition)
+        self.reconfigs.increment(self.env.now)
+        ack = {"epoch": self.epoch, "batches": batches,
+               "keys": sum(len(b["variables"]) for b in batches)}
+        self._reconfig_acks[("join", partition)] = ack
+        return ack
+
+    def _reconfig_leave_begin(self, partition: str) -> dict:
+        cached = self._reconfig_acks.get(("leave_begin", partition))
+        if cached is not None:
+            return cached
+        if partition not in self.partitions:
+            return {"error": f"{partition} is not a member"}
+        remaining = tuple(p for p in self.partitions if p != partition)
+        if not remaining:
+            return {"error": "cannot drain the last partition"}
+        self.partitions = remaining
+        self.draining.add(partition)
+        self.epoch += 1
+        self._sync_policy_partitions()
+        batches = self._plan_drain(partition, attempt=0)
+        self.reconfigs.increment(self.env.now)
+        ack = {"epoch": self.epoch, "batches": batches,
+               "keys": sum(len(b["variables"]) for b in batches)}
+        self._reconfig_acks[("leave_begin", partition)] = ack
+        return ack
+
+    def _reconfig_leave_commit(self, partition: str) -> dict:
+        leftover = self.partition_sizes.get(partition, 0)
+        if partition in self.partitions:
+            return {"error": f"{partition} has no pending leave"}
+        if leftover == 0:
+            self.draining.discard(partition)
+            self.retired.add(partition)
+            self.partition_sizes.pop(partition, None)
+            return {"epoch": self.epoch, "drained": True, "batches": [],
+                    "keys": 0}
+        # Keys ordered onto the draining partition after the first drain
+        # plan (in-flight creates/moves): re-plan them under fresh move
+        # ids; the manager retries the commit once they migrated.
+        attempt = self._commit_attempts.get(partition, 0) + 1
+        self._commit_attempts[partition] = attempt
+        batches = self._plan_drain(partition, attempt)
+        return {"epoch": self.epoch, "drained": False, "batches": batches,
+                "keys": sum(len(b["variables"]) for b in batches)}
+
+    def _plan_join(self, newcomer: str) -> list[dict]:
+        """Deterministic rebalance plan: fill the newcomer to its fair
+        share with sorted key batches taken from the most-loaded donors."""
+        donors = [p for p in self.partitions
+                  if p != newcomer and p not in self.draining]
+        total = sum(self.partition_sizes.get(p, 0) for p in donors)
+        fair = total // (len(donors) + 1)
+        keys_by: dict[str, list] = {p: [] for p in donors}
+        for key, p in self.location.items():
+            if p in keys_by:
+                keys_by[p].append(key)
+        batches: list[dict] = []
+        remaining = fair
+        index = 0
+        for donor in sorted(donors,
+                            key=lambda p: (-self.partition_sizes.get(p, 0),
+                                           p)):
+            if remaining <= 0:
+                break
+            surplus = max(0, self.partition_sizes.get(donor, 0) - fair)
+            take = min(surplus, remaining)
+            if take <= 0:
+                continue
+            keys = sorted(keys_by[donor], key=str)[:take]
+            remaining -= len(keys)
+            for at in range(0, len(keys), self.RECONFIG_BATCH):
+                chunk = keys[at:at + self.RECONFIG_BATCH]
+                batches.append({
+                    "cid": f"rcfg:e{self.epoch}:{donor}:{index}",
+                    "variables": list(chunk),
+                    "source": donor,
+                    "dest": newcomer,
+                })
+                index += 1
+        return batches
+
+    def _plan_drain(self, partition: str, attempt: int) -> list[dict]:
+        """Redistribute everything on ``partition`` round-robin over the
+        live partitions, in sorted key batches (deterministic)."""
+        targets = sorted(p for p in self.partitions
+                         if p not in self.draining)
+        keys = sorted((k for k, p in self.location.items()
+                       if p == partition), key=str)
+        batches: list[dict] = []
+        for index, at in enumerate(range(0, len(keys),
+                                         self.RECONFIG_BATCH)):
+            chunk = keys[at:at + self.RECONFIG_BATCH]
+            batches.append({
+                "cid": f"rcfg:e{self.epoch}:c{attempt}:{partition}:{index}",
+                "variables": list(chunk),
+                "source": partition,
+                "dest": targets[index % len(targets)],
+            })
+        return batches
+
+    def _sync_policy_partitions(self) -> None:
+        """Repartitioning policies track the live partition set (the
+        graph policy sizes its ideal cut by it); stateless policies take
+        the partitions as call arguments and need no update."""
+        setter = getattr(self.policy, "set_partitions", None)
+        if setter is not None:
+            setter(self.partitions)
+
+    def _maybe_evacuate(self, trigger_cid: str, keys: tuple,
+                        partition: str) -> None:
+        """Move keys that landed on a draining/retired partition to the
+        least-loaded live one (deterministic supplementary move).
+
+        Every replica issues the move with the same uid, so the ordered
+        logs deduplicate — the same trick as :meth:`_issue_move`.
+        """
+        if partition in self.partitions and partition not in self.draining \
+                and partition not in self.retired:
+            return
+        live = [p for p in self.partitions if p not in self.draining]
+        if not live or partition in live:
+            return
+        dest = min(live, key=lambda p: (self.partition_sizes.get(p, 0), p))
+        move_cid = f"{trigger_cid}:evac"
+        move = Command(op="move", ctype=CommandType.MOVE,
+                       variables=tuple(keys),
+                       args={"sources": [partition], "dest": dest,
+                             "notify": None},
+                       cid=move_cid, client=None)
+        dests = sorted({ORACLE_GROUP, dest, partition})
+        self.amcast.multicast(dests, {"command": move, "dests": dests},
+                              size=move.payload_size(),
+                              uid=f"am:{move_cid}")
+        self.evacuations.increment(self.env.now, len(keys))
+
+    def _send_reconfig_ack(self, manager, rid, kind: str, partition: str,
+                           body: dict) -> None:
+        if not manager:
+            return
+        payload = dict(body, rid=rid, kind=kind, partition=partition)
+        size = 256 + 32 * sum(len(b["variables"])
+                              for b in body.get("batches", ()))
+        self.node.send(manager, RECONFIG_ACK_KIND, payload, size=size)
 
     # -- Tasks 5/6: hints and repartitioning ------------------------------------
 
@@ -385,6 +604,7 @@ class OracleReplica:
     # -- replies -------------------------------------------------------------
 
     def _send_prophecy(self, command: Command, prophecy: Prophecy) -> None:
+        prophecy.epoch = self.epoch
         if command.client:
             self.node.send(command.client, PROPHECY_KIND,
                            {"cid": command.cid, "prophecy": prophecy},

@@ -38,6 +38,10 @@ class Prophecy:
     # Id of the oracle-issued move the client must wait for (sync mode).
     move_cid: Optional[str] = None
     reason: str = ""
+    # Configuration epoch at the oracle when the consult executed; a
+    # client seeing a newer epoch than it last saw flushes its location
+    # cache (stale entries may point at partitions that drained away).
+    epoch: int = 0
 
     @property
     def partitions(self) -> set[str]:

@@ -38,6 +38,9 @@ class DssmrServer(SsmrServer):
 
     def _handle_delivery(self, delivery: AmcastDelivery):
         envelope = delivery.payload
+        if "reconfig" in envelope:
+            self._apply_reconfig(envelope["reconfig"])
+            return
         command: Command = envelope["command"]
         if command.ctype.value == "move":
             yield from self._exec_move(command)

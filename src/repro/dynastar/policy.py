@@ -48,6 +48,22 @@ class GraphTargetPolicy(LeastLoadedCreatePolicy, OraclePolicy):
         self.repartition_count = 0
         self._hints_since_repartition = 0
 
+    def set_partitions(self, partitions: Sequence[str]) -> None:
+        """Repartition against the live configuration epoch.
+
+        Called by the oracle when an elastic reconfiguration (partition
+        join/leave, see :mod:`repro.reconfig`) changes the partition set:
+        subsequent ideal computations cut the workload graph into the new
+        number of parts, and stale ideal entries naming a removed
+        partition are dropped so targeting never selects it.
+        """
+        partitions = tuple(partitions)
+        removed = set(self.partitions) - set(partitions)
+        self.partitions = partitions
+        if removed:
+            self.ideal = {key: p for key, p in self.ideal.items()
+                          if p not in removed}
+
     # -- hints / repartitioning (Tasks 5 & 6) -------------------------------
 
     def on_hint(self, vertices: Iterable[Key],

@@ -16,6 +16,12 @@ from repro.harness.chaos import (
     run_scenario,
 )
 from repro.harness.cluster import Cluster, ClusterConfig, build_cluster
+from repro.harness.elastic import (
+    ElasticResult,
+    run_elastic_scenario,
+    run_scaleout_timeline,
+)
+from repro.harness.invariants import cluster_invariants
 from repro.harness.metrics import ExperimentMetrics
 from repro.harness.experiment import (
     ChirperDeployment,
@@ -32,17 +38,21 @@ __all__ = [
     "ChirperDeployment",
     "Cluster",
     "ClusterConfig",
+    "ElasticResult",
     "ExperimentMetrics",
     "ExperimentResult",
     "ScenarioResult",
     "SweepResult",
     "TraceRun",
     "build_cluster",
+    "cluster_invariants",
     "format_series",
     "format_table",
     "generate_scenario",
     "run_campaign",
     "run_chirper_experiment",
+    "run_elastic_scenario",
+    "run_scaleout_timeline",
     "run_scenario",
     "run_traced_workload",
     "sweep",

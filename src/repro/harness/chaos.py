@@ -2,19 +2,18 @@
 
 Each scenario is drawn from a seeded generator — a mix of message drops,
 latency spikes, duplication, bounded reordering, a network partition window
-and a follower crash (recovered through :mod:`repro.smr.recovery` for
-classic SMR, permanent for the partitioned schemes, whose recovery story is
-out of scope — see that module's docstring). The campaign runs each
-scenario against classic SMR, S-SMR and DS-SMR deployments whose clients
-use the resilience layer (:mod:`repro.resilience`), then checks the
-system's guarantees after the network heals:
+and a follower crash-restart (recovered through :mod:`repro.smr.recovery`
+for classic SMR and through checkpoint-install recovery,
+:mod:`repro.reconfig.recovery`, for the partitioned schemes). The campaign
+runs each scenario against classic SMR, S-SMR and DS-SMR deployments whose
+clients use the resilience layer (:mod:`repro.resilience`), then checks
+the system's guarantees after the network heals:
 
 * every client request completed before the deadline;
 * the recorded history is linearizable (Wing–Gong checker);
-* no replica executed a command twice (exactly-once under resends);
-* live replicas of each partition converged (state and execution order);
-* for DS-SMR: every variable lives in exactly one partition and the
-  oracle's location map agrees with the actual placement.
+* the shared end-state invariants (:mod:`repro.harness.invariants`):
+  exactly-once execution, replica convergence, unique placement, oracle
+  map accuracy and configuration-epoch agreement.
 
 Everything — fault schedule, workload, backoff jitter — derives from the
 campaign seed, so ``run_campaign(n, seed)`` is fully deterministic: two
@@ -31,6 +30,7 @@ from typing import Optional, Sequence
 
 from repro.checkers import History, KvSequentialSpec, check_linearizable
 from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.invariants import cluster_invariants
 from repro.harness.report import format_table
 from repro.net import FailureInjector
 from repro.obs import CommandTracer, command_timeline, find_anomalies
@@ -58,11 +58,15 @@ def _reset_id_counters() -> None:
     never on what ran earlier in the process — the property behind the
     campaign's run-twice-compare-reports determinism test."""
     import repro.ordering.atomic_multicast as atomic_multicast
+    import repro.reconfig.manager as reconfig_manager
+    import repro.reconfig.transfer as reconfig_transfer
     import repro.smr.command as command
     import repro.smr.recovery as recovery
     command._cmd_counter = itertools.count()
     atomic_multicast._am_counter = itertools.count()
     recovery._recovery_counter = itertools.count()
+    reconfig_manager._rid_counter = itertools.count()
+    reconfig_transfer._transfer_counter = itertools.count()
 
 
 # ---------------------------------------------------------------------------
@@ -222,10 +226,6 @@ def _spawn_workload(cluster: Cluster, history: Optional[History],
     return status, done
 
 
-def _freeze(store: dict) -> tuple:
-    return tuple(sorted(store.items()))
-
-
 def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
                  num_clients: int = 3, ops_per_client: int = 8,
                  dedup: bool = True) -> ScenarioResult:
@@ -266,7 +266,6 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
     # guarantees, and trailing in-window faults would otherwise race them.
     env.schedule_callback(scenario.fault_end, injector.heal_all)
 
-    dead: set[str] = set()
     if scenario.crash:
         crash_time, partition_index, recover_time = scenario.crash
         partition = cluster.partitions[partition_index
@@ -276,17 +275,19 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
         def do_crash() -> None:
             cluster.servers[victim].crash()
 
-        env.schedule_callback(crash_time, do_crash)
         if scheme == "smr":
             peer = cluster.servers[f"{partition}s0"]
 
-            def do_recover() -> None:
+            def do_restart() -> None:
                 cluster.servers[victim] = recover_replica(
                     cluster.servers[victim], peer)
-
-            env.schedule_callback(recover_time, do_recover)
         else:
-            dead.add(victim)
+            def do_restart() -> None:
+                cluster.recover_server(victim)
+
+        injector.crash_restart_at(crash_time, victim,
+                                  recover_time - crash_time,
+                                  crash=do_crash, restart=do_restart)
 
     # -- workload ----------------------------------------------------------
     history = History()
@@ -322,50 +323,7 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
     elif not check_linearizable(history, KvSequentialSpec(dict(INITIAL))):
         violations.append("history is not linearizable")
 
-    for name in sorted(cluster.servers):
-        if name in dead:
-            continue
-        executed = cluster.servers[name].executed
-        duplicated = len(executed) - len(set(executed))
-        if duplicated:
-            violations.append(f"{name} executed {duplicated} command(s) "
-                              f"more than once")
-
-    for partition in cluster.partitions:
-        live = [name for name in cluster.directory.members(partition)
-                if name not in dead]
-        stores = {_freeze(cluster.servers[name].store.snapshot())
-                  for name in live}
-        if len(stores) > 1:
-            violations.append(f"{partition} replicas diverge on state")
-        orders = {tuple(cluster.servers[name].executed) for name in live}
-        if len(orders) > 1:
-            violations.append(f"{partition} replicas diverge on "
-                              f"execution order")
-
-    if cluster.oracles:
-        placement: dict[str, str] = {}
-        for partition in cluster.partitions:
-            witness = next(name for name
-                           in cluster.directory.members(partition)
-                           if name not in dead)
-            for key in cluster.servers[witness].store.snapshot():
-                if key in placement:
-                    violations.append(f"{key} present in both "
-                                      f"{placement[key]} and {partition}")
-                placement[key] = partition
-        maps = {_freeze(oracle.location) for oracle in cluster.oracles}
-        if len(maps) > 1:
-            violations.append("oracle replicas diverge on the location map")
-        oracle_map = cluster.oracles[0].location
-        for key, partition in sorted(placement.items()):
-            if oracle_map.get(key) != partition:
-                violations.append(
-                    f"oracle maps {key} to {oracle_map.get(key)} "
-                    f"but it lives in {partition}")
-        for key in sorted(set(oracle_map) - set(placement)):
-            violations.append(f"oracle maps {key} to {oracle_map[key]} "
-                              f"but no partition stores it")
+    violations.extend(cluster_invariants(cluster))
 
     trace_notes: list[str] = []
     if violations:

@@ -28,6 +28,9 @@ from repro.net import Network, SwitchedClusterLatency, paper_cluster_topology
 from repro.obs import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.ordering import GroupDirectory
+from repro.reconfig import (CheckpointHost, PartitionCheckpointer,
+                            ReconfigurationManager,
+                            recover_partition_server)
 from repro.resilience import RetryPolicy
 from repro.sim import Environment, LatencyRecorder, SeedStream
 from repro.smr import (ExecutionModel, KeyValueStateMachine, SmrClient,
@@ -107,15 +110,28 @@ class Cluster:
                         for m in self.directory.members(p)]
         oracle_names = (self.directory.members(ORACLE_GROUP)
                         if self._dynamic else ())
-        topology = paper_cluster_topology(server_names, oracle_names)
+        self.topology = paper_cluster_topology(server_names, oracle_names)
         self.network = Network(self.env, self.seeds.child("net"),
-                               SwitchedClusterLatency(topology))
+                               SwitchedClusterLatency(self.topology))
 
         self.partition_map = StaticPartitionMap(
             self.partitions, assignment=config.initial_assignment)
         self.servers: dict[str, object] = {}
         self.oracles: list[OracleReplica] = []
         self._build_servers()
+
+        # Elastic reconfiguration (repro.reconfig): every partitioned
+        # server gets a checkpointer + checkpoint host (pure handler
+        # registration — inert until a reconfiguration or recovery runs);
+        # dynamic schemes also get the manager that drives joins/leaves.
+        self.reconfig: Optional[ReconfigurationManager] = None
+        self.retired_partitions: tuple[str, ...] = ()
+        if self._dynamic:
+            self.reconfig = ReconfigurationManager(
+                self.env, self.network, self.directory, "rm0",
+                retry_policy=config.retry_policy,
+                rng=self.seeds.child("reconfig").stream("rm0"),
+                tracer=self.tracer)
 
         # Shared measurement: virtual time is global and monotonic, so one
         # recorder serves every client.
@@ -150,14 +166,18 @@ class Cluster:
                               execution=config.execution,
                               dedup=config.dedup, tracer=self.tracer)
         if config.scheme == "ssmr":
-            return SsmrServer(self.env, self.network, self.directory,
-                              partition, name, state_machine,
-                              execution=config.execution,
-                              dedup=config.dedup, tracer=self.tracer)
-        return DssmrServer(self.env, self.network, self.directory,
-                           partition, name, state_machine,
-                           execution=config.execution,
-                           dedup=config.dedup, tracer=self.tracer)
+            server = SsmrServer(self.env, self.network, self.directory,
+                                partition, name, state_machine,
+                                execution=config.execution,
+                                dedup=config.dedup, tracer=self.tracer)
+        else:
+            server = DssmrServer(self.env, self.network, self.directory,
+                                 partition, name, state_machine,
+                                 execution=config.execution,
+                                 dedup=config.dedup, tracer=self.tracer)
+        PartitionCheckpointer(server)
+        CheckpointHost(server)
+        return server
 
     def _register_metrics(self) -> None:
         """Register the deployment's scrape-time gauges (see repro.obs).
@@ -201,6 +221,37 @@ class Cluster:
         reg.gauge("clients.cache_hits", self.total_cache_hits)
         reg.gauge("clients.retries", self.total_retries)
         reg.gauge("clients.fallbacks", self.total_fallbacks)
+        reg.gauge("reconfig.epoch", lambda: (
+            self.oracles[0].epoch if self.oracles else 0))
+        reg.gauge("reconfig.reconfigs", lambda: sum(
+            o.reconfigs.total for o in self.oracles))
+        reg.gauge("reconfig.evacuations", lambda: sum(
+            o.evacuations.total for o in self.oracles))
+        reg.gauge("reconfig.joins", lambda: (
+            self.reconfig.joins if self.reconfig else 0))
+        reg.gauge("reconfig.leaves", lambda: (
+            self.reconfig.leaves if self.reconfig else 0))
+        reg.gauge("reconfig.keys_migrated", lambda: (
+            self.reconfig.keys_migrated if self.reconfig else 0))
+        reg.gauge("reconfig.batches_sent", lambda: (
+            self.reconfig.batches_sent if self.reconfig else 0))
+        reg.gauge("reconfig.move_resends", lambda: (
+            self.reconfig.move_resends if self.reconfig else 0))
+        reg.gauge("reconfig.checkpoints", lambda: sum(
+            s.checkpointer.captures for s in self.servers.values()
+            if getattr(s, "checkpointer", None) is not None))
+        reg.gauge("reconfig.transfer_chunks", lambda: sum(
+            s.recovery.transfer.chunks_received
+            for s in self.servers.values()
+            if getattr(s, "recovery", None) is not None))
+        reg.gauge("reconfig.transfer_retries", lambda: sum(
+            s.recovery.transfer.retries + s.recovery.transfer.meta_retries
+            for s in self.servers.values()
+            if getattr(s, "recovery", None) is not None))
+        reg.gauge("reconfig.recoveries", lambda: sum(
+            1 for s in self.servers.values()
+            if getattr(s, "recovery", None) is not None
+            and s.recovery.installed))
 
     def _policy_factory(self):
         config = self.config
@@ -273,6 +324,74 @@ class Cluster:
     def run(self, until: float) -> None:
         """Advance the simulation to virtual time ``until`` (ms)."""
         self.env.run(until=until)
+
+    # -- elastic reconfiguration (repro.reconfig) -----------------------------------
+
+    def grow(self, partition: str):
+        """Generator: live-join a new partition and rebalance onto it.
+
+        Registers the group, builds its replicas (executor live but idle —
+        nothing routes to them until the oracle admits the partition),
+        then drives the ordered join through the manager. Clients learn
+        the widened partition set once the join completes, so fallback
+        executions cover the newcomer.
+        """
+        if self.reconfig is None:
+            raise RuntimeError("elastic reconfiguration needs a dynamic "
+                               "scheme (dssmr or dynastar)")
+        members = [f"{partition}s{j}"
+                   for j in range(self.config.replicas_per_partition)]
+        self.directory.add_group(partition, members)
+        base = len(self.servers)
+        for offset, name in enumerate(members):
+            self.topology.attach(name, (base + offset) % 2)
+            server = self._make_server(partition, name)
+            # Fresh groups start at the *current* configuration epoch:
+            # they only deliver fences ordered after their creation.
+            server.epoch = self.reconfig.epoch
+            self.servers[name] = server
+        ack = yield from self.reconfig.join(partition)
+        self.partitions = tuple(list(self.partitions) + [partition])
+        for client in self.clients:
+            if hasattr(client, "update_partitions"):
+                client.update_partitions(self.partitions)
+        return ack
+
+    def shrink(self, partition: str):
+        """Generator: drain ``partition`` and retire it from the deployment.
+
+        The retired replicas stay up (they keep delivering epoch fences)
+        but hold no variables and receive no commands.
+        """
+        if self.reconfig is None:
+            raise RuntimeError("elastic reconfiguration needs a dynamic "
+                               "scheme (dssmr or dynastar)")
+        result = yield from self.reconfig.leave(partition)
+        self.partitions = tuple(p for p in self.partitions
+                                if p != partition)
+        self.retired_partitions = tuple(
+            list(self.retired_partitions) + [partition])
+        for client in self.clients:
+            if hasattr(client, "update_partitions"):
+                client.update_partitions(self.partitions)
+        return result
+
+    def recover_server(self, name: str):
+        """Crash-recover partitioned replica ``name`` from a live peer.
+
+        Installs a peer checkpoint and replays the log suffix (see
+        :mod:`repro.reconfig.recovery`); the replacement takes over the
+        crashed server's slot in :attr:`servers`.
+        """
+        crashed = self.servers[name]
+        partition = crashed.partition
+        peer_name = next(
+            member for member in self.directory.members(partition)
+            if member != name and not self.servers[member].node.crashed)
+        replacement = recover_partition_server(crashed,
+                                               self.servers[peer_name])
+        self.servers[name] = replacement
+        return replacement
 
     # -- metrics access ------------------------------------------------------------
 

@@ -1,0 +1,329 @@
+"""Elastic reconfiguration scenarios: crash-recovery and live scale-out.
+
+Two seeded, fully deterministic drivers on top of the chaos machinery:
+
+* :func:`run_elastic_scenario` — the invariant-checked smoke: a DS-SMR
+  cluster under light chaos runs a linearizability workload while a
+  partitioned replica crash-restarts (checkpoint-install recovery,
+  :mod:`repro.reconfig.recovery`) and a brand-new partition joins
+  mid-run (:meth:`~repro.harness.cluster.Cluster.grow`). After healing
+  and a cooldown, every shared invariant must hold — linearizability,
+  exactly-once, convergence, placement, oracle accuracy and epoch
+  agreement — and the emitted metrics JSON is byte-identical across
+  same-seed runs (the CI smoke compares two runs with ``cmp``).
+* :func:`run_scaleout_timeline` — the measurement behind figure E16:
+  closed-loop clients saturate the deployment while a partition joins;
+  the per-bucket completion timeline shows the throughput dip during
+  bulk migration and the recovery past the old ceiling.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.checkers import History, KvSequentialSpec, check_linearizable
+from repro.harness.chaos import _reset_id_counters
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.invariants import cluster_invariants
+from repro.harness.report import format_table
+from repro.net import FailureInjector
+from repro.obs import CommandTracer
+from repro.resilience import RetryPolicy
+from repro.sim import SeedStream
+from repro.smr import Command, ExecutionModel, ReplyStatus
+
+#: Preloaded keys (spread over the two initial partitions).
+ELASTIC_KEYS = tuple(f"k{i:02d}" for i in range(24))
+
+DEADLINE_MS = 12_000.0
+SETTLE_MS = 400.0
+BUCKET_MS = 40.0
+
+
+def _random_access(rng: random.Random, keys) -> Command:
+    kind = rng.random()
+    if kind < 0.30:
+        key = rng.choice(keys)
+        return Command(op="get", args={"key": key}, variables=(key,))
+    if kind < 0.70:
+        key = rng.choice(keys)
+        return Command(op="incr", args={"key": key}, variables=(key,),
+                       writes=(key,))
+    if kind < 0.88:
+        a, b = rng.sample(keys, 2)
+        return Command(op="swap", args={"a": a, "b": b}, variables=(a, b),
+                       writes=(a, b))
+    chosen = rng.sample(keys, 2)
+    return Command(op="sum", args={"keys": chosen},
+                   variables=tuple(chosen))
+
+
+def _timeline(completions, end: float, bucket_ms: float = BUCKET_MS):
+    """Completed-ops count per ``bucket_ms`` bucket of virtual time."""
+    buckets = [0] * (int(end // bucket_ms) + 1)
+    for at in completions:
+        index = int(at // bucket_ms)
+        if index < len(buckets):
+            buckets[index] += 1
+    return buckets
+
+
+@dataclass
+class ElasticResult:
+    """Outcome of one elastic reconfiguration scenario."""
+
+    seed: int
+    scheme: str
+    ops_completed: int
+    ops_expected: int
+    finished_at: float | None
+    epoch: int
+    newcomer_keys: int
+    recovery_installed: bool
+    violations: tuple[str, ...]
+    metrics: dict = field(default_factory=dict)
+    timeline: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def metrics_json(self) -> str:
+        """Canonical JSON of the scrape — byte-stable across same-seed
+        runs (the determinism artifact the CI smoke compares)."""
+        return json.dumps({"seed": self.seed, "scheme": self.scheme,
+                           "epoch": self.epoch,
+                           "newcomer_keys": self.newcomer_keys,
+                           "ops": self.ops_completed,
+                           "timeline": self.timeline,
+                           "metrics": self.metrics},
+                          sort_keys=True, separators=(",", ":"))
+
+    def report(self) -> str:
+        rows = [["ops", f"{self.ops_completed}/{self.ops_expected}"],
+                ["finished-ms", (f"{self.finished_at:.0f}"
+                                 if self.finished_at is not None
+                                 else "stuck")],
+                ["epoch", self.epoch],
+                ["newcomer-keys", self.newcomer_keys],
+                ["recovery", "installed" if self.recovery_installed
+                 else "MISSING"],
+                ["keys-migrated",
+                 self.metrics.get("reconfig.keys_migrated", 0)],
+                ["checkpoints",
+                 self.metrics.get("reconfig.checkpoints", 0)],
+                ["verdict", "ok" if self.ok else "FAIL"]]
+        lines = [f"elastic scenario: seed={self.seed} scheme={self.scheme}",
+                 "", format_table(["metric", "value"], rows)]
+        if self.violations:
+            lines.append("")
+            lines.extend(f"  - {violation}"
+                         for violation in self.violations)
+        return "\n".join(lines)
+
+
+def run_elastic_scenario(seed: int = 0, scheme: str = "dssmr",
+                         num_clients: int = 4, ops_per_client: int = 36,
+                         chaos: bool = True,
+                         crash_at: float = 60.0,
+                         recover_after: float = 80.0,
+                         join_at: float = 220.0,
+                         fault_end: float = 340.0) -> ElasticResult:
+    """One full elastic scenario: crash-restart + live join under chaos."""
+    _reset_id_counters()
+    tracer = CommandTracer()
+    assignment = {key: i % 2 for i, key in enumerate(ELASTIC_KEYS)}
+    cluster_seed = SeedStream(seed).child("elastic").stream(scheme) \
+        .randrange(2**31)
+    cluster = Cluster(ClusterConfig(
+        scheme=scheme, num_partitions=2, replicas_per_partition=2,
+        seed=cluster_seed, retry_policy=RetryPolicy(),
+        initial_assignment=assignment), tracer=tracer)
+    initial = {key: 0 for key in ELASTIC_KEYS}
+    cluster.preload(dict(initial))
+    env = cluster.env
+
+    injector = FailureInjector(env, cluster.network,
+                               cluster.seeds.child("elastic-faults"))
+    if chaos:
+        injector.drop_fraction(0.01)
+        injector.delay_spikes(0.08, 8.0)
+        injector.duplicate_fraction(0.05)
+    env.schedule_callback(fault_end, injector.heal_all)
+
+    victim = "p0s1"      # follower; the sequencer is a fixed point
+
+    def do_crash() -> None:
+        cluster.servers[victim].crash()
+
+    def do_restart() -> None:
+        cluster.recover_server(victim)
+
+    injector.crash_restart_at(crash_at, victim, recover_after,
+                              crash=do_crash, restart=do_restart)
+
+    join_done = {"ack": None}
+
+    def join_driver():
+        yield env.timeout(join_at)
+        join_done["ack"] = yield from cluster.grow("p2")
+
+    env.process(join_driver(), name="elastic/join")
+
+    # -- workload (same shape as the chaos campaign, paced so the
+    # crash/recovery/join land mid-run) ------------------------------------
+    history = History()
+    status = {"completed": 0, "finished": 0}
+    completions: list[float] = []
+    done = env.event()
+    clients = [cluster.new_client(f"c{i}") for i in range(num_clients)]
+
+    def loop(client, index):
+        rng = random.Random(f"elastic/{seed}/{index}")
+        for _ in range(ops_per_client):
+            command = _random_access(rng, ELASTIC_KEYS)
+            invoked = env.now
+            reply = yield from client.run_command(command)
+            result = reply.value if reply.status is not ReplyStatus.NOK \
+                else str(reply.value)
+            history.record(client.name, command.op, command.args,
+                           result, invoked, env.now)
+            status["completed"] += 1
+            completions.append(env.now)
+            yield env.timeout(rng.uniform(3.0, 9.0))
+        status["finished"] += 1
+        if status["finished"] == num_clients:
+            done.succeed(None)
+
+    for index, client in enumerate(clients):
+        env.process(loop(client, index), name=f"elastic/{client.name}")
+
+    end_marker = {"at": None}
+
+    def driver():
+        yield done
+        if env.now < fault_end + 10.0:
+            yield env.timeout(fault_end + 10.0 - env.now)
+        while join_done["ack"] is None:   # never under default timings
+            yield env.timeout(20.0)
+        # Cooldown: reads on a fresh client surface trailing log gaps.
+        cooldown = cluster.new_client("cool")
+        for key in ELASTIC_KEYS:
+            yield from cooldown.run_command(
+                Command(op="get", args={"key": key}, variables=(key,)))
+        yield env.timeout(SETTLE_MS)
+        end_marker["at"] = env.now
+
+    env.process(driver(), name="elastic/driver")
+    env.run(until=DEADLINE_MS)
+
+    # -- invariants --------------------------------------------------------
+    violations: list[str] = []
+    expected = num_clients * ops_per_client
+    if status["completed"] != expected or end_marker["at"] is None:
+        violations.append(f"only {status['completed']}/{expected} ops "
+                          f"completed before the deadline")
+    elif not check_linearizable(history, KvSequentialSpec(dict(initial))):
+        violations.append("history is not linearizable")
+    violations.extend(cluster_invariants(cluster))
+
+    newcomer_keys = 0
+    if "p2" in cluster.partitions:
+        newcomer_keys = len(
+            cluster.servers["p2s0"].store.snapshot())
+        if newcomer_keys == 0:
+            violations.append("join rebalanced no keys onto p2")
+    else:
+        violations.append("partition p2 never joined")
+    recovered = cluster.servers[victim]
+    recovery_installed = bool(getattr(recovered, "recovery", None)
+                              and recovered.recovery.installed)
+    if not recovery_installed:
+        violations.append(f"{victim} never finished recovery")
+
+    metrics = cluster.registry.scrape()
+    wanted = [name for name in metrics
+              if name.startswith(("reconfig.", "clients.", "oracle."))]
+    end = end_marker["at"] or env.now
+    return ElasticResult(
+        seed=seed, scheme=scheme,
+        ops_completed=status["completed"], ops_expected=expected,
+        finished_at=end_marker["at"],
+        epoch=cluster.oracles[0].epoch if cluster.oracles else 0,
+        newcomer_keys=newcomer_keys,
+        recovery_installed=recovery_installed,
+        violations=tuple(violations),
+        metrics={name: metrics[name] for name in sorted(wanted)},
+        timeline=_timeline(completions, end))
+
+
+def run_scaleout_timeline(seed: int = 7, elastic: bool = True,
+                          duration_ms: float = 1_600.0,
+                          join_at: float = 600.0,
+                          num_clients: int = 12) -> dict:
+    """Throughput timeline of a (possibly) scaling deployment (E16).
+
+    Closed-loop clients saturate a 2-partition DS-SMR cluster; with
+    ``elastic=True`` a third partition joins at ``join_at``. Returns the
+    bucketed completion timeline plus before/during/after throughput.
+    """
+    _reset_id_counters()
+    keys = tuple(f"k{i:02d}" for i in range(48))
+    assignment = {key: i % 2 for i, key in enumerate(keys)}
+    cluster_seed = SeedStream(seed).child("fig16") \
+        .stream("elastic" if elastic else "static").randrange(2**31)
+    cluster = Cluster(ClusterConfig(
+        scheme="dssmr", num_partitions=2, replicas_per_partition=2,
+        seed=cluster_seed, retry_policy=RetryPolicy(),
+        execution=ExecutionModel(base_ms=0.4, per_variable_ms=0.02),
+        initial_assignment=assignment))
+    cluster.preload({key: 0 for key in keys})
+    env = cluster.env
+
+    completions: list[float] = []
+    clients = [cluster.new_client(f"c{i}") for i in range(num_clients)]
+
+    def loop(client, index):
+        rng = random.Random(f"fig16/{seed}/{index}")
+        while env.now < duration_ms:
+            command = _random_access(rng, keys)
+            yield from client.run_command(command)
+            completions.append(env.now)
+
+    for index, client in enumerate(clients):
+        env.process(loop(client, index), name=f"fig16/{client.name}")
+
+    if elastic:
+        def join_driver():
+            yield env.timeout(join_at)
+            yield from cluster.grow("p2")
+
+        env.process(join_driver(), name="fig16/join")
+
+    env.run(until=duration_ms + SETTLE_MS)
+
+    def rate(start: float, end: float) -> float:
+        span = (end - start) / 1000.0
+        count = sum(1 for at in completions if start <= at < end)
+        return count / span if span > 0 else 0.0
+
+    dip_window = 160.0
+    timeline = _timeline(completions, duration_ms)
+    lo = int(join_at // BUCKET_MS)
+    hi = min(int((join_at + dip_window) // BUCKET_MS), len(timeline))
+    dip = (min(timeline[lo:hi]) / (BUCKET_MS / 1000.0)
+           if lo < hi else 0.0)
+    return {
+        "elastic": elastic,
+        "total_ops": len(completions),
+        "timeline": timeline,
+        "before": rate(200.0, join_at),
+        "during": rate(join_at, join_at + dip_window),
+        "dip": dip,
+        "after": rate(duration_ms - 400.0, duration_ms),
+        "keys_migrated": (cluster.reconfig.keys_migrated
+                          if cluster.reconfig else 0),
+        "epoch": cluster.oracles[0].epoch if cluster.oracles else 0,
+    }

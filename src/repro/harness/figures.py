@@ -666,3 +666,62 @@ def figure15_chaos_overhead(seed: int = 5,
                           rows)
     return FigureData("fig15", "Resilience overhead under message loss",
                       report, data)
+
+
+def figure16_elastic_scaleout(seed: int = 5,
+                              duration_ms: float = 1_600.0,
+                              join_at: float = 600.0,
+                              num_clients: int = 12) -> FigureData:
+    """E16: throughput dip and recovery during a live partition join.
+
+    A saturated 2-partition DS-SMR deployment grows to three partitions
+    mid-run (:mod:`repro.reconfig`): the epoch fence and bulk migration
+    cost a brief throughput dip, after which the extra partition lifts
+    steady-state throughput past the static deployment's ceiling. A
+    static 2-partition run of the same workload is the control. The
+    companion smoke (crash-restart recovery + join under chaos, all
+    invariants on) runs last so the figure also certifies safety.
+    """
+    from repro.harness.elastic import (run_elastic_scenario,
+                                       run_scaleout_timeline)
+    from repro.sim import TimeSeries
+
+    elastic = run_scaleout_timeline(seed=seed, duration_ms=duration_ms,
+                                    join_at=join_at,
+                                    num_clients=num_clients)
+    static = run_scaleout_timeline(seed=seed, elastic=False,
+                                   duration_ms=duration_ms,
+                                   join_at=join_at,
+                                   num_clients=num_clients)
+    smoke = run_elastic_scenario(seed=seed)
+
+    rows = []
+    for label, outcome in [("elastic 2->3", elastic),
+                           ("static 2", static)]:
+        rows.append([label, outcome["total_ops"],
+                     round(outcome["before"], 1),
+                     round(outcome["during"], 1),
+                     round(outcome["dip"], 1),
+                     round(outcome["after"], 1),
+                     outcome["keys_migrated"], outcome["epoch"]])
+    series = TimeSeries("elastic ops per bucket")
+    for index, count in enumerate(elastic["timeline"]):
+        series.record(index * 40.0, count)
+    sections = [
+        format_table(["deployment", "ops", "before", "join-window",
+                      "dip", "after", "migrated", "epoch"], rows),
+        f"elastic timeline (join at {join_at:.0f} ms): "
+        f"{format_sparkline(series)}",
+        "",
+        "-- safety smoke (crash-restart + join under chaos) --",
+        smoke.report(),
+    ]
+    return FigureData("fig16", "Elastic scale-out: dip and recovery",
+                      "\n".join(sections),
+                      {"elastic": elastic, "static": static,
+                       "smoke": {"ok": smoke.ok,
+                                 "violations": list(smoke.violations),
+                                 "epoch": smoke.epoch,
+                                 "newcomer_keys": smoke.newcomer_keys,
+                                 "recovery": smoke.recovery_installed,
+                                 "metrics": smoke.metrics}})

@@ -41,6 +41,7 @@ class FailureInjector:
         self._reorder_rng: random.Random = seeds.stream("reorder")
         self._removers: list[Callable[[], None]] = []
         self._crashed_nodes: set[str] = set()
+        self.restarts = 0
         # Bumped by heal_all(); scheduled actions from older generations
         # become no-ops, so a heal genuinely quiesces the injector.
         self._generation = 0
@@ -62,6 +63,42 @@ class FailureInjector:
             self.network.recover(node)
 
         self._at(time, recover)
+
+    def crash_restart_at(self, time: float, node: str, restart_delay: float,
+                         crash: Callable[[], None] | None = None,
+                         restart: Callable[[], None] | None = None) -> None:
+        """Crash ``node`` at ``time`` and bring it back ``restart_delay``
+        ms later.
+
+        By default the crash and restart act at the network level only
+        (drop traffic, then stop dropping) — enough for protocols whose
+        replicas survive in memory. Protocol-aware harnesses pass
+        ``crash``/``restart`` callables instead: the chaos campaign and
+        the elastic scenarios crash the server object and drive a full
+        checkpoint-install recovery (:mod:`repro.reconfig.recovery`).
+        Both actions are generation-guarded, so :meth:`heal_all` cancels
+        a restart that has not fired yet.
+        """
+        if restart_delay <= 0:
+            raise ValueError("restart_delay must be positive")
+
+        def do_crash() -> None:
+            self._crashed_nodes.add(node)
+            if crash is not None:
+                crash()
+            else:
+                self.network.crash(node)
+
+        def do_restart() -> None:
+            self._crashed_nodes.discard(node)
+            if restart is not None:
+                restart()
+            else:
+                self.network.recover(node)
+            self.restarts += 1
+
+        self._at(time, do_crash)
+        self._at(time + restart_delay, do_restart)
 
     # -- message-level faults ----------------------------------------------
 

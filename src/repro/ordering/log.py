@@ -61,6 +61,7 @@ class GroupLog(ABC):
         self._applied_uids: set[str] = set()
         self.decided_entries: dict[int, dict] = {}
         self._backfill_scheduled = False
+        self._backfill_suspended = False
         node.on(f"log/{group}/backfill-req", self._on_backfill_request)
         node.on(f"log/{group}/backfill", self._on_backfill)
 
@@ -111,6 +112,21 @@ class GroupLog(ABC):
         for seq in [s for s in self._pending_apply if s < position]:
             del self._pending_apply[seq]
 
+    def suspend_backfill(self) -> None:
+        """Hold automatic gap backfill (recovery install window).
+
+        A replacement replica's log starts at position 0 and would
+        otherwise backfill the whole history from the speaker before the
+        state snapshot arrives — wasted traffic, and the early entries
+        would be re-applied below the snapshot's fast-forward position.
+        """
+        self._backfill_suspended = True
+
+    def resume_backfill(self) -> None:
+        self._backfill_suspended = False
+        if self._pending_apply:
+            self._schedule_backfill()
+
     def request_backfill(self, provider: Optional[str] = None) -> None:
         """Ask ``provider`` (default: the group speaker) for decided
         entries from our next-apply position onward."""
@@ -122,7 +138,7 @@ class GroupLog(ABC):
                         "reply_to": self.node.name}, size=96)
 
     def _schedule_backfill(self) -> None:
-        if self._backfill_scheduled:
+        if self._backfill_scheduled or self._backfill_suspended:
             return
         self._backfill_scheduled = True
 

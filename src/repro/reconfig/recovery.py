@@ -1,0 +1,132 @@
+"""Crash-recovery for *partitioned* replicas (closes the gap
+:mod:`repro.smr.recovery` documents).
+
+A partitioned replica's state is not a pure function of its delivered
+commands — it is coupled to in-flight signal/variable exchanges, the
+multicast's timestamp state and the reply cache — so classic
+snapshot-and-replay is not enough. The recovery here installs a peer's
+full :class:`~repro.reconfig.checkpoint.PartitionCheckpoint` (fetched
+via the chunked :class:`~repro.reconfig.transfer.StateTransfer`) and
+then replays the ordered-log suffix past the checkpoint's apply
+position:
+
+1. The crashed node is recovered in the network and a fresh server of
+   the same class is constructed under the same name, with its executor
+   *gated* and its log's automatic backfill *suspended* (otherwise it
+   would pointlessly backfill history the checkpoint covers).
+2. The transfer pulls a frozen checkpoint from the chosen peer; ordered
+   traffic arriving meanwhile parks in the log's pending map.
+3. Install: store, execution history, reply cache, epoch, multicast
+   state (clock, delivered uids, pendings — unfinalised multi-group
+   pendings re-arm their self-heal timers), exchange buffers and the
+   checkpoint's queued deliveries. Delivered-uid install is what stops
+   the backfilled suffix from double-delivering commands the queue
+   already carries.
+4. The log fast-forwards to the checkpoint position, backfill resumes,
+   and an explicit backfill request to the peer fetches the suffix; the
+   executor gate opens.
+
+Only non-speaker members recover this way: the fixed-sequencer log dies
+with its sequencer (use :class:`~repro.ordering.paxos.PaxosLog`
+deployments when the speaker itself must be recoverable).
+"""
+
+from __future__ import annotations
+
+from repro.reconfig.checkpoint import PartitionCheckpoint, PartitionCheckpointer
+from repro.reconfig.transfer import CheckpointHost, StateTransfer
+
+
+class PartitionRecovery:
+    """Drives one replacement server from construction to caught-up."""
+
+    def __init__(self, server, peer_name: str):
+        if server._start_gate is None:
+            raise ValueError("the replacement server must be constructed "
+                             "with a start_gate (use "
+                             "recover_partition_server)")
+        self.server = server
+        self.peer_name = peer_name
+        self.transfer = StateTransfer(server.node, tracer=server.tracer)
+        self.installed = False
+        self.checkpoint: PartitionCheckpoint | None = None
+        self._process = server.env.process(
+            self._run(), name=f"{server.node.name}/recovery")
+
+    def _run(self):
+        checkpoint = yield from self.transfer.fetch(self.peer_name)
+        self._install(checkpoint)
+
+    def _install(self, checkpoint: PartitionCheckpoint) -> None:
+        """Install the checkpoint atomically (no yields: one instant)."""
+        server = self.server
+        for key, value in checkpoint.store.items():
+            server.store.write(key, value)
+        server.executed = list(checkpoint.executed)
+        server.replies._replies.update(checkpoint.replies)
+        server.epoch = checkpoint.epoch
+        amcast = server.amcast
+        state = checkpoint.amcast
+        amcast._clock = state["clock"]
+        amcast._delivered_uids = set(state["delivered_uids"])
+        amcast._my_ts = dict(state["my_ts"])
+        amcast._pending = dict(state["pending"])
+        amcast._deliver_count = state["deliver_count"]
+        amcast.delivery_log = list(state["delivery_log"])
+        if amcast.heal_interval_ms:
+            for muid, pending in amcast._pending.items():
+                if (pending.proposed and pending.final_ts is None
+                        and len(pending.groups) > 1):
+                    server.env.schedule_callback(
+                        amcast.heal_interval_ms,
+                        lambda m=muid: amcast._heal(m))
+        exchange = server.exchange
+        state = checkpoint.exchange
+        exchange._signals = {cid: set(senders)
+                             for cid, senders in state["signals"].items()}
+        exchange._vars = dict(state["vars"])
+        exchange._done = set(state["done"])
+        exchange._sent = dict(state["sent"])
+        server._deliveries._items.clear()
+        server._deliveries._items.extend(checkpoint.queued)
+        server.log.fast_forward(max(server.log.applied_count,
+                                    checkpoint.applied_count))
+        server.log.resume_backfill()
+        server.log.request_backfill(provider=self.peer_name)
+        self.checkpoint = checkpoint
+        self.installed = True
+        server._start_gate.succeed(None)
+
+
+def recover_partition_server(crashed, peer):
+    """Bring a crashed partition replica back under the same name.
+
+    ``crashed`` is the dead server object (any :class:`SsmrServer`
+    subclass); ``peer`` is a live replica of the *same partition* with a
+    checkpointer and :class:`CheckpointHost` attached. Returns the
+    replacement server (same class, same name), already recovering; its
+    ``recovery`` attribute exposes progress, and a fresh checkpointer and
+    host are attached so the replacement can later seed others.
+    """
+    if crashed.partition != peer.partition:
+        raise ValueError(f"peer {peer.node.name} replicates "
+                         f"{peer.partition!r}, not {crashed.partition!r}")
+    name = crashed.node.name
+    if crashed.directory.speaker(crashed.partition) == name:
+        raise ValueError(f"{name} is the group speaker; the ordered log "
+                         "cannot survive its crash (deploy PaxosLog for "
+                         "speaker fault tolerance)")
+    network = crashed.node.network
+    network.recover(name)
+    replacement = type(crashed)(
+        crashed.env, network, crashed.directory, crashed.partition, name,
+        crashed.state_machine, execution=crashed.execution,
+        log_factory=type(crashed.log),
+        speaker_only=crashed.amcast.speaker_only,
+        dedup=getattr(crashed.replies, "enabled", True),
+        start_gate=crashed.env.event(), tracer=crashed.tracer)
+    replacement.log.suspend_backfill()
+    PartitionCheckpointer(replacement)
+    CheckpointHost(replacement)
+    replacement.recovery = PartitionRecovery(replacement, peer.node.name)
+    return replacement

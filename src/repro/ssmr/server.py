@@ -48,6 +48,7 @@ class SsmrServer:
                  log_factory=SequencerLog,
                  speaker_only: bool = True,
                  dedup: bool = True,
+                 start_gate=None,
                  tracer=None):
         self.env = env
         self.partition = partition
@@ -68,9 +69,20 @@ class SsmrServer:
         self.exchange = ExchangeBuffer(env, self.rmcast, partition)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.queue_peak = 0
+        # Configuration epoch: bumped by every ordered reconfiguration
+        # entry (partition join / leave-begin); see repro.reconfig.
+        self.epoch = 0
+        # Attached by repro.reconfig.PartitionCheckpointer (None without).
+        self.checkpointer = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
+        # The delivery the executor is currently inside (checkpoint
+        # consistency: a capture must count it as not-yet-executed work).
+        self._current_delivery = None
         self.amcast.on_deliver(self._enqueue)
+        # A recovering replica's executor must not touch the store until
+        # the peer checkpoint is installed; the gate event holds it back.
+        self._start_gate = start_gate
         self._executor = env.process(self._execute_loop(),
                                      name=f"{name}/executor")
 
@@ -113,6 +125,8 @@ class SsmrServer:
 
     def _execute_loop(self):
         try:
+            if self._start_gate is not None:
+                yield self._start_gate
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
                 if self.tracer.enabled:
@@ -123,12 +137,17 @@ class SsmrServer:
                         self.tracer.span(trace_id_of(command.cid), "queue",
                                          self.node.name, enqueued,
                                          self.env.now)
+                self._current_delivery = delivery
                 yield from self._handle_delivery(delivery)
+                self._current_delivery = None
         except Interrupted:
             return
 
     def _handle_delivery(self, delivery: AmcastDelivery):
         envelope = delivery.payload
+        if "reconfig" in envelope:
+            self._apply_reconfig(envelope["reconfig"])
+            return
         command: Command = envelope["command"]
         dests = tuple(envelope["dests"])
         attempt = envelope.get("attempt", 1)
@@ -159,6 +178,23 @@ class SsmrServer:
             self.replies.store(command.cid, reply)
             self.executed.append(command.cid)
             self._send_reply(command, reply)
+
+    # -- reconfiguration (repro.reconfig) -----------------------------------
+
+    def _apply_reconfig(self, spec: dict) -> None:
+        """Apply an ordered reconfiguration entry (epoch fence).
+
+        Join and leave-begin entries bump the configuration epoch on every
+        group — delivered through the ordered logs, so all replicas of all
+        partitions fence identically — and trigger an epoch-tagged
+        checkpoint when a :class:`~repro.reconfig.PartitionCheckpointer`
+        is attached. Leave-commit entries are oracle-side cleanup and do
+        not change the epoch.
+        """
+        if spec.get("kind") in ("join", "leave_begin"):
+            self.epoch += 1
+            if self.checkpointer is not None:
+                self.checkpointer.capture(reason=spec["kind"])
 
     # -- command execution (Algorithm 1) -----------------------------------
 

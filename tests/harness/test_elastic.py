@@ -1,0 +1,69 @@
+"""Tests for the elastic reconfiguration scenario runner."""
+
+import json
+
+from repro.harness import run_elastic_scenario, run_scaleout_timeline
+
+
+class TestElasticScenario:
+    def test_scenario_passes_all_invariants(self):
+        result = run_elastic_scenario(seed=0, num_clients=3,
+                                      ops_per_client=24)
+        assert result.ok, result.violations
+        assert result.ops_completed == result.ops_expected == 72
+        assert result.epoch == 1
+        assert result.newcomer_keys > 0
+        assert result.recovery_installed
+        assert result.metrics["reconfig.recoveries"] == 1
+        assert result.metrics["reconfig.keys_migrated"] > 0
+        assert result.metrics["reconfig.checkpoints"] > 0
+        assert result.metrics["reconfig.transfer_chunks"] > 0
+
+    def test_same_seed_runs_are_byte_identical(self):
+        """The determinism contract behind the CI smoke: metrics JSON,
+        timeline and report are byte-equal across same-seed runs."""
+        first = run_elastic_scenario(seed=2, num_clients=3,
+                                     ops_per_client=24)
+        second = run_elastic_scenario(seed=2, num_clients=3,
+                                      ops_per_client=24)
+        assert first.metrics_json() == second.metrics_json()
+        assert first.report() == second.report()
+        assert first.timeline == second.timeline
+
+    def test_different_seeds_differ(self):
+        first = run_elastic_scenario(seed=0, num_clients=3,
+                                     ops_per_client=24)
+        second = run_elastic_scenario(seed=1, num_clients=3,
+                                      ops_per_client=24)
+        assert first.ok and second.ok
+        assert first.metrics_json() != second.metrics_json()
+
+    def test_metrics_json_is_valid_and_sorted(self):
+        result = run_elastic_scenario(seed=0, num_clients=2,
+                                      ops_per_client=12)
+        payload = json.loads(result.metrics_json())
+        assert payload["epoch"] == 1
+        assert payload["scheme"] == "dssmr"
+        keys = list(payload["metrics"])
+        assert keys == sorted(keys)
+
+    def test_no_chaos_variant(self):
+        result = run_elastic_scenario(seed=4, num_clients=2,
+                                      ops_per_client=12, chaos=False)
+        assert result.ok, result.violations
+        assert result.recovery_installed
+
+
+class TestScaleoutTimeline:
+    def test_elastic_beats_static_after_join(self):
+        elastic = run_scaleout_timeline(seed=7, duration_ms=900.0,
+                                        join_at=350.0, num_clients=8)
+        static = run_scaleout_timeline(seed=7, elastic=False,
+                                       duration_ms=900.0, join_at=350.0,
+                                       num_clients=8)
+        assert elastic["epoch"] == 1
+        assert elastic["keys_migrated"] > 0
+        assert static["epoch"] == 0
+        assert static["keys_migrated"] == 0
+        assert elastic["after"] > static["after"]
+        assert sum(elastic["timeline"]) == elastic["total_ops"]

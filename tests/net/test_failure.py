@@ -228,3 +228,53 @@ class TestPartition:
         _net, injector = make(env)
         with pytest.raises(ValueError):
             injector.partition_between(4.0, 4.0, ["a"], ["b"])
+
+
+class TestCrashRestart:
+    def test_default_network_level_restart(self, env):
+        net, injector = make(env)
+        net.register("b")
+        injector.crash_restart_at(5.0, "a", 10.0)
+
+        def sender(env):
+            net.send("a", "b", "k")    # t=0: delivered
+            yield env.timeout(10)
+            net.send("a", "b", "k")    # t=10: crashed, dropped
+            yield env.timeout(10)
+            net.send("a", "b", "k")    # t=20: restarted, delivered
+
+        env.process(sender(env))
+        env.run()
+        assert len(net.endpoint("b").inbox) == 2
+        assert injector.restarts == 1
+
+    def test_protocol_callbacks_fire_in_order(self, env):
+        _net, injector = make(env)
+        events = []
+        injector.crash_restart_at(
+            5.0, "a", 3.0,
+            crash=lambda: events.append(("crash", env.now)),
+            restart=lambda: events.append(("restart", env.now)))
+        env.run()
+        assert events == [("crash", 5.0), ("restart", 8.0)]
+        assert injector.restarts == 1
+
+    def test_nonpositive_delay_rejected(self, env):
+        _net, injector = make(env)
+        with pytest.raises(ValueError):
+            injector.crash_restart_at(5.0, "a", 0.0)
+
+    def test_heal_all_cancels_pending_restart(self, env):
+        """heal_all recovers the node itself and bumps the generation, so
+        a restart scheduled after the heal must not double-fire."""
+        net, injector = make(env)
+        events = []
+        injector.crash_restart_at(
+            5.0, "a", 20.0,
+            crash=lambda: events.append("crash"),
+            restart=lambda: events.append("restart"))
+        env.schedule_callback(10.0, injector.heal_all)
+        env.run()
+        assert events == ["crash"]
+        assert injector.restarts == 0
+        assert not net.is_crashed("a")

@@ -1,0 +1,163 @@
+"""Tests for the reconfiguration manager: live join and leave."""
+
+import pytest
+
+from repro.harness import cluster_invariants
+from repro.smr import Command
+
+from tests.reconfig.test_checkpoint import build_loaded_cluster, run_workload
+
+
+def drive(cluster, generator_fn):
+    result = {}
+
+    def proc(env):
+        result["value"] = yield from generator_fn()
+
+    cluster.env.process(proc(cluster.env))
+    cluster.run(until=cluster.env.now + 10_000)
+    return result
+
+
+class TestJoin:
+    def test_join_rebalances_and_fences(self):
+        cluster = build_loaded_cluster()
+        result = drive(cluster, lambda: cluster.grow("p2"))
+        assert "value" in result, "join never completed"
+        assert cluster.partitions == ("p0", "p1", "p2")
+        # Epoch fence reached the oracle replicas and every server.
+        for oracle in cluster.oracles:
+            assert oracle.epoch == 1
+        for name, server in cluster.servers.items():
+            assert server.epoch == 1, name
+        # The newcomer received a deterministic share of the keys and the
+        # oracle's map agrees with the actual placement.
+        newcomer = cluster.servers["p2s0"].store.snapshot()
+        assert newcomer
+        assert cluster.reconfig.joins == 1
+        assert cluster.reconfig.keys_migrated >= len(newcomer)
+        assert cluster_invariants(cluster) == []
+
+    def test_join_then_workload_routes_to_newcomer(self):
+        cluster = build_loaded_cluster()
+        drive(cluster, lambda: cluster.grow("p2"))
+        moved = sorted(cluster.servers["p2s0"].store.snapshot())
+        executed_before = len(cluster.servers["p2s0"].executed)
+        client = cluster.new_client("after")
+        replies = []
+
+        def proc(env):
+            reply = yield from client.run_command(
+                Command(op="get", args={"key": moved[0]},
+                        variables=(moved[0],)))
+            replies.append(reply.value)
+
+        cluster.env.process(proc(cluster.env))
+        cluster.run(until=cluster.env.now + 5_000)
+        assert replies and replies[0] is not None
+        # The newcomer executed the command itself.
+        assert len(cluster.servers["p2s0"].executed) > executed_before
+        assert cluster_invariants(cluster) == []
+
+    def test_two_joins_bump_epoch_twice(self):
+        cluster = build_loaded_cluster()
+        drive(cluster, lambda: cluster.grow("p2"))
+        drive(cluster, lambda: cluster.grow("p3"))
+        assert cluster.reconfig.epoch == 2
+        for name, server in cluster.servers.items():
+            assert server.epoch == 2, name
+        assert cluster_invariants(cluster) == []
+
+    def test_duplicate_partition_rejected(self):
+        cluster = build_loaded_cluster()
+        with pytest.raises(ValueError):
+            next(cluster.grow("p1"))
+
+    def test_clients_flush_caches_on_new_epoch(self):
+        """A client holding pre-join locations re-consults after the
+        epoch bump instead of trusting its stale cache."""
+        cluster = build_loaded_cluster()
+        client = cluster.new_client("cache")
+        keys = [f"k{i}" for i in range(4)]
+
+        def warm(env):
+            for key in keys:
+                yield from client.run_command(
+                    Command(op="get", args={"key": key}, variables=(key,)))
+
+        cluster.env.process(warm(cluster.env))
+        cluster.run(until=cluster.env.now + 2_000)
+        drive(cluster, lambda: cluster.grow("p2"))
+        flushes_before = client.epoch_flushes
+
+        def after(env):
+            for key in keys:
+                yield from client.run_command(
+                    Command(op="get", args={"key": key}, variables=(key,)))
+
+        cluster.env.process(after(cluster.env))
+        cluster.run(until=cluster.env.now + 5_000)
+        assert client.config_epoch == 1
+        assert client.epoch_flushes > flushes_before
+        assert cluster_invariants(cluster) == []
+
+
+class TestLeave:
+    def test_leave_drains_partition(self):
+        cluster = build_loaded_cluster()
+        result = drive(cluster, lambda: cluster.shrink("p1"))
+        assert "value" in result, "leave never completed"
+        assert cluster.partitions == ("p0",)
+        assert cluster.retired_partitions == ("p1",)
+        for name in ("p1s0", "p1s1"):
+            assert cluster.servers[name].store.snapshot() == {}, name
+        # Every variable now lives on p0 and the oracle knows it.
+        survivors = cluster.servers["p0s0"].store.snapshot()
+        assert len(survivors) == 4
+        for oracle in cluster.oracles:
+            assert oracle.epoch == 1
+            assert set(oracle.location.values()) == {"p0"}
+        assert cluster.reconfig.leaves == 1
+        assert cluster_invariants(cluster) == []
+
+    def test_join_then_leave_roundtrip(self):
+        """Grow to three partitions, then retire the newcomer again: all
+        keys return to the original partitions, epochs advance twice."""
+        cluster = build_loaded_cluster()
+        drive(cluster, lambda: cluster.grow("p2"))
+        assert cluster.servers["p2s0"].store.snapshot()
+        drive(cluster, lambda: cluster.shrink("p2"))
+        assert cluster.partitions == ("p0", "p1")
+        assert cluster.servers["p2s0"].store.snapshot() == {}
+        assert cluster.reconfig.epoch == 2
+        total = (len(cluster.servers["p0s0"].store.snapshot())
+                 + len(cluster.servers["p1s0"].store.snapshot()))
+        assert total == 4
+        assert cluster_invariants(cluster) == []
+
+    def test_leave_under_workload(self):
+        """The drain completes while clients keep issuing commands."""
+        cluster = build_loaded_cluster()
+        client = cluster.new_client("c5")
+        completed = []
+
+        def workload(env):
+            for index in range(10):
+                key = f"k{index % 4}"
+                reply = yield from client.run_command(
+                    Command(op="incr", args={"key": key},
+                            variables=(key,), writes=(key,)))
+                completed.append(reply.value)
+                yield env.timeout(3.0)
+
+        def combined():
+            yield cluster.env.timeout(5.0)   # mid-workload
+            result = yield from cluster.shrink("p1")
+            return result
+
+        cluster.env.process(workload(cluster.env))
+        drive(cluster, combined)
+        assert len(completed) == 10
+        for name in ("p1s0", "p1s1"):
+            assert cluster.servers[name].store.snapshot() == {}, name
+        assert cluster_invariants(cluster) == []

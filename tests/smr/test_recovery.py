@@ -250,3 +250,119 @@ class TestLogBackfill:
         env.run(until=100)
         with pytest.raises(ValueError):
             logs["m1"].fast_forward(0)
+
+
+class TestRecoveryUnderLoad:
+    """Satellite of the reconfiguration PR: recovery is not a quiet-time
+    operation. Snapshots get requested while commands are in flight, a
+    replica can crash again right after coming back, and the only willing
+    snapshot host may itself still be catching up."""
+
+    def _setup(self, env, seed=7):
+        net, directory, replicas = build_smr(env, replicas=3, seed=seed)
+        for replica in replicas:
+            replica.load_state({"x": 0, "y": 0})
+            RecoveryHost(replica)
+        return net, directory, replicas
+
+    def _pipelined_load(self, env, net, directory, clients=3, count=20,
+                        pause=1.5):
+        """Several clients incrementing concurrently — commands are in
+        flight at every point of the run."""
+        replies = []
+        for index in range(clients):
+            client = SmrClient(env, net, directory, f"c{index}", "smr")
+            key = "x" if index % 2 == 0 else "y"
+
+            def proc(env, client=client, key=key):
+                for _ in range(count):
+                    reply = yield from client.run_command(incr(key))
+                    replies.append(reply.value)
+                    yield env.timeout(pause)
+
+            env.process(proc(env))
+        return replies
+
+    def test_recovery_with_commands_in_flight(self, env):
+        net, directory, replicas = self._setup(env)
+        replies = self._pipelined_load(env, net, directory)
+        holder = []
+
+        def chaos(env):
+            yield env.timeout(9)        # mid-burst: deliveries queued
+            replicas[2].crash()
+            yield env.timeout(3)        # recover while traffic still flows
+            replacement = recover_replica(replicas[2], replicas[0])
+            RecoveryHost(replacement)
+            holder.append(replacement)
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        assert len(replies) == 60
+        replacement = holder[0]
+        assert replacement.store.snapshot() == replicas[0].store.snapshot()
+        # Deliveries buffered during the install were deduplicated against
+        # the snapshot: nothing executed twice, order matches the peer.
+        assert len(replacement.executed) == len(set(replacement.executed))
+        assert replacement.executed == replicas[0].executed
+
+    def test_repeated_crash_recover_cycles(self, env):
+        net, directory, replicas = self._setup(env, seed=9)
+        replies = self._pipelined_load(env, net, directory, count=30)
+        current = {"replica": replicas[2]}
+        cycles = 3
+
+        def chaos(env):
+            for cycle in range(cycles):
+                yield env.timeout(8 + 5 * cycle)
+                current["replica"].crash()
+                yield env.timeout(4)
+                replacement = recover_replica(current["replica"],
+                                              replicas[0])
+                RecoveryHost(replacement)
+                current["replica"] = replacement
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        assert len(replies) == 90
+        survivor = current["replica"]
+        assert survivor.store.snapshot() == replicas[0].store.snapshot()
+        assert survivor.executed == replicas[0].executed
+        assert len(survivor.executed) == len(set(survivor.executed))
+
+    def test_snapshot_served_by_peer_mid_catchup(self, env):
+        """A replica that is itself still catching up serves a snapshot.
+
+        m2 recovers from m0, and while its log suffix is still being
+        backfilled, m1 crashes and recovers *from m2*. The partial
+        snapshot is consistent (store matches its executed prefix), and
+        the log's gap/backfill machinery delivers the rest to both.
+        """
+        net, directory, replicas = self._setup(env, seed=11)
+        replies = self._pipelined_load(env, net, directory, count=25)
+        holder = {}
+
+        def chaos(env):
+            yield env.timeout(10)
+            replicas[2].crash()
+            yield env.timeout(15)       # m2 misses a chunk of the log
+            second = recover_replica(replicas[2], replicas[0])
+            RecoveryHost(second)
+            holder["m2"] = second
+            # Immediately crash m1 and point its recovery at the replica
+            # that is still mid-catch-up.
+            replicas[1].crash()
+            yield env.timeout(1)
+            first = recover_replica(replicas[1], second)
+            RecoveryHost(first)
+            holder["m1"] = first
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        assert len(replies) == 75
+        for name in ("m1", "m2"):
+            recovered = holder[name]
+            assert recovered.store.snapshot() == \
+                replicas[0].store.snapshot(), name
+            assert recovered.executed == replicas[0].executed, name
+            assert len(recovered.executed) == len(set(recovered.executed))

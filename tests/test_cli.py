@@ -91,3 +91,38 @@ class TestCommands:
         assert capsys.readouterr().out == out
         with open(out_path, encoding="utf-8") as fh:
             assert fh.read() == first_jsonl
+
+
+class TestReconfigCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["reconfig"])
+        assert args.scheme == "dssmr"
+        assert args.seed == 0
+        assert args.json is False
+        assert args.out is None
+
+    def test_reconfig_command(self, capsys, tmp_path):
+        out_path = str(tmp_path / "metrics.json")
+        argv = ["reconfig", "--seed", "0", "--clients", "2",
+                "--ops", "10", "--json", "--out", out_path]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "elastic scenario" in captured.err
+        assert "verdict" in captured.err
+        with open(out_path, encoding="utf-8") as fh:
+            first = fh.read()
+        # stdout carries exactly the canonical metrics JSON.
+        assert captured.out.strip() == first.strip()
+        assert '"epoch":1' in first
+        # Byte-identical on re-run.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == captured.out
+        with open(out_path, encoding="utf-8") as fh:
+            assert fh.read() == first
+
+    def test_reconfig_report_mode(self, capsys):
+        assert main(["reconfig", "--seed", "1", "--clients", "2",
+                     "--ops", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "elastic scenario" in out
+        assert "ok" in out
