@@ -8,15 +8,23 @@ respects real-time order — the paper's correctness criterion (Section 2.2).
 
 from repro.checkers.history import History, Operation
 from repro.checkers.linearizability import (
+    INCONCLUSIVE,
+    LINEARIZABLE,
+    VIOLATION,
     KvSequentialSpec,
     SequentialSpec,
     check_linearizable,
+    check_linearizable_bounded,
 )
 
 __all__ = [
     "History",
+    "INCONCLUSIVE",
     "KvSequentialSpec",
+    "LINEARIZABLE",
     "Operation",
     "SequentialSpec",
+    "VIOLATION",
     "check_linearizable",
+    "check_linearizable_bounded",
 ]

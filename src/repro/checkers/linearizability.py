@@ -36,12 +36,25 @@ class SequentialSpec(ABC):
         """Hashable digest of a state (for memoisation)."""
 
 
-def check_linearizable(history: History, spec: SequentialSpec,
-                       max_nodes: int = 2_000_000) -> bool:
-    """True iff the history has a legal linearization.
+#: Verdicts of the budgeted checker (:func:`check_linearizable_bounded`).
+LINEARIZABLE = "linearizable"
+VIOLATION = "violation"
+INCONCLUSIVE = "inconclusive"
 
-    Raises ``RuntimeError`` if the search exceeds ``max_nodes`` explored
-    states — a guard against pathological histories in CI, not a verdict.
+
+class _BudgetExceeded(Exception):
+    """Internal: the search explored more states than its budget allows."""
+
+
+def _search_linearization(history: History, spec: SequentialSpec,
+                          max_nodes: int) -> bool:
+    """True iff a legal linearization exists; raises :class:`_BudgetExceeded`
+    when the search touches more than ``max_nodes`` distinct states.
+
+    The search memoises on (remaining operation set, state fingerprint):
+    two paths reaching the same frontier with the same abstract state
+    explore the identical subtree, so the second is pruned — the property
+    that keeps typical histories polynomial in practice.
     """
     operations = list(history)
     if not operations:
@@ -71,7 +84,7 @@ def check_linearizable(history: History, spec: SequentialSpec,
         seen.add(key)
         explored += 1
         if explored > max_nodes:
-            raise RuntimeError("linearizability search exceeded node budget")
+            raise _BudgetExceeded
         for op in candidates(remaining):
             legal, new_state = spec.apply(state, op)
             if legal and search(remaining - {op.op_id}, new_state):
@@ -79,6 +92,37 @@ def check_linearizable(history: History, spec: SequentialSpec,
         return False
 
     return search(remaining_all, spec.initial_state())
+
+
+def check_linearizable(history: History, spec: SequentialSpec,
+                       max_nodes: int = 2_000_000) -> bool:
+    """True iff the history has a legal linearization.
+
+    Raises ``RuntimeError`` if the search exceeds ``max_nodes`` explored
+    states — a guard against pathological histories in CI, not a verdict.
+    """
+    try:
+        return _search_linearization(history, spec, max_nodes)
+    except _BudgetExceeded:
+        raise RuntimeError("linearizability search exceeded node budget")
+
+
+def check_linearizable_bounded(history: History, spec: SequentialSpec,
+                               max_nodes: int = 200_000) -> str:
+    """Budgeted variant for long fuzz histories: never hangs, never raises.
+
+    Returns :data:`LINEARIZABLE`, :data:`VIOLATION`, or — when the memoised
+    search would exceed ``max_nodes`` explored states — :data:`INCONCLUSIVE`.
+    An exhausted search (every interleaving refuted) is a definite
+    violation; only a truncated one is inconclusive. Tier-1-sized histories
+    (tens of operations) complete well inside the default budget, so their
+    verdicts remain exact.
+    """
+    try:
+        found = _search_linearization(history, spec, max_nodes)
+    except _BudgetExceeded:
+        return INCONCLUSIVE
+    return LINEARIZABLE if found else VIOLATION
 
 
 class KvSequentialSpec(SequentialSpec):

@@ -95,6 +95,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--k", type=float, default=3.0,
                        help="slow-command anomaly threshold (x p95)")
 
+    fuzz = sub.add_parser(
+        "fuzz", help="deterministic fault-schedule fuzzer: generate, "
+                     "run, shrink, replay")
+    fuzz.add_argument("--schedules", type=int, default=10,
+                      help="number of generated schedules to run")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--clients", type=int, default=3)
+    fuzz.add_argument("--ops", type=int, default=8,
+                      help="operations per client per schedule")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="small fixed campaign printing the canonical "
+                           "JSON summary on stdout (CI byte-compares two "
+                           "same-seed runs)")
+    fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="re-run a repro artifact and byte-compare the "
+                           "outcome instead of fuzzing")
+    fuzz.add_argument("--inject-bug", default=None,
+                      choices=["no_dedup"],
+                      help="test-only deliberate protocol bug; the "
+                           "campaign must then FIND a violation")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip delta-debugging minimisation of "
+                           "violating schedules")
+    fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="write replayable repro artifacts for "
+                           "violations into DIR")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the canonical campaign JSON on stdout "
+                           "(report goes to stderr)")
+    fuzz.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the canonical campaign JSON to "
+                           "PATH")
+
     reconfig = sub.add_parser(
         "reconfig", help="elastic reconfiguration smoke: crash-restart "
                          "recovery + live partition join under chaos")
@@ -247,6 +280,48 @@ def cmd_trace(args) -> int:
     return 0 if run.completed == run.expected and not errors else 1
 
 
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import (load_artifact, replay_artifact,
+                            run_fuzz_campaign)
+
+    started = time.perf_counter()
+    if args.replay:
+        outcome = replay_artifact(load_artifact(args.replay))
+        print(outcome.report())
+        print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+              file=sys.stderr)
+        # Exit 0 only on a byte-identical reproduction: CI treats any
+        # drift — even "still violating, different signature" — as news.
+        return 0 if outcome.identical else 1
+
+    num_schedules = 6 if args.smoke else args.schedules
+    campaign = run_fuzz_campaign(
+        num_schedules=num_schedules, seed=args.seed,
+        num_clients=args.clients, ops_per_client=args.ops,
+        inject_bug=args.inject_bug, shrink=not args.no_shrink,
+        artifacts_dir=args.artifacts)
+    payload = json.dumps(campaign.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+    emit_json = args.json or args.smoke
+    # Report to stderr in JSON mode: stdout must stay byte-comparable.
+    print(campaign.report(), file=sys.stderr if emit_json else sys.stdout)
+    if emit_json:
+        print(payload)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(payload + "\n")
+        print(f"wrote campaign JSON to {args.out}", file=sys.stderr)
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    if args.inject_bug:
+        # With a deliberate bug the fuzzer must FIND it; a clean
+        # campaign means the fuzzer lost its teeth.
+        return 0 if not campaign.ok else 1
+    return 0 if campaign.ok else 1
+
+
 def cmd_reconfig(args) -> int:
     from repro.harness.elastic import run_elastic_scenario
 
@@ -277,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": cmd_experiment,
         "partition": cmd_partition,
         "chaos": cmd_chaos,
+        "fuzz": cmd_fuzz,
         "trace": cmd_trace,
         "reconfig": cmd_reconfig,
     }

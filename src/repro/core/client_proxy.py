@@ -140,6 +140,14 @@ class DssmrClient(BaseClient):
                 fell_back = True
                 break
             route = yield from self._route(command, attempt)
+            if route is None:
+                # Routing could not converge (concurrent moves kept the
+                # variables apart through a full round of re-consults);
+                # burn an algorithm attempt so the do/while eventually
+                # reaches the fallback and the command still terminates.
+                self.retry_count += 1
+                self._invalidate_cache(command)
+                continue
             if isinstance(route, Reply):
                 reply = route       # terminal answer from the oracle
                 break
@@ -164,7 +172,10 @@ class DssmrClient(BaseClient):
     # -- routing: cache or oracle ------------------------------------------------
 
     def _route(self, command: Command, attempt: int):
-        """Generator: decide dests; returns envelope info or a terminal Reply."""
+        """Generator: decide dests; returns envelope info, a terminal
+        Reply, or ``None`` when routing did not converge within a bounded
+        number of consult rounds (the caller burns an attempt, so the
+        fallback stays reachable and every command terminates)."""
         if (self.use_cache and command.ctype is CommandType.ACCESS
                 and command.variables):
             cached = {self.location_cache.get(key)
@@ -172,7 +183,11 @@ class DssmrClient(BaseClient):
             if None not in cached and len(cached) == 1:
                 self.cache_hits += 1
                 return {"dests": [cached.pop()]}
+        rounds = 0
         while True:
+            rounds += 1
+            if rounds > self.max_retries + 1:
+                return None
             prophecy = yield from self._consult(command, attempt)
             if prophecy.epoch > self.config_epoch:
                 self.config_epoch = prophecy.epoch

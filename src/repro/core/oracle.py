@@ -97,6 +97,15 @@ class OracleReplica:
         # incrementally maintained variable count per partition.
         self.location: dict = {}
         self.partition_sizes: dict[str, int] = {p: 0 for p in self.partitions}
+        # Bumped on every ordered map change; replica-consistent because
+        # all changes happen in ordered-delivery execution. Oracle-issued
+        # move ids embed it so a re-consult against a *changed* map issues
+        # a genuinely new move instead of colliding with (and being
+        # uid-deduplicated against) the one issued for the old map — the
+        # fuzzer's minimal repro for that livelock is a sequencer blackout
+        # that delays one consult until a concurrent client has moved one
+        # of its variables away again.
+        self.map_version = 0
 
         # Elastic reconfiguration state (repro.reconfig): the configuration
         # epoch (bumped per ordered join/leave-begin entry), partitions
@@ -142,6 +151,7 @@ class OracleReplica:
         old = self.location.get(key)
         if old == partition:
             return
+        self.map_version += 1
         if old is not None:
             self.partition_sizes[old] = self.partition_sizes.get(old, 1) - 1
         self.location[key] = partition
@@ -153,6 +163,7 @@ class OracleReplica:
     def _forget(self, key) -> None:
         old = self.location.pop(key, None)
         if old is not None:
+            self.map_version += 1
             self.partition_sizes[old] = self.partition_sizes.get(old, 1) - 1
 
     # -- delivery intake --------------------------------------------------------
@@ -271,7 +282,11 @@ class OracleReplica:
         prophecy = Prophecy(status=ProphecyStatus.LOCATIONS, tuples=tuples,
                             target=target)
         if self.oracle_issues_moves:
-            move_cid = f"{command.cid}:omove"
+            # The map version distinguishes re-consults of the same command
+            # against a changed map (new move needed, new id) from plain
+            # resends of the same consult (same version, same id — the
+            # ordered logs then deduplicate the duplicate move).
+            move_cid = f"{command.cid}:omove:v{self.map_version}"
             self._issue_move(command, tuples, target, move_cid)
             prophecy.sync = True
             prophecy.move_cid = move_cid
@@ -352,11 +367,21 @@ class OracleReplica:
 
     def _task_move(self, command: Command) -> None:
         dest = command.args["dest"]
+        sources = set(command.args.get("sources", ()))
         moved = []
         for key in command.variables:
-            if key in self.location:
-                self._relocate(key, dest)
-                moved.append(key)
+            location = self.location.get(key)
+            if location is None:
+                continue
+            if sources and location not in sources and location != dest:
+                # The variable moved elsewhere after this move was issued
+                # (the move raced a concurrent move): the planned source
+                # no longer holds it and ships nothing, so relocating the
+                # map entry would strand the value — the map must keep
+                # following the ordered move log, not the stale plan.
+                continue
+            self._relocate(key, dest)
+            moved.append(key)
         if not self.oracle_issues_moves:
             self.moves_issued.increment(self.env.now,
                                         len(command.variables))

@@ -1,0 +1,161 @@
+"""Seeded fuzz campaigns: generate, run, shrink, report.
+
+``run_fuzz_campaign(n, seed)`` draws ``n`` schedules from the seeded
+generator, runs each one, and — when a run violates an invariant —
+shrinks the schedule to a minimal reproducer and (optionally) writes
+the replay artifact to disk. The whole campaign is a pure function of
+``(seed, n, options)``: the printable report and the canonical JSON
+summary are byte-identical across runs, which is what the CI smoke
+checks (two same-seed runs, ``cmp`` on the JSON).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.fuzz.artifact import make_artifact, save_artifact
+from repro.fuzz.generate import GENERATOR_SCHEMES, generate_schedule
+from repro.fuzz.runner import ScheduleRunResult, run_schedule
+from repro.fuzz.shrink import ShrinkResult, shrink_schedule
+from repro.harness.report import format_table
+
+#: Schemes a campaign fuzzes by default (the generator's full set).
+FUZZ_SCHEMES = GENERATOR_SCHEMES
+
+
+@dataclass
+class FuzzCampaignResult:
+    """All runs of one fuzz campaign, plus shrink results and artifacts."""
+
+    seed: int
+    runs: tuple[ScheduleRunResult, ...]
+    shrinks: dict[int, ShrinkResult] = field(default_factory=dict)
+    artifact_paths: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def violations(self) -> list[tuple[ScheduleRunResult, str]]:
+        return [(run, violation) for run in self.runs
+                for violation in run.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        """Canonical campaign summary (the CI smoke byte-compares this)."""
+        return {
+            "seed": self.seed,
+            "schedules": [
+                {
+                    "index": run.schedule.index,
+                    "digest": run.schedule.digest(),
+                    "scheme": run.schedule.scheme,
+                    "faults": run.schedule.describe(),
+                    "run": run.to_dict(),
+                    "shrink": (
+                        None if run.schedule.index not in self.shrinks
+                        else {
+                            "minimal_digest": self.shrinks[
+                                run.schedule.index].minimal.digest(),
+                            "minimal_events": len(self.shrinks[
+                                run.schedule.index].minimal.events),
+                            "original_events": len(self.shrinks[
+                                run.schedule.index].original.events),
+                            "probes": self.shrinks[
+                                run.schedule.index].probes,
+                        }),
+                }
+                for run in self.runs
+            ],
+            "violations": len(self.violations),
+        }
+
+    def report(self) -> str:
+        rows = []
+        for run in self.runs:
+            shrink = self.shrinks.get(run.schedule.index)
+            rows.append([
+                run.schedule.index, run.schedule.scheme,
+                run.schedule.digest(),
+                run.schedule.describe(),
+                f"{run.ops_completed}/{run.ops_expected}",
+                (f"{run.finished_at:.0f}"
+                 if run.finished_at is not None else "stuck"),
+                run.linearizability,
+                ("ok" if run.ok else
+                 f"FAIL->{len(shrink.minimal.events)}ev"
+                 if shrink else "FAIL"),
+            ])
+        table = format_table(
+            ["#", "scheme", "digest", "faults", "ops", "done-ms",
+             "linearizable", "verdict"], rows)
+        lines = [f"fuzz campaign: seed={self.seed}, "
+                 f"{len(self.runs)} schedule(s)", "", table, ""]
+        if self.ok:
+            lines.append(f"no invariant violations in {len(self.runs)} "
+                         f"runs")
+        else:
+            lines.append(f"{len(self.violations)} violation(s):")
+            for run, violation in self.violations:
+                lines.append(f"  - [#{run.schedule.index} "
+                             f"{run.schedule.scheme}] {violation}")
+            for index, shrink in sorted(self.shrinks.items()):
+                lines.append(f"  shrink [#{index}]: {shrink.summary()}")
+                lines.append(f"    minimal: "
+                             f"{shrink.minimal.describe()}")
+            for index, path in sorted(self.artifact_paths.items()):
+                lines.append(f"  artifact [#{index}]: {path}")
+            for run in self.runs:
+                if run.ok or not run.trace_notes:
+                    continue
+                lines.append(f"  trace context [#{run.schedule.index}]:")
+                for note in run.trace_notes:
+                    for note_line in note.splitlines():
+                        lines.append(f"    {note_line}")
+        return "\n".join(lines)
+
+
+def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
+                      schemes: Sequence[str] = FUZZ_SCHEMES,
+                      num_clients: int = 3, ops_per_client: int = 8,
+                      inject_bug: Optional[str] = None,
+                      shrink: bool = True,
+                      shrink_probes: int = 120,
+                      artifacts_dir: Optional[str] = None
+                      ) -> FuzzCampaignResult:
+    """Run ``num_schedules`` generated schedules; shrink any violation."""
+    runs: list[ScheduleRunResult] = []
+    shrinks: dict[int, ShrinkResult] = {}
+    artifact_paths: dict[int, str] = {}
+    for index in range(num_schedules):
+        schedule = generate_schedule(seed, index, schemes=schemes,
+                                     num_clients=num_clients,
+                                     ops_per_client=ops_per_client,
+                                     inject_bug=inject_bug)
+        run = run_schedule(schedule)
+        runs.append(run)
+        if run.ok:
+            continue
+        shrunk = None
+        if shrink:
+            shrunk = shrink_schedule(schedule, run,
+                                     max_probes=shrink_probes)
+            shrinks[index] = shrunk
+        if artifacts_dir is not None:
+            os.makedirs(artifacts_dir, exist_ok=True)
+            if shrunk is not None:
+                artifact = make_artifact(shrunk.final_run, shrunk)
+                digest = shrunk.minimal.digest()
+            else:
+                artifact = make_artifact(run)
+                digest = schedule.digest()
+            path = os.path.join(
+                artifacts_dir,
+                f"repro-seed{seed}-i{index}-{digest}.json")
+            save_artifact(artifact, path)
+            artifact_paths[index] = path
+    return FuzzCampaignResult(seed=seed, runs=tuple(runs),
+                              shrinks=shrinks,
+                              artifact_paths=artifact_paths)

@@ -1,0 +1,146 @@
+"""Seeded schedule generation over the full fault vocabulary.
+
+``generate_schedule(seed, index)`` is a pure function: schedule ``index``
+of campaign ``seed`` is always the same object, whatever ran before —
+the property that lets a campaign be re-run, resumed or replayed from
+just ``(seed, index)``.
+
+Unlike the chaos campaign's hand-shaped scenarios, nothing here is
+exempt: sequencers, Paxos leaders and oracle replicas are crash victims
+(blackout + reconnect — their in-memory ordering state cannot be rebuilt
+from a checkpoint), partitions may be asymmetric (one-way reachability),
+and reconfiguration join/leave events interleave with the faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fuzz.schedule import FaultSchedule, normalize_schedule
+from repro.sim import SeedStream
+
+#: Schemes the generator draws from.
+GENERATOR_SCHEMES = ("smr", "ssmr", "dssmr", "dynastar")
+
+#: Fault horizon / total virtual-time budget of one generated run (ms).
+HORIZON_MS = 300.0
+DEADLINE_MS = 9_000.0
+
+
+def shape_nodes(scheme: str) -> dict:
+    """Node names of the fuzzer's fixed deployment shape for ``scheme``
+    (2 partitions x 2 replicas, +2 oracle replicas on dynamic schemes;
+    classic SMR collapses to one partition). Pure — no cluster needed."""
+    partitions = ("p0",) if scheme == "smr" else ("p0", "p1")
+    servers = {p: (f"{p}s0", f"{p}s1") for p in partitions}
+    oracles = ("or0", "or1") if scheme in ("dssmr", "dynastar") else ()
+    return {
+        "partitions": partitions,
+        "servers": servers,
+        # Sorted members => s0 is each group's speaker/sequencer.
+        "speakers": tuple(servers[p][0] for p in partitions),
+        "followers": tuple(servers[p][1] for p in partitions),
+        "oracles": oracles,
+        "all": tuple(n for p in partitions for n in servers[p]) + oracles,
+    }
+
+
+def _window(rng, horizon: float, min_len: float = 20.0,
+            max_len: float = 120.0) -> tuple[float, float]:
+    start = round(rng.uniform(0.0, horizon - min_len - 20.0), 1)
+    end = round(min(start + rng.uniform(min_len, max_len), horizon), 1)
+    return start, end
+
+
+def _crash_events(rng, shape: dict, horizon: float) -> list[dict]:
+    """Up to two crash events with distinct victims drawn over every
+    role: followers (amnesia restart), speakers/sequencers and oracle
+    replicas (blackout)."""
+    candidates = ([(n, "restart") for n in shape["followers"]]
+                  + [(n, "blackout") for n in shape["speakers"]]
+                  + [(n, "blackout") for n in shape["oracles"]])
+    count = 0
+    if rng.random() < 0.65:
+        count = 1
+        if rng.random() < 0.35:
+            count = 2
+    victims = rng.sample(candidates, min(count, len(candidates)))
+    events = []
+    for node, mode in victims:
+        at = round(rng.uniform(30.0, horizon * 0.55), 1)
+        duration = round(rng.uniform(40.0, 120.0), 1)
+        events.append({"kind": "crash", "at": at, "node": node,
+                       "mode": mode, "duration": duration})
+    return events
+
+
+def _partition_event(rng, shape: dict, horizon: float) -> Optional[dict]:
+    if rng.random() >= 0.45:
+        return None
+    at, end = _window(rng, horizon, min_len=30.0, max_len=70.0)
+    nodes = list(shape["all"])
+    # A non-trivial random split; oracles may land on either side (or be
+    # isolated entirely), unlike the chaos campaign's fixed islands.
+    cut = rng.randint(1, len(nodes) - 1)
+    island_a = sorted(rng.sample(nodes, cut))
+    island_b = sorted(set(nodes) - set(island_a))
+    if rng.random() < 0.4:
+        return {"kind": "partition_oneway", "at": at, "end": end,
+                "srcs": island_a, "dsts": island_b}
+    return {"kind": "partition", "at": at, "end": end,
+            "island_a": island_a, "island_b": island_b}
+
+
+def _reconfig_events(rng, scheme: str, horizon: float) -> list[dict]:
+    if scheme not in ("dssmr", "dynastar") or rng.random() >= 0.4:
+        return []
+    join_at = round(rng.uniform(40.0, horizon * 0.5), 1)
+    events = [{"kind": "join", "at": join_at, "partition": "p2"}]
+    if rng.random() < 0.4:
+        leave_at = round(join_at + rng.uniform(80.0, 140.0), 1)
+        events.append({"kind": "leave", "at": leave_at, "partition": "p2"})
+    return events
+
+
+def generate_schedule(seed: int, index: int,
+                      schemes: Sequence[str] = GENERATOR_SCHEMES,
+                      num_clients: int = 3, ops_per_client: int = 8,
+                      num_keys: int = 6,
+                      inject_bug: Optional[str] = None) -> FaultSchedule:
+    """Draw schedule ``index`` of campaign ``seed`` (pure function)."""
+    rng = SeedStream(seed).child("fuzz-gen").stream(f"s{index}")
+    scheme = schemes[rng.randrange(len(schemes))]
+    shape = shape_nodes(scheme)
+    horizon = HORIZON_MS
+
+    events: list[dict] = [{
+        # Baseline background loss for the whole fault phase.
+        "kind": "drop", "at": 0.0, "end": horizon,
+        "fraction": round(rng.uniform(0.005, 0.02), 4),
+    }]
+    if rng.random() < 0.5:
+        at, end = _window(rng, horizon)
+        events.append({"kind": "delay", "at": at, "end": end,
+                       "fraction": round(rng.uniform(0.05, 0.2), 3),
+                       "spike_ms": round(rng.uniform(5.0, 20.0), 2)})
+    if rng.random() < 0.5:
+        at, end = _window(rng, horizon)
+        events.append({"kind": "duplicate", "at": at, "end": end,
+                       "fraction": round(rng.uniform(0.05, 0.2), 3),
+                       "copies": 1})
+    if rng.random() < 0.5:
+        at, end = _window(rng, horizon)
+        events.append({"kind": "reorder", "at": at, "end": end,
+                       "fraction": round(rng.uniform(0.1, 0.3), 3),
+                       "window_ms": round(rng.uniform(1.0, 4.0), 2)})
+    partition = _partition_event(rng, shape, horizon)
+    if partition is not None:
+        events.append(partition)
+    events.extend(_crash_events(rng, shape, horizon))
+    events.extend(_reconfig_events(rng, scheme, horizon))
+
+    return normalize_schedule(FaultSchedule(
+        seed=seed, index=index, scheme=scheme, events=tuple(events),
+        horizon_ms=horizon, deadline_ms=DEADLINE_MS,
+        num_clients=num_clients, ops_per_client=ops_per_client,
+        num_keys=num_keys, inject_bug=inject_bug))

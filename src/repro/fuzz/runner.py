@@ -1,0 +1,324 @@
+"""Schedule-driven run: build a deployment, apply the faults, check.
+
+``run_schedule`` is the single execution path behind the fuzzer, the
+replay artifact and (via scenario conversion) the chaos campaign: reset
+the global id counters, build the scheme's deployment, install every
+schedule event against the simulation clock, run the seeded client
+workload to completion, heal at the horizon, settle, then check
+
+* completion — every client op finished before the virtual deadline;
+* linearizability — the bounded Wing–Gong checker over the recorded
+  history (an ``inconclusive`` verdict is reported but is *not* a
+  violation, so the shrinker never chases checker-budget artifacts);
+* the end-state invariant suite (:mod:`repro.harness.invariants`).
+
+Runs are deterministic: the same schedule produces a byte-identical
+:meth:`ScheduleRunResult.to_dict`, which is what ``--replay`` compares.
+
+Events that do not apply to the deployment at hand — a crash naming a
+node the scheme does not build, an amnesia restart aimed at a speaker,
+a leave for a partition that never joined — are *skipped
+deterministically* and counted in ``events_skipped`` instead of
+erroring. That keeps hand-edited and shrunk schedules sound: removing
+the join event from a join+leave schedule leaves a runnable (if
+pointless) leave, not a crash of the harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkers import (INCONCLUSIVE, VIOLATION, History,
+                            KvSequentialSpec, check_linearizable_bounded)
+from repro.fuzz.schedule import FaultSchedule, normalize_schedule
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.faults import make_crash_restart, reset_id_counters
+from repro.harness.invariants import cluster_invariants
+from repro.net import FailureInjector
+from repro.obs import CommandTracer, command_timeline, find_anomalies
+from repro.obs.report import slowest_traces
+from repro.resilience import RetryPolicy
+from repro.sim import SeedStream
+from repro.smr import Command, ReplyStatus
+
+#: Settle time after the cooldown round before invariant checking (ms).
+SETTLE_MS = 400.0
+
+#: Test-only deliberate protocol bugs the runner can arm.  ``no_dedup``
+#: disables the server reply caches, so a client resend under loss
+#: double-executes its command — the fuzzer must find and shrink it.
+INJECTABLE_BUGS = ("no_dedup",)
+
+
+@dataclass
+class ScheduleRunResult:
+    """Outcome of one schedule run, canonically serialisable."""
+
+    schedule: FaultSchedule
+    ops_completed: int
+    ops_expected: int
+    finished_at: Optional[float]     # virtual ms; None if the run wedged
+    timeouts: int
+    resends: int
+    messages_sent: int
+    linearizability: str             # linearizable | violation | inconclusive
+    violations: tuple[str, ...]
+    events_skipped: tuple[str, ...] = ()
+    trace_notes: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        """Canonical JSON shape — byte-compared by ``--replay``."""
+        return {
+            "schedule_digest": self.schedule.digest(),
+            "scheme": self.schedule.scheme,
+            "ops_completed": self.ops_completed,
+            "ops_expected": self.ops_expected,
+            "finished_at": self.finished_at,
+            "timeouts": self.timeouts,
+            "resends": self.resends,
+            "messages_sent": self.messages_sent,
+            "linearizability": self.linearizability,
+            "violations": list(self.violations),
+            "events_skipped": list(self.events_skipped),
+            "trace_notes": list(self.trace_notes),
+        }
+
+
+def _workload_command(rng: random.Random, keys: tuple) -> Command:
+    """The linearizability workload mix: reads, increments, swaps, sums."""
+    kind = rng.random()
+    if kind < 0.30:
+        key = rng.choice(keys)
+        return Command(op="get", args={"key": key}, variables=(key,))
+    if kind < 0.65:
+        key = rng.choice(keys)
+        return Command(op="incr", args={"key": key}, variables=(key,),
+                       writes=(key,))
+    if kind < 0.85:
+        a, b = rng.sample(keys, 2)
+        return Command(op="swap", args={"a": a, "b": b}, variables=(a, b),
+                       writes=(a, b))
+    picked = rng.sample(keys, 2)
+    return Command(op="sum", args={"keys": picked}, variables=tuple(picked))
+
+
+def _build_cluster(schedule: FaultSchedule, keys: tuple,
+                   tracer) -> Cluster:
+    if (schedule.inject_bug is not None
+            and schedule.inject_bug not in INJECTABLE_BUGS):
+        raise ValueError(f"unknown injectable bug "
+                         f"{schedule.inject_bug!r}; "
+                         f"pick one of {INJECTABLE_BUGS}")
+    assignment = None
+    if schedule.scheme != "smr":
+        assignment = {key: i % 2 for i, key in enumerate(keys)}
+    cluster_seed = (SeedStream(schedule.seed).child(schedule.scheme)
+                    .stream(f"fuzz{schedule.index}").randrange(2**31))
+    cluster = Cluster(ClusterConfig(
+        scheme=schedule.scheme, num_partitions=2, replicas_per_partition=2,
+        seed=cluster_seed, retry_policy=RetryPolicy(),
+        initial_assignment=assignment,
+        dedup=schedule.inject_bug != "no_dedup"), tracer=tracer)
+    cluster.preload({key: 0 for key in keys})
+    return cluster
+
+
+def _apply_schedule(cluster: Cluster, injector: FailureInjector,
+                    schedule: FaultSchedule, skipped: list,
+                    reconfig_done: list) -> None:
+    """Install every schedule event against the simulation clock."""
+    env = cluster.env
+
+    def skip(event, why: str) -> None:
+        skipped.append(f"{event['kind']}@{event['at']:.0f}: {why}")
+
+    for event in schedule.events:
+        kind = event["kind"]
+        if kind in FailureInjector.MESSAGE_EVENT_KINDS:
+            injector.apply_event(event)
+        elif kind == "crash":
+            self_name, mode = event["node"], event["mode"]
+            known = (self_name in cluster.servers
+                     or any(o.node.name == self_name
+                            for o in cluster.oracles))
+            if not known:
+                skip(event, f"no node {self_name!r} in a "
+                            f"{schedule.scheme} deployment")
+                continue
+            if mode == "restart":
+                speakers = {cluster.directory.speaker(p)
+                            for p in cluster.partitions}
+                if self_name not in cluster.servers \
+                        or self_name in speakers:
+                    # Amnesia cannot resurrect sequencer state; only a
+                    # blackout models a speaker/oracle outage.
+                    skip(event, "restart (amnesia) is only valid for "
+                                "follower replicas")
+                    continue
+            crash, restart = make_crash_restart(cluster, self_name, mode)
+            injector.crash_restart_at(event["at"], self_name,
+                                      event["duration"],
+                                      crash=crash, restart=restart)
+        elif kind == "join":
+            if cluster.reconfig is None:
+                skip(event, f"{schedule.scheme} is not elastic")
+                continue
+            partition = event["partition"]
+            done = env.event()
+            reconfig_done.append(done)
+
+            def start_join(partition=partition, done=done):
+                def run():
+                    if partition in cluster.partitions:
+                        skipped.append(f"join@{env.now:.0f}: "
+                                       f"{partition} already joined")
+                    else:
+                        yield from cluster.grow(partition)
+                    done.succeed(None)
+                    return
+                    yield  # pragma: no cover — makes run() a generator
+                env.process(run(), name=f"fuzz/join-{partition}")
+
+            env.schedule_callback(event["at"], start_join)
+        elif kind == "leave":
+            if cluster.reconfig is None:
+                skip(event, f"{schedule.scheme} is not elastic")
+                continue
+            partition = event["partition"]
+            done = env.event()
+            reconfig_done.append(done)
+
+            def start_leave(partition=partition, done=done):
+                def run():
+                    if partition not in cluster.partitions:
+                        skipped.append(f"leave@{env.now:.0f}: "
+                                       f"{partition} not in the "
+                                       f"configuration")
+                    else:
+                        yield from cluster.shrink(partition)
+                    done.succeed(None)
+                    return
+                    yield  # pragma: no cover
+                env.process(run(), name=f"fuzz/leave-{partition}")
+
+            env.schedule_callback(event["at"], start_leave)
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+
+
+def run_schedule(schedule: FaultSchedule,
+                 linearizability_budget: int = 200_000
+                 ) -> ScheduleRunResult:
+    """Run one fault schedule end to end and check every invariant."""
+    schedule = normalize_schedule(schedule)
+    reset_id_counters()
+    keys = tuple(f"k{i}" for i in range(max(schedule.num_keys, 2)))
+    tracer = CommandTracer()
+    cluster = _build_cluster(schedule, keys, tracer)
+    env = cluster.env
+
+    injector = FailureInjector(
+        env, cluster.network,
+        cluster.seeds.child(f"fuzz{schedule.index}"))
+    skipped: list[str] = []
+    reconfig_done: list = []
+    _apply_schedule(cluster, injector, schedule, skipped, reconfig_done)
+    # A clean network for the post-fault phase: the invariants are
+    # end-state guarantees, and trailing in-window faults would race them.
+    env.schedule_callback(schedule.horizon_ms, injector.heal_all)
+
+    # -- workload ----------------------------------------------------------
+    history = History()
+    status = {"completed": 0, "finished_clients": 0}
+    workload_done = env.event()
+    clients = [cluster.new_client(f"c{i}")
+               for i in range(schedule.num_clients)]
+    workload_tag = (f"{schedule.seed}/{schedule.scheme}/"
+                    f"fuzz{schedule.index}")
+
+    def client_loop(client, index):
+        rng = random.Random(f"{workload_tag}/{index}")
+        for _ in range(schedule.ops_per_client):
+            command = _workload_command(rng, keys)
+            invoked = env.now
+            reply = yield from client.run_command(command)
+            result = reply.value if reply.status is not ReplyStatus.NOK \
+                else str(reply.value)
+            history.record(client.name, command.op, command.args,
+                           result, invoked, env.now)
+            status["completed"] += 1
+            yield env.timeout(rng.uniform(0.0, 1.0))
+        status["finished_clients"] += 1
+        if status["finished_clients"] == schedule.num_clients:
+            workload_done.succeed(None)
+
+    for index, client in enumerate(clients):
+        env.process(client_loop(client, index), name=f"fuzz/{client.name}")
+    end_marker = {"at": None}
+
+    def driver():
+        yield workload_done
+        # In-flight joins/leaves must land before the end-state check —
+        # retries run forever, so they complete once the network heals.
+        for done in reconfig_done:
+            yield done
+        if env.now < schedule.horizon_ms + 10.0:
+            yield env.timeout(schedule.horizon_ms + 10.0 - env.now)
+        # Cooldown round on a fresh client: new log entries make any
+        # replica with a trailing log gap detect it and request backfill.
+        cooldown = cluster.new_client("cool")
+        for key in keys:
+            yield from cooldown.run_command(
+                Command(op="get", args={"key": key}, variables=(key,)))
+        yield env.timeout(SETTLE_MS)
+        end_marker["at"] = env.now
+
+    env.process(driver(), name="fuzz/driver")
+    env.run(until=schedule.deadline_ms)
+
+    # -- checks ------------------------------------------------------------
+    violations: list[str] = []
+    expected = schedule.num_clients * schedule.ops_per_client
+    linearizability = INCONCLUSIVE
+    if status["completed"] != expected or end_marker["at"] is None:
+        violations.append(f"only {status['completed']}/{expected} ops "
+                          f"completed before the deadline")
+    else:
+        linearizability = check_linearizable_bounded(
+            history, KvSequentialSpec({key: 0 for key in keys}),
+            max_nodes=linearizability_budget)
+        if linearizability == VIOLATION:
+            violations.append("history is not linearizable")
+
+    violations.extend(cluster_invariants(cluster))
+
+    trace_notes: list[str] = []
+    if violations:
+        stuck = tracer.open_traces()
+        if stuck:
+            trace_notes.append(
+                "stuck commands (root span never closed): "
+                + ", ".join(stuck[:6])
+                + (f" (+{len(stuck) - 6} more)" if len(stuck) > 6 else ""))
+        trace_notes.extend(find_anomalies(tracer.spans)[:4])
+        slow = slowest_traces(tracer.spans, 1)
+        if slow:
+            trace_notes.append(command_timeline(tracer.spans, slow[0]))
+
+    return ScheduleRunResult(
+        schedule=schedule,
+        ops_completed=status["completed"], ops_expected=expected,
+        finished_at=end_marker["at"],
+        timeouts=sum(c.timeouts for c in cluster.clients),
+        resends=sum(c.resends for c in cluster.clients),
+        messages_sent=cluster.network.messages_sent,
+        linearizability=linearizability,
+        violations=tuple(violations),
+        events_skipped=tuple(skipped),
+        trace_notes=tuple(trace_notes))

@@ -1,0 +1,160 @@
+"""The fault-schedule model: one timed, JSON-shaped fault plan.
+
+A :class:`FaultSchedule` fully determines a run — deployment scheme,
+workload shape, fault events and time horizon — so running it twice
+produces byte-identical results, which is what makes shrinking and
+replay artifacts possible.
+
+Events are plain dicts (the JSON wire format, see
+:meth:`~repro.net.failure.FailureInjector.apply_event` for the
+message-level kinds). Node- and cluster-level kinds add:
+
+* ``{"kind": "crash", "at": t, "node": name, "mode": m, "duration": d}``
+  — ``mode`` is ``"restart"`` (amnesia + full recovery; followers only)
+  or ``"blackout"`` (network cut + reconnect; any node, including
+  sequencers, Paxos leaders and oracle replicas).
+* ``{"kind": "join", "at": t, "partition": p}`` — live partition join
+  (dynamic schemes; silently skipped elsewhere).
+* ``{"kind": "leave", "at": t, "partition": p}`` — two-phase drain and
+  retire of a previously joined partition.
+
+Schedules are *normalised* before running: events outside the horizon
+are dropped and crash durations are clamped so every victim is back
+before the heal point. The runner and the shrinker both normalise, so a
+shrink step that tightens the horizon can never manufacture a zombie
+node (crashed at heal time) that would masquerade as a violation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Event kinds handled by the injector's declarative API.
+MESSAGE_KINDS = ("drop", "delay", "duplicate", "reorder",
+                 "partition", "partition_oneway")
+#: Event kinds the runner handles against the deployment.
+CLUSTER_KINDS = ("crash", "join", "leave")
+
+#: Minimum ms a clamped crash still keeps its victim down.
+MIN_CRASH_MS = 5.0
+#: Margin between the last recovery and the heal point.
+HEAL_MARGIN_MS = 10.0
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One deterministic fuzz run: deployment, workload and fault plan."""
+
+    seed: int
+    index: int
+    scheme: str
+    events: tuple = ()
+    horizon_ms: float = 300.0      # faults heal here
+    deadline_ms: float = 9_000.0   # virtual-time budget of the whole run
+    num_clients: int = 3
+    ops_per_client: int = 8
+    num_keys: int = 6
+    # Test-only deliberate protocol bug (e.g. "no_dedup" disables the
+    # server reply caches, so client resends double-execute). Lives in
+    # the schedule so a repro artifact replays the identical build.
+    inject_bug: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "scheme": self.scheme,
+            "events": [dict(event) for event in self.events],
+            "horizon_ms": self.horizon_ms,
+            "deadline_ms": self.deadline_ms,
+            "num_clients": self.num_clients,
+            "ops_per_client": self.ops_per_client,
+            "num_keys": self.num_keys,
+            "inject_bug": self.inject_bug,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        return cls(seed=data["seed"], index=data["index"],
+                   scheme=data["scheme"],
+                   events=tuple(dict(e) for e in data["events"]),
+                   horizon_ms=data["horizon_ms"],
+                   deadline_ms=data["deadline_ms"],
+                   num_clients=data["num_clients"],
+                   ops_per_client=data["ops_per_client"],
+                   num_keys=data["num_keys"],
+                   inject_bug=data.get("inject_bug"))
+
+    def canonical_json(self) -> str:
+        """Canonical serialisation (sorted keys, no whitespace) — the
+        basis of digests and of the replay byte-comparison."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Ten-hex-digit schedule fingerprint for reports and filenames."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:10]
+
+    def describe(self) -> str:
+        """Compact single-line fault summary for reports."""
+        parts = []
+        for event in self.events:
+            kind = event["kind"]
+            if kind == "crash":
+                parts.append(f"{event['mode']}({event['node']}"
+                             f"@{event['at']:.0f}+{event['duration']:.0f})")
+            elif kind in ("join", "leave"):
+                parts.append(f"{kind}({event['partition']}"
+                             f"@{event['at']:.0f})")
+            elif kind in ("partition", "partition_oneway"):
+                arrow = "~" if kind == "partition" else ">"
+                parts.append(f"split{arrow}[{event['at']:.0f},"
+                             f"{event['end']:.0f})")
+            else:
+                parts.append(f"{kind}({event['fraction']:.3f}"
+                             f"[{event['at']:.0f},{event['end']:.0f}))")
+        return " ".join(parts) if parts else "no-faults"
+
+
+def normalize_schedule(schedule: FaultSchedule) -> FaultSchedule:
+    """Clamp events to the horizon so the heal point finds no open fault.
+
+    * message-fault windows are clipped to ``[0, horizon)`` and dropped
+      when empty;
+    * crashes are dropped if they begin too close to the horizon, and
+      their duration is clamped so recovery fires ``HEAL_MARGIN_MS``
+      before the heal;
+    * join/leave events past the horizon are dropped.
+
+    Normalisation is idempotent and deterministic — the runner applies
+    it on entry, so a schedule and its normal form behave identically.
+    """
+    horizon = schedule.horizon_ms
+    events = []
+    for event in schedule.events:
+        event = dict(event)
+        kind = event["kind"]
+        if kind in MESSAGE_KINDS:
+            if event["at"] >= horizon:
+                continue
+            event["end"] = min(event["end"], horizon)
+            if event["end"] <= event["at"]:
+                continue
+        elif kind == "crash":
+            latest_recover = horizon - HEAL_MARGIN_MS
+            if event["at"] + MIN_CRASH_MS > latest_recover:
+                continue
+            event["duration"] = min(event["duration"],
+                                    latest_recover - event["at"])
+        elif kind in ("join", "leave"):
+            if event["at"] >= horizon:
+                continue
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+        events.append(event)
+    events.sort(key=lambda e: (e["at"], e["kind"],
+                               json.dumps(e, sort_keys=True)))
+    return replace(schedule, events=tuple(events))

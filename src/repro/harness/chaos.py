@@ -2,12 +2,15 @@
 
 Each scenario is drawn from a seeded generator — a mix of message drops,
 latency spikes, duplication, bounded reordering, a network partition window
-and a follower crash-restart (recovered through :mod:`repro.smr.recovery`
-for classic SMR and through checkpoint-install recovery,
-:mod:`repro.reconfig.recovery`, for the partitioned schemes). The campaign
-runs each scenario against classic SMR, S-SMR and DS-SMR deployments whose
-clients use the resilience layer (:mod:`repro.resilience`), then checks
-the system's guarantees after the network heals:
+and a crash-restart whose victim is drawn by *role*: followers die with
+amnesia and recover through :mod:`repro.smr.recovery` (classic SMR) or
+checkpoint-install recovery (:mod:`repro.reconfig.recovery`); speakers
+and oracle replicas suffer a network blackout and reconnect with their
+in-memory ordering state intact (no recovery path can rebuild a
+sequencer). The campaign runs each scenario against classic SMR, S-SMR
+and DS-SMR deployments whose clients use the resilience layer
+(:mod:`repro.resilience`), then checks the system's guarantees after the
+network heals:
 
 * every client request completed before the deadline;
 * the recorded history is linearizable (Wing–Gong checker);
@@ -19,26 +22,30 @@ Everything — fault schedule, workload, backoff jitter — derives from the
 campaign seed, so ``run_campaign(n, seed)`` is fully deterministic: two
 runs produce byte-identical reports. The CLI entry point is
 ``python -m repro chaos --scenarios N --seed S``.
+
+Execution is shared with the fuzzer: a :class:`ChaosScenario` converts to
+a :class:`~repro.fuzz.schedule.FaultSchedule` (:meth:`to_schedule`) and
+:func:`run_scenario` delegates to :func:`repro.fuzz.runner.run_schedule`,
+so both harnesses exercise the exact same build/inject/workload/check
+path and any chaos scenario can be shrunk or replayed with the fuzzer's
+tooling.
 """
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.checkers import History, KvSequentialSpec, check_linearizable
+from repro.fuzz.generate import shape_nodes
+from repro.fuzz.schedule import FaultSchedule
 from repro.harness.cluster import Cluster, ClusterConfig
-from repro.harness.invariants import cluster_invariants
+from repro.harness.faults import VICTIM_ROLES, reset_id_counters
 from repro.harness.report import format_table
 from repro.net import FailureInjector
-from repro.obs import CommandTracer, command_timeline, find_anomalies
-from repro.obs.report import slowest_traces
 from repro.resilience import RetryPolicy
 from repro.sim import SeedStream
 from repro.smr import Command, ReplyStatus
-from repro.smr.recovery import RecoveryHost, recover_replica
 
 #: Schemes every scenario is run against.
 CHAOS_SCHEMES = ("smr", "ssmr", "dssmr")
@@ -52,21 +59,10 @@ DEADLINE_MS = 8_000.0
 SETTLE_MS = 400.0
 
 
-def _reset_id_counters() -> None:
-    """Reset the module-global id counters commands and multicasts draw
-    from. Scenario behaviour then depends only on (seed, index, scheme),
-    never on what ran earlier in the process — the property behind the
-    campaign's run-twice-compare-reports determinism test."""
-    import repro.ordering.atomic_multicast as atomic_multicast
-    import repro.reconfig.manager as reconfig_manager
-    import repro.reconfig.transfer as reconfig_transfer
-    import repro.smr.command as command
-    import repro.smr.recovery as recovery
-    command._cmd_counter = itertools.count()
-    atomic_multicast._am_counter = itertools.count()
-    recovery._recovery_counter = itertools.count()
-    reconfig_manager._rid_counter = itertools.count()
-    reconfig_transfer._transfer_counter = itertools.count()
+# Canonical implementation lives with the other shared fault helpers;
+# the alias keeps this module's historical import surface
+# (repro.harness.elastic and older tests import it from here).
+_reset_id_counters = reset_id_counters
 
 
 # ---------------------------------------------------------------------------
@@ -78,9 +74,10 @@ class ChaosScenario:
     """One seeded fault schedule (times in virtual ms).
 
     Optional faults are ``None`` when the scenario does not include them;
-    ``crash`` is ``(time, partition_index, recover_time)`` and always hits
-    a *follower* replica — sequencers are a fixed point of the ordering
-    layer (crash-tolerant ordering is :mod:`repro.ordering.paxos`'s job).
+    ``crash`` is ``(time, partition_index, recover_time)`` and
+    ``crash_role`` picks the victim position: a *follower* dies with
+    amnesia and runs full recovery, a *speaker* (sequencer) or *oracle*
+    replica suffers a network blackout and reconnects with state intact.
     """
 
     index: int
@@ -91,6 +88,7 @@ class ChaosScenario:
     reorder: Optional[tuple] = None      # (fraction, window_ms)
     partition_window: Optional[tuple] = None   # (start, end)
     crash: Optional[tuple] = None        # (time, partition_index, recover)
+    crash_role: str = "follower"         # follower | speaker | oracle
 
     def describe(self) -> str:
         parts = [f"drop={self.drop_fraction:.3f}"]
@@ -104,8 +102,82 @@ class ChaosScenario:
             start, end = self.partition_window
             parts.append(f"split[{start:.0f},{end:.0f})")
         if self.crash:
-            parts.append(f"crash(p{self.crash[1]}@{self.crash[0]:.0f})")
+            parts.append(f"crash({self.crash_role}:p{self.crash[1]}"
+                         f"@{self.crash[0]:.0f})")
         return " ".join(parts)
+
+    def _crash_victim(self, scheme: str) -> tuple[str, str]:
+        """Resolve ``crash_role`` to ``(node, mode)`` for ``scheme``.
+
+        Mirrors :func:`repro.harness.faults.select_victim` but works on
+        the *static* deployment shape (:func:`shape_nodes`), so the
+        schedule can be built before any cluster exists. The oracle role
+        degrades to speaker on schemes without an oracle group.
+        """
+        shape = shape_nodes(scheme)
+        _, partition_index, _ = self.crash
+        role = self.crash_role
+        if role == "oracle" and not shape["oracles"]:
+            role = "speaker"
+        if role == "oracle":
+            pool = shape["oracles"]
+            return pool[partition_index % len(pool)], "blackout"
+        if role == "speaker":
+            pool = shape["speakers"]
+            return pool[partition_index % len(pool)], "blackout"
+        pool = shape["followers"]
+        return pool[partition_index % len(pool)], "restart"
+
+    def to_schedule(self, scheme: str, seed: int,
+                    num_clients: int = 3, ops_per_client: int = 8,
+                    dedup: bool = True) -> FaultSchedule:
+        """The equivalent :class:`FaultSchedule` (the fuzzer's format).
+
+        The conversion is what lets :func:`run_scenario` delegate to the
+        shared schedule runner — and what makes any chaos scenario
+        shrinkable and replayable with the fuzzer's tooling.
+        """
+        shape = shape_nodes(scheme)
+        events: list[dict] = [{"kind": "drop", "at": 0.0,
+                               "end": self.fault_end,
+                               "fraction": self.drop_fraction}]
+        if self.delay:
+            events.append({"kind": "delay", "at": 0.0,
+                           "end": self.fault_end,
+                           "fraction": self.delay[0],
+                           "spike_ms": self.delay[1]})
+        if self.duplicate:
+            events.append({"kind": "duplicate", "at": 0.0,
+                           "end": self.fault_end,
+                           "fraction": self.duplicate[0],
+                           "copies": self.duplicate[1]})
+        if self.reorder:
+            events.append({"kind": "reorder", "at": 0.0,
+                           "end": self.fault_end,
+                           "fraction": self.reorder[0],
+                           "window_ms": self.reorder[1]})
+        if self.partition_window:
+            start, end = self.partition_window
+            if len(shape["partitions"]) > 1:
+                island_a = list(shape["servers"][shape["partitions"][0]])
+                island_b = list(shape["servers"][shape["partitions"][1]])
+            else:   # classic SMR: cut the follower off from the sequencer
+                members = shape["servers"][shape["partitions"][0]]
+                island_a, island_b = [members[0]], list(members[1:])
+            events.append({"kind": "partition", "at": start, "end": end,
+                           "island_a": island_a, "island_b": island_b})
+        if self.crash:
+            crash_time, _, recover_time = self.crash
+            node, mode = self._crash_victim(scheme)
+            events.append({"kind": "crash", "at": crash_time,
+                           "node": node, "mode": mode,
+                           "duration": recover_time - crash_time})
+        return FaultSchedule(
+            seed=seed, index=self.index, scheme=scheme,
+            events=tuple(events), horizon_ms=self.fault_end,
+            deadline_ms=DEADLINE_MS, num_clients=num_clients,
+            ops_per_client=ops_per_client, num_keys=len(KEYS),
+            inject_bug=None if dedup else "no_dedup")
 
 
 def generate_scenario(seed: int, index: int,
@@ -114,6 +186,7 @@ def generate_scenario(seed: int, index: int,
     rng = SeedStream(seed).child("scenario").stream(f"s{index}")
     drop_fraction = round(rng.uniform(0.005, 0.025), 4)
     delay = duplicate = reorder = partition_window = crash = None
+    crash_role = "follower"
     if rng.random() < 0.5:
         delay = (round(rng.uniform(0.05, 0.20), 3),
                  round(rng.uniform(5.0, 20.0), 2))
@@ -130,10 +203,12 @@ def generate_scenario(seed: int, index: int,
         time = round(rng.uniform(40.0, 150.0), 1)
         crash = (time, rng.randrange(2),
                  round(time + rng.uniform(50.0, 100.0), 1))
+        crash_role = VICTIM_ROLES[rng.randrange(len(VICTIM_ROLES))]
     return ChaosScenario(index=index, fault_end=fault_end,
                          drop_fraction=drop_fraction, delay=delay,
                          duplicate=duplicate, reorder=reorder,
-                         partition_window=partition_window, crash=crash)
+                         partition_window=partition_window, crash=crash,
+                         crash_role=crash_role)
 
 
 # ---------------------------------------------------------------------------
@@ -229,124 +304,27 @@ def _spawn_workload(cluster: Cluster, history: Optional[History],
 def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
                  num_clients: int = 3, ops_per_client: int = 8,
                  dedup: bool = True) -> ScenarioResult:
-    """Run one scenario against one scheme and check every invariant."""
-    _reset_id_counters()
-    # Spans touch no RNG and schedule no events, so tracing every scenario
-    # costs only memory and never perturbs the fault schedule — and a
-    # failing run carries its own trace context (see trace_notes).
-    tracer = CommandTracer()
-    cluster = _build_cluster(scheme, seed, f"cluster{scenario.index}",
-                             dedup=dedup, tracer=tracer)
-    env = cluster.env
+    """Run one scenario against one scheme and check every invariant.
 
-    if scheme == "smr":
-        for server in cluster.servers.values():
-            RecoveryHost(server)
+    Delegates to the schedule runner shared with the fuzzer
+    (:func:`repro.fuzz.runner.run_schedule`): one build/inject/workload/
+    check path for both harnesses.
+    """
+    # Imported here, not at module top: the runner imports the cluster
+    # harness, whose package init imports this module — a cycle that only
+    # resolves when neither side needs the other at import time.
+    from repro.fuzz.runner import run_schedule
 
-    # -- fault schedule ----------------------------------------------------
-    injector = FailureInjector(env, cluster.network,
-                               cluster.seeds.child(f"chaos{scenario.index}"))
-    injector.drop_fraction(scenario.drop_fraction)
-    if scenario.delay:
-        injector.delay_spikes(*scenario.delay)
-    if scenario.duplicate:
-        injector.duplicate_fraction(*scenario.duplicate)
-    if scenario.reorder:
-        injector.reorder_fraction(*scenario.reorder)
-    if scenario.partition_window:
-        start, end = scenario.partition_window
-        if len(cluster.partitions) > 1:
-            island_a = cluster.directory.members(cluster.partitions[0])
-            island_b = cluster.directory.members(cluster.partitions[1])
-        else:  # classic SMR: cut the follower off from the sequencer
-            members = cluster.directory.members(cluster.partitions[0])
-            island_a, island_b = members[:1], members[1:]
-        injector.partition_between(start, end, island_a, island_b)
-    # A clean network for the post-fault phase: invariants are end-state
-    # guarantees, and trailing in-window faults would otherwise race them.
-    env.schedule_callback(scenario.fault_end, injector.heal_all)
-
-    if scenario.crash:
-        crash_time, partition_index, recover_time = scenario.crash
-        partition = cluster.partitions[partition_index
-                                       % len(cluster.partitions)]
-        victim = f"{partition}s1"   # follower; never the sequencer
-
-        def do_crash() -> None:
-            cluster.servers[victim].crash()
-
-        if scheme == "smr":
-            peer = cluster.servers[f"{partition}s0"]
-
-            def do_restart() -> None:
-                cluster.servers[victim] = recover_replica(
-                    cluster.servers[victim], peer)
-        else:
-            def do_restart() -> None:
-                cluster.recover_server(victim)
-
-        injector.crash_restart_at(crash_time, victim,
-                                  recover_time - crash_time,
-                                  crash=do_crash, restart=do_restart)
-
-    # -- workload ----------------------------------------------------------
-    history = History()
-    status, done = _spawn_workload(
-        cluster, history, num_clients, ops_per_client,
-        workload_tag=f"{seed}/{scheme}/{scenario.index}")
-    end_marker = {"at": None}
-
-    def driver():
-        yield done
-        if env.now < scenario.fault_end + 10.0:
-            yield env.timeout(scenario.fault_end + 10.0 - env.now)
-        # Cooldown round on a fresh client: new log entries make any
-        # replica with a trailing gap detect it and request backfill
-        # (gaps in the *middle* of a log self-heal on later traffic, but
-        # a gap at the very end needs one more entry to become visible).
-        cooldown = cluster.new_client("cool")
-        for key in KEYS:
-            yield from cooldown.run_command(
-                Command(op="get", args={"key": key}, variables=(key,)))
-        yield env.timeout(SETTLE_MS)
-        end_marker["at"] = env.now
-
-    env.process(driver(), name="chaos/driver")
-    env.run(until=DEADLINE_MS)
-
-    # -- invariants --------------------------------------------------------
-    violations: list[str] = []
-    expected = num_clients * ops_per_client
-    if status["completed"] != expected or end_marker["at"] is None:
-        violations.append(f"only {status['completed']}/{expected} ops "
-                          f"completed before the deadline")
-    elif not check_linearizable(history, KvSequentialSpec(dict(INITIAL))):
-        violations.append("history is not linearizable")
-
-    violations.extend(cluster_invariants(cluster))
-
-    trace_notes: list[str] = []
-    if violations:
-        stuck = tracer.open_traces()
-        if stuck:
-            trace_notes.append(
-                "stuck commands (root span never closed): "
-                + ", ".join(stuck[:6])
-                + (f" (+{len(stuck) - 6} more)" if len(stuck) > 6 else ""))
-        trace_notes.extend(find_anomalies(tracer.spans)[:4])
-        slow = slowest_traces(tracer.spans, 1)
-        if slow:
-            trace_notes.append(command_timeline(tracer.spans, slow[0]))
-
+    schedule = scenario.to_schedule(scheme, seed, num_clients=num_clients,
+                                    ops_per_client=ops_per_client,
+                                    dedup=dedup)
+    run = run_schedule(schedule)
     return ScenarioResult(
         scheme=scheme, scenario=scenario,
-        ops_completed=status["completed"], ops_expected=expected,
-        finished_at=end_marker["at"],
-        timeouts=sum(c.timeouts for c in cluster.clients),
-        resends=sum(c.resends for c in cluster.clients),
-        messages_sent=cluster.network.messages_sent,
-        violations=tuple(violations),
-        trace_notes=tuple(trace_notes))
+        ops_completed=run.ops_completed, ops_expected=run.ops_expected,
+        finished_at=run.finished_at, timeouts=run.timeouts,
+        resends=run.resends, messages_sent=run.messages_sent,
+        violations=run.violations, trace_notes=run.trace_notes)
 
 
 # ---------------------------------------------------------------------------

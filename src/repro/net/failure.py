@@ -202,6 +202,72 @@ class FailureInjector:
 
         self._install(lambda: self.network.add_drop_rule(rule), start, end)
 
+    def partition_oneway(self, start: float, end: float,
+                         srcs: Iterable[str],
+                         dsts: Iterable[str]) -> None:
+        """Asymmetric partition: drop ``srcs``→``dsts`` traffic during
+        ``[start, end)`` while the reverse direction keeps flowing.
+
+        One-way reachability is the nastier failure mode — a node that can
+        hear acknowledgements but not be heard (or vice versa) defeats
+        protocols that infer liveness from one direction only — so the
+        fuzzer schedules it alongside the symmetric split.
+        """
+        if end <= start:
+            raise ValueError("partition window must have positive length")
+        src_set, dst_set = set(srcs), set(dsts)
+
+        def rule(message: Message) -> bool:
+            return message.src in src_set and message.dst in dst_set
+
+        self._install(lambda: self.network.add_drop_rule(rule), start, end)
+
+    # -- schedule-driven API --------------------------------------------------
+
+    #: Message-level fault kinds :meth:`apply_event` understands; node- and
+    #: cluster-level kinds (crashes, joins/leaves) need a deployment handle
+    #: and live in :mod:`repro.harness.faults` / :mod:`repro.fuzz.runner`.
+    MESSAGE_EVENT_KINDS = ("drop", "delay", "duplicate", "reorder",
+                          "partition", "partition_oneway")
+
+    def apply_event(self, spec: dict) -> None:
+        """Install one declarative timed fault from a schedule event.
+
+        ``spec`` is a plain dict (JSON-shaped, the fuzzer's schedule wire
+        format) with a ``kind`` from :data:`MESSAGE_EVENT_KINDS`, an
+        activity window ``at``/``end``, and the kind's parameters::
+
+            {"kind": "drop", "at": 20.0, "end": 120.0, "fraction": 0.02}
+            {"kind": "delay", ..., "fraction": 0.1, "spike_ms": 12.0}
+            {"kind": "duplicate", ..., "fraction": 0.1, "copies": 1}
+            {"kind": "reorder", ..., "fraction": 0.2, "window_ms": 3.0}
+            {"kind": "partition", ..., "island_a": [...], "island_b": [...]}
+            {"kind": "partition_oneway", ..., "srcs": [...], "dsts": [...]}
+
+        Everything installed this way is torn down by :meth:`heal_all`.
+        """
+        kind = spec["kind"]
+        at, end = spec["at"], spec["end"]
+        if kind == "drop":
+            self.drop_fraction(spec["fraction"], start=at, end=end)
+        elif kind == "delay":
+            self.delay_spikes(spec["fraction"], spec["spike_ms"],
+                              start=at, end=end)
+        elif kind == "duplicate":
+            self.duplicate_fraction(spec["fraction"],
+                                    copies=spec.get("copies", 1),
+                                    start=at, end=end)
+        elif kind == "reorder":
+            self.reorder_fraction(spec["fraction"], spec["window_ms"],
+                                  start=at, end=end)
+        elif kind == "partition":
+            self.partition_between(at, end, spec["island_a"],
+                                   spec["island_b"])
+        elif kind == "partition_oneway":
+            self.partition_oneway(at, end, spec["srcs"], spec["dsts"])
+        else:
+            raise ValueError(f"not a message-level fault kind: {kind!r}")
+
     # -- healing -------------------------------------------------------------
 
     def heal_all(self) -> None:

@@ -76,6 +76,30 @@ class ProtocolNode:
         self.network.crash(self.name)
         self._loop.interrupt("crash")
 
+    def reconnect(self) -> None:
+        """Re-arm dispatch after a *network-level* blackout.
+
+        ``Network.crash(name)`` discards the inbox getter the dispatch
+        loop was blocked on (so a successor cannot lose its first
+        message), which means a node that merely blacked out — state
+        intact, only disconnected — would never dispatch again after
+        ``Network.recover``. Reconnecting recovers the endpoint and
+        replaces the dispatch process; the old one is interrupted, so a
+        stale getter can never swallow a post-recovery message. No-op on
+        an object-level crashed node: that node is gone for good and
+        comes back only through the recovery modules.
+        """
+        if self._crashed:
+            return
+        self.network.recover(self.name)
+        self._loop.interrupt("reconnect")
+        # Drop any getter the old loop left behind (reconnect without a
+        # preceding blackout): a stale getter would consume and lose the
+        # first message meant for the new loop.
+        self.endpoint.inbox._getters.clear()
+        self._loop = self.env.process(self._dispatch_loop(),
+                                      name=f"{self.name}/loop")
+
     def _dispatch_loop(self):
         try:
             while True:

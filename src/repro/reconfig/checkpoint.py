@@ -70,6 +70,9 @@ class PartitionCheckpoint:
     exchange: dict                   # signals / vars / done / sent
     queued: list                     # pending AmcastDelivery objects
     location_slice: dict = field(default_factory=dict)
+    # Reconfiguration entry rids already applied (re-delivery dedup must
+    # survive recovery, or a replacement replica double-bumps its epoch).
+    applied_reconfigs: list = field(default_factory=list)
     checksum: str = ""
 
     @property
@@ -140,6 +143,8 @@ class PartitionCheckpointer:
             queued=copy.deepcopy(queued),
             location_slice={key: server.partition
                             for key in server.store.snapshot()},
+            applied_reconfigs=sorted(
+                getattr(server, "applied_reconfigs", ())),
         )
         checkpoint.checksum = checkpoint.compute_checksum()
         self.captures += 1

@@ -65,6 +65,8 @@ class PartitionRecovery:
         server.executed = list(checkpoint.executed)
         server.replies._replies.update(checkpoint.replies)
         server.epoch = checkpoint.epoch
+        server.applied_reconfigs = set(
+            getattr(checkpoint, "applied_reconfigs", ()))
         amcast = server.amcast
         state = checkpoint.amcast
         amcast._clock = state["clock"]

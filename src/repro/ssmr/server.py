@@ -72,6 +72,12 @@ class SsmrServer:
         # Configuration epoch: bumped by every ordered reconfiguration
         # entry (partition join / leave-begin); see repro.reconfig.
         self.epoch = 0
+        # Entry rids already applied: the manager retries entries under
+        # fresh multicast uids when an oracle ack is lost, so the ordered
+        # log can legitimately deliver the same fence twice — only the
+        # first delivery may bump the epoch (the oracle side dedups by
+        # caching its acks; this is the server-side counterpart).
+        self.applied_reconfigs: set[str] = set()
         # Attached by repro.reconfig.PartitionCheckpointer (None without).
         self.checkpointer = None
         self._enqueue_times: dict[str, float] = {}
@@ -189,9 +195,17 @@ class SsmrServer:
         partitions fence identically — and trigger an epoch-tagged
         checkpoint when a :class:`~repro.reconfig.PartitionCheckpointer`
         is attached. Leave-commit entries are oracle-side cleanup and do
-        not change the epoch.
+        not change the epoch. Re-deliveries of an already-applied entry
+        (manager retries under a fresh multicast uid) are no-ops — the
+        fuzzer's minimal repro for skipping this check is a single join
+        under background message loss.
         """
         if spec.get("kind") in ("join", "leave_begin"):
+            rid = spec.get("rid")
+            if rid is not None:
+                if rid in self.applied_reconfigs:
+                    return
+                self.applied_reconfigs.add(rid)
             self.epoch += 1
             if self.checkpointer is not None:
                 self.checkpointer.capture(reason=spec["kind"])
@@ -218,12 +232,17 @@ class SsmrServer:
                 self.tracer.span(trace_id_of(command.cid), "exchange",
                                  self.node.name, exchange_start,
                                  self.env.now, peers=len(others))
-            if self.exchange.any_done(command.cid):
-                # A peer already executed this command in a previous
-                # attempt; executing it here would double-apply its writes.
-                # That peer has resent the reply, so stay silent.
-                self.exchange.collect(command.cid)
-                return None
+            # A done-marked exchange (peer cache hit on a client resend)
+            # carries the peer's merged original variables, so execution
+            # proceeds with the same inputs either way. Whether *we*
+            # execute is decided only by our own reply cache above —
+            # replicas of a partition see exchange messages at different
+            # times under faults, so a decision based on `any_done` here
+            # diverges between them (found by fuzzing: a one-way
+            # partition made one p0 replica defer a command to its
+            # resend slot while the other executed it at the original
+            # slot). Exactly-once is already local: the executor is
+            # sequential and the per-cid cache catches re-deliveries.
             remote_vars = self.exchange.collect(command.cid)
         missing = [key for key in command.variables
                    if key not in self.store and key not in remote_vars]

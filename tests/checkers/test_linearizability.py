@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.checkers import History, KvSequentialSpec, check_linearizable
+from repro.checkers import (INCONCLUSIVE, LINEARIZABLE, VIOLATION, History,
+                            KvSequentialSpec, check_linearizable,
+                            check_linearizable_bounded)
 
 
 def history_of(*ops):
@@ -108,6 +110,63 @@ class TestChecker:
         with pytest.raises(RuntimeError):
             check_linearizable(history, KvSequentialSpec({"x": 0}),
                                max_nodes=3)
+
+
+class TestBoundedChecker:
+    """The fuzzer's variant: three-valued verdict, never raises, never
+    hangs — a truncated search is INCONCLUSIVE, not a violation."""
+
+    def test_linearizable_verdict(self):
+        history = history_of(
+            ("a", "put", {"key": "x", "value": 1}, "ok", 0, 1),
+            ("a", "get", {"key": "x"}, 1, 2, 3),
+        )
+        verdict = check_linearizable_bounded(history,
+                                             KvSequentialSpec({"x": 0}))
+        assert verdict == LINEARIZABLE
+
+    def test_violation_verdict(self):
+        history = history_of(
+            ("a", "incr", {"key": "n"}, 1, 0, 1),
+            ("b", "incr", {"key": "n"}, 1, 2, 3),   # lost update
+        )
+        verdict = check_linearizable_bounded(history,
+                                             KvSequentialSpec({"n": 0}))
+        assert verdict == VIOLATION
+
+    def test_empty_history(self):
+        assert check_linearizable_bounded(
+            History(), KvSequentialSpec()) == LINEARIZABLE
+
+    def test_budget_exhaustion_is_inconclusive_not_an_exception(self):
+        # 12 fully concurrent reads: every subset is a distinct frontier,
+        # far beyond a 3-node budget. The strict checker raises here; the
+        # bounded one must return INCONCLUSIVE instead of hanging/raising.
+        history = history_of(*[
+            ("c", "get", {"key": "x"}, 0, 0, 100 + i) for i in range(12)])
+        verdict = check_linearizable_bounded(
+            history, KvSequentialSpec({"x": 0}), max_nodes=3)
+        assert verdict == INCONCLUSIVE
+
+    def test_verdict_exact_once_budget_suffices(self):
+        # The same concurrent history with a real budget resolves exactly.
+        history = history_of(*[
+            ("c", "get", {"key": "x"}, 0, 0, 100 + i) for i in range(8)])
+        verdict = check_linearizable_bounded(
+            history, KvSequentialSpec({"x": 0}))
+        assert verdict == LINEARIZABLE
+
+    def test_violation_beats_truncation(self):
+        # An exhausted search (all interleavings refuted) is a definite
+        # violation even under a small budget, as long as the search
+        # completes within it.
+        history = history_of(
+            ("a", "put", {"key": "x", "value": 1}, "ok", 0, 1),
+            ("a", "get", {"key": "x"}, 0, 2, 3),   # stale
+        )
+        verdict = check_linearizable_bounded(
+            history, KvSequentialSpec({"x": 0}), max_nodes=50)
+        assert verdict == VIOLATION
 
 
 class TestHistory:

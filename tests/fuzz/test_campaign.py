@@ -1,0 +1,67 @@
+"""Tests for the fuzz campaign driver and its CI-facing guarantees:
+byte-deterministic summaries, a clean verdict on the real protocols
+(sequencer/oracle crashes included), and artifacts on violation."""
+
+import json
+
+from repro.fuzz.artifact import load_artifact
+from repro.fuzz.campaign import run_fuzz_campaign
+
+
+def canonical(campaign):
+    return json.dumps(campaign.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_summary_and_report(self):
+        first = run_fuzz_campaign(num_schedules=4, seed=0)
+        second = run_fuzz_campaign(num_schedules=4, seed=0)
+        assert canonical(first) == canonical(second)
+        assert first.report() == second.report()
+
+    def test_different_seed_different_campaign(self):
+        assert (canonical(run_fuzz_campaign(num_schedules=2, seed=0))
+                != canonical(run_fuzz_campaign(num_schedules=2, seed=1)))
+
+
+class TestCleanBuild:
+    def test_seeded_campaign_is_clean_and_covers_hard_victims(self):
+        """A slice of the issue's 50-schedule acceptance campaign: the
+        real protocols survive schedules that crash sequencers and
+        oracle replicas."""
+        campaign = run_fuzz_campaign(num_schedules=12, seed=0)
+        assert campaign.ok, campaign.report()
+        crashed = {event["node"]
+                   for run in campaign.runs
+                   for event in run.schedule.events
+                   if event["kind"] == "crash"}
+        assert any(node.endswith("s0") for node in crashed), \
+            "campaign never crashed a sequencer"
+        assert "no invariant violations" in campaign.report()
+
+
+class TestViolationPath:
+    def test_injected_bug_found_shrunk_and_archived(self, tmp_path):
+        campaign = run_fuzz_campaign(
+            num_schedules=1, seed=5, inject_bug="no_dedup",
+            artifacts_dir=str(tmp_path))
+        assert not campaign.ok
+        # The violating index was shrunk and its artifact written.
+        index = campaign.runs[0].schedule.index
+        assert index in campaign.shrinks
+        assert (len(campaign.shrinks[index].minimal.events)
+                < len(campaign.shrinks[index].original.events))
+        path = campaign.artifact_paths[index]
+        artifact = load_artifact(path)
+        assert artifact["schedule"]["inject_bug"] == "no_dedup"
+        report = campaign.report()
+        assert "FAIL" in report and "shrink" in report
+        assert "artifact" in report
+
+    def test_summary_json_counts_violations(self):
+        campaign = run_fuzz_campaign(num_schedules=1, seed=5,
+                                     inject_bug="no_dedup", shrink=False)
+        summary = campaign.to_dict()
+        assert summary["violations"] > 0
+        assert summary["schedules"][0]["shrink"] is None

@@ -11,6 +11,7 @@ import pytest
 from repro.harness.chaos import (CHAOS_SCHEMES, ChaosScenario,
                                  generate_scenario, run_campaign,
                                  run_scenario)
+from repro.harness.faults import VICTIM_ROLES
 
 
 class TestScenarioGenerator:
@@ -26,6 +27,7 @@ class TestScenarioGenerator:
         for index in range(20):
             scenario = generate_scenario(3, index)
             assert 0.005 <= scenario.drop_fraction <= 0.025
+            assert scenario.crash_role in VICTIM_ROLES
             if scenario.partition_window:
                 start, end = scenario.partition_window
                 assert 0 < start < end <= scenario.fault_end
@@ -34,13 +36,19 @@ class TestScenarioGenerator:
                 assert 0 < time < recover < scenario.fault_end
                 assert partition_index in (0, 1)
 
+    def test_generator_draws_every_crash_role(self):
+        roles = {generate_scenario(0, index).crash_role
+                 for index in range(60)
+                 if generate_scenario(0, index).crash}
+        assert roles == set(VICTIM_ROLES)
+
     def test_describe_lists_active_faults(self):
         scenario = ChaosScenario(index=0, fault_end=300.0,
                                  drop_fraction=0.01,
                                  crash=(50.0, 1, 120.0))
         text = scenario.describe()
         assert "drop=0.010" in text
-        assert "crash(p1@50)" in text
+        assert "crash(follower:p1@50)" in text
         assert "dup" not in text
 
 
@@ -63,12 +71,35 @@ class TestCampaign:
             assert result.ok, (scheme, result.violations)
 
     @pytest.mark.parametrize("scheme", CHAOS_SCHEMES)
-    def test_crash_scenarios_pass(self, scheme):
+    @pytest.mark.parametrize("role", VICTIM_ROLES)
+    def test_crash_scenarios_pass(self, scheme, role):
+        """Crash faults are valid for every role now — followers recover
+        through checkpoint install, speakers/sequencers and oracle
+        replicas ride out a blackout and reconnect."""
         scenario = ChaosScenario(index=0, fault_end=300.0,
                                  drop_fraction=0.01,
-                                 crash=(60.0, 1, 140.0))
+                                 crash=(60.0, 1, 140.0), crash_role=role)
         result = run_scenario(scheme, scenario, seed=2)
-        assert result.ok, result.violations
+        assert result.ok, (scheme, role, result.violations)
+
+    def test_scenario_converts_to_fuzz_schedule(self):
+        """run_scenario delegates to the shared schedule runner; the
+        conversion must carry every fault across."""
+        scenario = ChaosScenario(index=4, fault_end=300.0,
+                                 drop_fraction=0.01,
+                                 delay=(0.1, 10.0), duplicate=(0.1, 1),
+                                 reorder=(0.2, 2.0),
+                                 partition_window=(50.0, 110.0),
+                                 crash=(60.0, 0, 140.0),
+                                 crash_role="speaker")
+        schedule = scenario.to_schedule("ssmr", seed=7, dedup=False)
+        kinds = sorted(e["kind"] for e in schedule.events)
+        assert kinds == ["crash", "delay", "drop", "duplicate",
+                        "partition", "reorder"]
+        crash = next(e for e in schedule.events if e["kind"] == "crash")
+        assert crash["node"] == "p0s0" and crash["mode"] == "blackout"
+        assert schedule.inject_bug == "no_dedup"
+        assert schedule.horizon_ms == scenario.fault_end
 
     def test_partition_window_passes(self):
         scenario = ChaosScenario(index=0, fault_end=300.0,

@@ -93,6 +93,47 @@ class TestCommands:
             assert fh.read() == first_jsonl
 
 
+class TestFuzzCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.schedules == 10
+        assert args.seed == 0
+        assert args.smoke is False
+        assert args.replay is None
+        assert args.inject_bug is None
+        assert args.no_shrink is False
+
+    def test_smoke_json_is_byte_deterministic(self, capsys):
+        assert main(["fuzz", "--smoke"]) == 0
+        first = capsys.readouterr()
+        # stdout carries exactly the canonical campaign JSON; the human
+        # report goes to stderr.
+        assert first.out.startswith("{") and '"schedules"' in first.out
+        assert "fuzz campaign" in first.err
+        assert main(["fuzz", "--smoke"]) == 0
+        assert capsys.readouterr().out == first.out
+
+    def test_clean_campaign_report_mode(self, capsys):
+        assert main(["fuzz", "--schedules", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign" in out
+        assert "no invariant violations" in out
+
+    def test_injected_bug_find_archive_replay(self, capsys, tmp_path):
+        """The full acceptance loop through the CLI: plant the bug,
+        find + shrink + archive, then --replay reproduces it."""
+        artifacts = tmp_path / "artifacts"
+        assert main(["fuzz", "--schedules", "1", "--seed", "5",
+                     "--inject-bug", "no_dedup",
+                     "--artifacts", str(artifacts)]) == 0
+        out = capsys.readouterr().out
+        assert "violation" in out and "shrink" in out
+        written = list(artifacts.glob("repro-*.json"))
+        assert len(written) == 1
+        assert main(["fuzz", "--replay", str(written[0])]) == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+
 class TestReconfigCommand:
     def test_defaults(self):
         args = build_parser().parse_args(["reconfig"])
