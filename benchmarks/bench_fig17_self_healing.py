@@ -1,0 +1,41 @@
+"""E18 — self-healing: MTTR and unavailability, supervisor on vs off.
+
+The same sustained DS-SMR workload loses a partition follower, a
+partition sequencer and an oracle replica with no harness-driven
+recovery. With the supervisor (repro.heal) each outage lasts detection
+plus repair; without it every outage runs to the end of the experiment.
+Unavailability is sampled by an independent ground-truth prober, not by
+the failure detector judging itself.
+"""
+
+from repro.harness.figures import figure17_self_healing
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig17_self_healing(benchmark):
+    figure = run_figure(benchmark, figure17_self_healing)
+    healed, baseline = figure.data["healed"], figure.data["baseline"]
+
+    # All three roles actually died, in both runs.
+    assert len(healed["crashed_at"]) == 3
+    assert healed["crashed_at"] == baseline["crashed_at"]
+
+    # The supervisor healed every outage: ground-truth unavailability is
+    # strictly shorter — overall and for every replica group.
+    assert healed["total_down_ms"] < baseline["total_down_ms"]
+    for group, down in healed["down_ms"].items():
+        assert down < baseline["down_ms"][group]
+
+    # Healing shows up in throughput too, not just availability.
+    assert healed["ops"] > baseline["ops"]
+
+    # The healer's own books: one detection per crash, repaired by the
+    # role-appropriate action, with no false suspicions.
+    heal = healed["heal"]
+    assert heal["detections"] == 3
+    assert heal["replaces"] == 1       # follower: fence + replace
+    assert heal["reconnects"] == 2     # sequencer + oracle: reconnect
+    assert heal["false_suspicions"] == 0
+    assert heal["mttr_ms"]["count"] == 3
+    assert baseline["heal"] is None

@@ -36,6 +36,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig14": figures.figure14_batching,
         "fig15": figures.figure15_chaos_overhead,
         "fig16": figures.figure16_elastic_scaleout,
+        "fig17": figures.figure17_self_healing,
     }
 
 
@@ -127,6 +128,32 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", default=None, metavar="PATH",
                       help="also write the canonical campaign JSON to "
                            "PATH")
+    fuzz.add_argument("--supervisor", action="store_true",
+                      help="run every schedule under the autonomous "
+                           "recovery supervisor (repro.heal): crashes "
+                           "get no harness restart and the generator "
+                           "adds false-suspicion faults")
+
+    heal = sub.add_parser(
+        "heal", help="self-healing campaign: crash every role, let the "
+                     "recovery supervisor repair the cluster")
+    heal.add_argument("--scenarios", type=int, default=4,
+                      help="scenarios per scheme (each crashes a "
+                           "follower, a sequencer and an oracle)")
+    heal.add_argument("--seed", type=int, default=0)
+    heal.add_argument("--clients", type=int, default=3)
+    heal.add_argument("--ops", type=int, default=8,
+                      help="operations per client per scenario")
+    heal.add_argument("--smoke", action="store_true",
+                      help="small fixed campaign printing the canonical "
+                           "JSON summary on stdout (CI byte-compares two "
+                           "same-seed runs)")
+    heal.add_argument("--json", action="store_true",
+                      help="print the canonical campaign JSON on stdout "
+                           "(report goes to stderr)")
+    heal.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the canonical campaign JSON to "
+                           "PATH")
 
     reconfig = sub.add_parser(
         "reconfig", help="elastic reconfiguration smoke: crash-restart "
@@ -159,10 +186,11 @@ def cmd_figure(args) -> int:
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
     if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15",
-                          "fig16"):
+                          "fig16", "fig17"):
         # figures without duration parameters
         kwargs = {"seed": args.seed} \
-            if args.figure_id in ("fig13", "fig14", "fig15", "fig16") \
+            if args.figure_id in ("fig13", "fig14", "fig15", "fig16",
+                                  "fig17") \
             else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
@@ -301,7 +329,7 @@ def cmd_fuzz(args) -> int:
         num_schedules=num_schedules, seed=args.seed,
         num_clients=args.clients, ops_per_client=args.ops,
         inject_bug=args.inject_bug, shrink=not args.no_shrink,
-        artifacts_dir=args.artifacts)
+        artifacts_dir=args.artifacts, supervisor=args.supervisor)
     payload = json.dumps(campaign.to_dict(), sort_keys=True,
                          separators=(",", ":"))
     emit_json = args.json or args.smoke
@@ -319,6 +347,32 @@ def cmd_fuzz(args) -> int:
         # With a deliberate bug the fuzzer must FIND it; a clean
         # campaign means the fuzzer lost its teeth.
         return 0 if not campaign.ok else 1
+    return 0 if campaign.ok else 1
+
+
+def cmd_heal(args) -> int:
+    import json
+
+    from repro.heal import run_heal_campaign
+
+    started = time.perf_counter()
+    num_scenarios = 2 if args.smoke else args.scenarios
+    campaign = run_heal_campaign(
+        num_scenarios=num_scenarios, seed=args.seed,
+        num_clients=args.clients, ops_per_client=args.ops)
+    payload = json.dumps(campaign.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+    emit_json = args.json or args.smoke
+    # Report to stderr in JSON mode: stdout must stay byte-comparable.
+    print(campaign.report(), file=sys.stderr if emit_json else sys.stdout)
+    if emit_json:
+        print(payload)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(payload + "\n")
+        print(f"wrote campaign JSON to {args.out}", file=sys.stderr)
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
     return 0 if campaign.ok else 1
 
 
@@ -353,6 +407,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "partition": cmd_partition,
         "chaos": cmd_chaos,
         "fuzz": cmd_fuzz,
+        "heal": cmd_heal,
         "trace": cmd_trace,
         "reconfig": cmd_reconfig,
     }

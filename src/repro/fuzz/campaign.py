@@ -123,9 +123,16 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                       inject_bug: Optional[str] = None,
                       shrink: bool = True,
                       shrink_probes: int = 120,
-                      artifacts_dir: Optional[str] = None
-                      ) -> FuzzCampaignResult:
-    """Run ``num_schedules`` generated schedules; shrink any violation."""
+                      artifacts_dir: Optional[str] = None,
+                      supervisor: bool = False) -> FuzzCampaignResult:
+    """Run ``num_schedules`` generated schedules; shrink any violation.
+
+    With ``supervisor=True`` every schedule runs under the autonomous
+    recovery supervisor (:mod:`repro.heal`): crash events get no
+    harness-driven restart — the healer alone must bring the system
+    back — and the generator adds the false-suspicion vocabulary
+    (delay-spiked and drop-isolated nodes).
+    """
     runs: list[ScheduleRunResult] = []
     shrinks: dict[int, ShrinkResult] = {}
     artifact_paths: dict[int, str] = {}
@@ -133,7 +140,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
         schedule = generate_schedule(seed, index, schemes=schemes,
                                      num_clients=num_clients,
                                      ops_per_client=ops_per_client,
-                                     inject_bug=inject_bug)
+                                     inject_bug=inject_bug,
+                                     supervisor=supervisor)
         run = run_schedule(schedule)
         runs.append(run)
         if run.ok:

@@ -102,11 +102,41 @@ def _reconfig_events(rng, scheme: str, horizon: float) -> list[dict]:
     return events
 
 
+def _supervisor_events(rng, shape: dict, horizon: float) -> list[dict]:
+    """False-suspicion vocabulary, drawn only for supervisor-enabled
+    schedules (plain campaigns keep their historical event streams).
+
+    * a *delay-spiked* node: all of its traffic (heartbeats included)
+      rides spikes long enough to look like death — the detector's
+      hysteresis plus the healer's replace cooldown must keep it from
+      being double-replaced;
+    * a *drop-isolated* node: a total but temporary blackout-by-loss.
+      The supervisor will (correctly, from its vantage) confirm it and
+      heal; when the window ends, the wrongly-suspected incarnation must
+      be fenced out rather than split-brain with its replacement.
+    """
+    events: list[dict] = []
+    if rng.random() < 0.45:
+        node = shape["all"][rng.randrange(len(shape["all"]))]
+        at, end = _window(rng, horizon, min_len=40.0, max_len=90.0)
+        events.append({"kind": "delay", "at": at, "end": end,
+                       "fraction": 1.0,
+                       "spike_ms": round(rng.uniform(40.0, 100.0), 1),
+                       "nodes": [node]})
+    if rng.random() < 0.45:
+        node = shape["all"][rng.randrange(len(shape["all"]))]
+        at, end = _window(rng, horizon, min_len=40.0, max_len=90.0)
+        events.append({"kind": "drop", "at": at, "end": end,
+                       "fraction": 1.0, "nodes": [node]})
+    return events
+
+
 def generate_schedule(seed: int, index: int,
                       schemes: Sequence[str] = GENERATOR_SCHEMES,
                       num_clients: int = 3, ops_per_client: int = 8,
                       num_keys: int = 6,
-                      inject_bug: Optional[str] = None) -> FaultSchedule:
+                      inject_bug: Optional[str] = None,
+                      supervisor: bool = False) -> FaultSchedule:
     """Draw schedule ``index`` of campaign ``seed`` (pure function)."""
     rng = SeedStream(seed).child("fuzz-gen").stream(f"s{index}")
     scheme = schemes[rng.randrange(len(schemes))]
@@ -138,9 +168,21 @@ def generate_schedule(seed: int, index: int,
         events.append(partition)
     events.extend(_crash_events(rng, shape, horizon))
     events.extend(_reconfig_events(rng, scheme, horizon))
+    if supervisor:
+        events.extend(_supervisor_events(rng, shape, horizon))
+    if inject_bug is not None:
+        # Sentinel trigger: a planted bug is only observable if a client
+        # actually resends a command its server already executed, which
+        # random background loss produces on some seeds only. A total
+        # drop window on *reply* traffic forces the resend-after-execute
+        # race deterministically, so every seed reaches the sentinel —
+        # while leaving request/ordering traffic to the random faults.
+        events.append({"kind": "drop", "at": 0.0,
+                       "end": min(90.0, horizon), "fraction": 1.0,
+                       "kinds": ["reply"]})
 
     return normalize_schedule(FaultSchedule(
         seed=seed, index=index, scheme=scheme, events=tuple(events),
         horizon_ms=horizon, deadline_ms=DEADLINE_MS,
         num_clients=num_clients, ops_per_client=ops_per_client,
-        num_keys=num_keys, inject_bug=inject_bug))
+        num_keys=num_keys, inject_bug=inject_bug, supervisor=supervisor))

@@ -67,6 +67,9 @@ class ScheduleRunResult:
     violations: tuple[str, ...]
     events_skipped: tuple[str, ...] = ()
     trace_notes: tuple[str, ...] = ()
+    # ClusterHealer.snapshot() for supervisor-enabled schedules (MTTR
+    # accounting: detections, episodes, unavailability); None otherwise.
+    heal: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -87,6 +90,7 @@ class ScheduleRunResult:
             "violations": list(self.violations),
             "events_skipped": list(self.events_skipped),
             "trace_notes": list(self.trace_notes),
+            "heal": self.heal,
         }
 
 
@@ -162,9 +166,17 @@ def _apply_schedule(cluster: Cluster, injector: FailureInjector,
                                 "follower replicas")
                     continue
             crash, restart = make_crash_restart(cluster, self_name, mode)
-            injector.crash_restart_at(event["at"], self_name,
-                                      event["duration"],
-                                      crash=crash, restart=restart)
+            if schedule.supervisor:
+                # Autonomous mode: the harness only injects the fault.
+                # No restart is scheduled at all — detection and recovery
+                # are entirely the supervisor's job — and the crash
+                # bypasses the injector so heal_all cannot resurrect the
+                # victim behind the supervisor's back.
+                env.schedule_callback(event["at"], crash)
+            else:
+                injector.crash_restart_at(event["at"], self_name,
+                                          event["duration"],
+                                          crash=crash, restart=restart)
         elif kind == "join":
             if cluster.reconfig is None:
                 skip(event, f"{schedule.scheme} is not elastic")
@@ -223,6 +235,12 @@ def run_schedule(schedule: FaultSchedule,
     cluster = _build_cluster(schedule, keys, tracer)
     env = cluster.env
 
+    healer = None
+    if schedule.supervisor:
+        # Late import: repro.heal lazily wires back into ordering/harness.
+        from repro.heal.healer import ClusterHealer
+        healer = ClusterHealer(cluster)
+
     injector = FailureInjector(
         env, cluster.network,
         cluster.seeds.child(f"fuzz{schedule.index}"))
@@ -277,10 +295,17 @@ def run_schedule(schedule: FaultSchedule,
             yield from cooldown.run_command(
                 Command(op="get", args={"key": key}, variables=(key,)))
         yield env.timeout(SETTLE_MS)
+        if healer is not None:
+            # End the healing loop so its heartbeat/detector timers stop
+            # generating events; any in-flight state transfer it started
+            # still runs to completion before the end-state checks.
+            healer.stop()
         end_marker["at"] = env.now
 
     env.process(driver(), name="fuzz/driver")
     env.run(until=schedule.deadline_ms)
+    if healer is not None:
+        healer.stop()   # a wedged run never reached the driver's stop
 
     # -- checks ------------------------------------------------------------
     violations: list[str] = []
@@ -321,4 +346,5 @@ def run_schedule(schedule: FaultSchedule,
         linearizability=linearizability,
         violations=tuple(violations),
         events_skipped=tuple(skipped),
-        trace_notes=tuple(trace_notes))
+        trace_notes=tuple(trace_notes),
+        heal=healer.snapshot() if healer is not None else None)

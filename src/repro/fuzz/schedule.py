@@ -61,6 +61,11 @@ class FaultSchedule:
     # server reply caches, so client resends double-execute). Lives in
     # the schedule so a repro artifact replays the identical build.
     inject_bug: Optional[str] = None
+    # Autonomous recovery: attach a ClusterHealer (repro.heal) and let
+    # *it* drive crash recovery — the runner then schedules crash events
+    # with no harness restart at all. Off by default so existing
+    # schedules replay unchanged.
+    supervisor: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -74,6 +79,7 @@ class FaultSchedule:
             "ops_per_client": self.ops_per_client,
             "num_keys": self.num_keys,
             "inject_bug": self.inject_bug,
+            "supervisor": self.supervisor,
         }
 
     @classmethod
@@ -86,7 +92,8 @@ class FaultSchedule:
                    num_clients=data["num_clients"],
                    ops_per_client=data["ops_per_client"],
                    num_keys=data["num_keys"],
-                   inject_bug=data.get("inject_bug"))
+                   inject_bug=data.get("inject_bug"),
+                   supervisor=data.get("supervisor", False))
 
     def canonical_json(self) -> str:
         """Canonical serialisation (sorted keys, no whitespace) — the
@@ -114,8 +121,15 @@ class FaultSchedule:
                 parts.append(f"split{arrow}[{event['at']:.0f},"
                              f"{event['end']:.0f})")
             else:
-                parts.append(f"{kind}({event['fraction']:.3f}"
+                scope = ""
+                if event.get("nodes"):
+                    scope = "@" + "+".join(event["nodes"])
+                if event.get("kinds"):
+                    scope += ":" + "+".join(event["kinds"])
+                parts.append(f"{kind}({event['fraction']:.3f}{scope}"
                              f"[{event['at']:.0f},{event['end']:.0f}))")
+        if self.supervisor:
+            parts.append("+supervisor")
         return " ".join(parts) if parts else "no-faults"
 
 

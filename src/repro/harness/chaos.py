@@ -130,7 +130,8 @@ class ChaosScenario:
 
     def to_schedule(self, scheme: str, seed: int,
                     num_clients: int = 3, ops_per_client: int = 8,
-                    dedup: bool = True) -> FaultSchedule:
+                    dedup: bool = True,
+                    supervisor: bool = False) -> FaultSchedule:
         """The equivalent :class:`FaultSchedule` (the fuzzer's format).
 
         The conversion is what lets :func:`run_scenario` delegate to the
@@ -177,7 +178,8 @@ class ChaosScenario:
             events=tuple(events), horizon_ms=self.fault_end,
             deadline_ms=DEADLINE_MS, num_clients=num_clients,
             ops_per_client=ops_per_client, num_keys=len(KEYS),
-            inject_bug=None if dedup else "no_dedup")
+            inject_bug=None if dedup else "no_dedup",
+            supervisor=supervisor)
 
 
 def generate_scenario(seed: int, index: int,
@@ -303,12 +305,15 @@ def _spawn_workload(cluster: Cluster, history: Optional[History],
 
 def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
                  num_clients: int = 3, ops_per_client: int = 8,
-                 dedup: bool = True) -> ScenarioResult:
+                 dedup: bool = True,
+                 supervisor: bool = False) -> ScenarioResult:
     """Run one scenario against one scheme and check every invariant.
 
     Delegates to the schedule runner shared with the fuzzer
     (:func:`repro.fuzz.runner.run_schedule`): one build/inject/workload/
-    check path for both harnesses.
+    check path for both harnesses. With ``supervisor=True`` the scenario
+    runs under the autonomous recovery supervisor (:mod:`repro.heal`)
+    and crash events get no harness-driven restart.
     """
     # Imported here, not at module top: the runner imports the cluster
     # harness, whose package init imports this module — a cycle that only
@@ -317,7 +322,7 @@ def run_scenario(scheme: str, scenario: ChaosScenario, seed: int,
 
     schedule = scenario.to_schedule(scheme, seed, num_clients=num_clients,
                                     ops_per_client=ops_per_client,
-                                    dedup=dedup)
+                                    dedup=dedup, supervisor=supervisor)
     run = run_schedule(schedule)
     return ScenarioResult(
         scheme=scheme, scenario=scenario,
@@ -390,7 +395,8 @@ class CampaignResult:
 def run_campaign(num_scenarios: int = 10, seed: int = 0,
                  schemes: Sequence[str] = CHAOS_SCHEMES,
                  num_clients: int = 3, ops_per_client: int = 8,
-                 dedup: bool = True) -> CampaignResult:
+                 dedup: bool = True,
+                 supervisor: bool = False) -> CampaignResult:
     """Run ``num_scenarios`` seeded scenarios against every scheme."""
     results = []
     for index in range(num_scenarios):
@@ -398,7 +404,8 @@ def run_campaign(num_scenarios: int = 10, seed: int = 0,
         for scheme in schemes:
             results.append(run_scenario(
                 scheme, scenario, seed, num_clients=num_clients,
-                ops_per_client=ops_per_client, dedup=dedup))
+                ops_per_client=ops_per_client, dedup=dedup,
+                supervisor=supervisor))
     return CampaignResult(seed=seed, results=tuple(results))
 
 

@@ -725,3 +725,160 @@ def figure16_elastic_scaleout(seed: int = 5,
                                  "newcomer_keys": smoke.newcomer_keys,
                                  "recovery": smoke.recovery_installed,
                                  "metrics": smoke.metrics}})
+
+
+def _self_healing_run(seed: int, supervisor: bool,
+                      duration_ms: float, num_clients: int,
+                      sample_ms: float = 5.0) -> dict:
+    """One sustained crash workload, with or without the supervisor.
+
+    A DS-SMR deployment loses a partition follower (amnesia crash), a
+    partition sequencer (blackout) and an oracle replica (blackout) at
+    staggered times, and *nothing* in the harness recovers them: repair
+    happens only if the self-healing loop (:mod:`repro.heal`) does it.
+    A ground-truth sampler — independent of the detector — polls every
+    replica group each ``sample_ms`` and books unavailability for any
+    group with a dead member (a 2-replica Paxos group cannot order with
+    either member down), so the on/off comparison measures the healer's
+    real effect, not its own opinion of itself.
+    """
+    import random as random_module
+
+    from repro.harness.chaos import KEYS, _build_cluster
+    from repro.harness.faults import (make_crash_restart, reset_id_counters,
+                                      select_victim)
+    from repro.heal import ClusterHealer
+    from repro.smr import Command
+
+    reset_id_counters()
+    tag = "fig17-heal" if supervisor else "fig17-base"
+    cluster = _build_cluster("dssmr", seed, tag)
+    env = cluster.env
+    healer = ClusterHealer(cluster) if supervisor else None
+
+    # The crash plan: one victim per role, in different partitions, with
+    # room for detection + repair between failures. No restart callback
+    # is ever scheduled.
+    crash_plan = [(0.18, "follower", 0), (0.45, "speaker", 1),
+                  (0.70, "oracle", 0)]
+    crashed_at: dict[str, float] = {}
+    for fraction, role, partition_index in crash_plan:
+        victim, mode = select_victim(cluster, role, partition_index)
+        crash, _restart = make_crash_restart(cluster, victim, mode)
+        at = round(duration_ms * fraction, 1)
+        crashed_at[victim] = at
+        env.schedule_callback(at, crash)
+
+    # Ground-truth availability sampler.
+    groups = list(cluster.partitions) + (["oracle"] if cluster.oracles
+                                         else [])
+    down_ms = {group: 0.0 for group in groups}
+
+    def group_members(group):
+        if group == "oracle":
+            return sorted(o.node.name for o in cluster.oracles)
+        return cluster.directory.members(group)
+
+    def member_down(name):
+        if cluster.network.is_crashed(name):
+            return True
+        if name in cluster.servers:
+            return cluster.servers[name].node.crashed
+        for oracle in cluster.oracles:
+            if oracle.node.name == name:
+                return oracle.node.crashed
+        return True
+
+    def sampler():
+        while env.now < duration_ms:
+            for group in groups:
+                if any(member_down(name)
+                       for name in group_members(group)):
+                    down_ms[group] += sample_ms
+            yield env.timeout(sample_ms)
+
+    env.process(sampler(), name="fig17/sampler")
+
+    # Sustained client load; per-bucket completion counts for the
+    # timeline sparkline.
+    bucket_ms = duration_ms / 24.0
+    buckets = [0] * 24
+    status = {"completed": 0}
+    clients = [cluster.new_client(f"c{i}") for i in range(num_clients)]
+
+    def loop(client, index):
+        rng = random_module.Random(f"fig17/{seed}/{index}")
+        while env.now < duration_ms:
+            key = KEYS[rng.randrange(len(KEYS))]
+            command = Command(op="incr", args={"key": key},
+                              variables=(key,), writes=(key,))
+            yield from client.run_command(command)
+            status["completed"] += 1
+            bucket = min(int(env.now / bucket_ms), len(buckets) - 1)
+            buckets[bucket] += 1
+            yield env.timeout(rng.uniform(0.5, 1.5))
+
+    for index, client in enumerate(clients):
+        env.process(loop(client, index), name=f"fig17/{client.name}")
+    env.run(until=duration_ms)
+    if healer is not None:
+        healer.stop()
+    heal = healer.snapshot(now=duration_ms) if healer else None
+    return {
+        "ops": status["completed"],
+        "down_ms": {group: round(value, 1)
+                    for group, value in sorted(down_ms.items())},
+        "total_down_ms": round(sum(down_ms.values()), 1),
+        "crashed_at": dict(sorted(crashed_at.items())),
+        "timeline": buckets,
+        "heal": heal,
+    }
+
+
+def figure17_self_healing(seed: int = 5, duration_ms: float = 1_000.0,
+                          num_clients: int = 8) -> FigureData:
+    """E18: MTTR and unavailability, self-healing on vs off.
+
+    The same sustained workload loses a follower, a sequencer and an
+    oracle replica with no harness-driven recovery. With the supervisor
+    (:mod:`repro.heal`) each outage lasts detection + repair — tens of
+    ms; without it every outage runs to the end of the experiment, so
+    ground-truth unavailability (sampled independently of the failure
+    detector) is strictly longer and throughput collapses after the
+    sequencer dies.
+    """
+    from repro.sim import TimeSeries
+
+    healed = _self_healing_run(seed, True, duration_ms, num_clients)
+    baseline = _self_healing_run(seed, False, duration_ms, num_clients)
+
+    rows = []
+    for label, outcome in [("supervisor", healed),
+                           ("no supervisor", baseline)]:
+        rows.append([label, outcome["ops"],
+                     outcome["total_down_ms"]]
+                    + [outcome["down_ms"][group]
+                       for group in sorted(outcome["down_ms"])])
+    group_headers = [f"down:{group}"
+                     for group in sorted(healed["down_ms"])]
+    sections = [format_table(["run", "ops", "down-total-ms"]
+                             + group_headers, rows)]
+    for label, outcome in [("supervisor", healed),
+                           ("no supervisor", baseline)]:
+        series = TimeSeries(f"{label} ops per bucket")
+        for index, count in enumerate(outcome["timeline"]):
+            series.record(index * duration_ms / 24.0, count)
+        sections.append(f"{label:14s} throughput: "
+                        f"{format_sparkline(series)}")
+    heal = healed["heal"]
+    sections += [
+        "",
+        f"healer: {heal['detections']} detection(s), "
+        f"{heal['replaces']} replace(s), {heal['reconnects']} "
+        f"reconnect(s), {heal['false_suspicions']} false suspicion(s)",
+        f"MTTR (ms): {heal['mttr_ms']}",
+        f"crashes at: {healed['crashed_at']}",
+    ]
+    return FigureData("fig17", "Self-healing: MTTR and unavailability",
+                      "\n".join(sections),
+                      {"healed": healed, "baseline": baseline})

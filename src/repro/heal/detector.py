@@ -1,0 +1,113 @@
+"""φ-accrual failure detector (Hayashibara et al., SRDS 2004).
+
+Instead of a boolean alive/dead verdict, the detector outputs a
+*suspicion level* φ on a continuous scale: φ(t) = -log10 of the
+probability that a heartbeat gap at least as long as the current silence
+would occur if the peer were alive, given the observed inter-arrival
+distribution. φ = 3 means roughly a 1-in-1000 chance the peer is fine;
+thresholds per role pick the false-positive/latency trade-off, and the
+supervisor adds hysteresis on top (consecutive over-threshold ticks)
+so one outlier gap never triggers recovery.
+
+We use the standard logistic approximation of the normal CDF (the same
+one production implementations use), which keeps φ smooth, monotonic in
+the silence duration and cheap to evaluate — and, importantly here,
+fully deterministic: the detector is pure arithmetic over simulated
+timestamps, so fuzz replay remains byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.heal.timing import DEFAULT_TIMING, TimingProfile
+
+#: φ returned once the silence is long enough to underflow the CDF tail.
+PHI_MAX = 100.0
+
+
+class PhiAccrualDetector:
+    """Per-peer inter-arrival tracking and φ evaluation.
+
+    One detector instance serves any number of peers; state is held per
+    peer name. The caller feeds :meth:`heartbeat` on every arrival and
+    polls :meth:`phi` on its own clock.
+    """
+
+    def __init__(self, timing: TimingProfile = DEFAULT_TIMING):
+        self.timing = timing
+        self._last: dict[str, float] = {}
+        self._intervals: dict[str, deque[float]] = {}
+
+    # -- feeding --------------------------------------------------------
+
+    def heartbeat(self, peer: str, now: float) -> None:
+        """Record a heartbeat arrival from ``peer`` at time ``now``."""
+        last = self._last.get(peer)
+        if last is not None and now > last:
+            window = self._intervals.setdefault(
+                peer, deque(maxlen=self.timing.phi_window))
+            window.append(now - last)
+        self._last[peer] = now
+
+    def prime(self, peer: str, now: float) -> None:
+        """Start the silence clock for a peer never heard from.
+
+        Without priming, a node that dies before its first heartbeat
+        would never accrue suspicion; with it, silence counts from the
+        moment monitoring began (the bootstrap distribution applies
+        until real intervals are observed)."""
+        self._last.setdefault(peer, now)
+
+    def reset(self, peer: str) -> None:
+        """Forget ``peer``'s history (it was replaced or rejoined)."""
+        self._last.pop(peer, None)
+        self._intervals.pop(peer, None)
+
+    def seen(self, peer: str) -> bool:
+        return peer in self._last
+
+    def last_seen(self, peer: str) -> float | None:
+        return self._last.get(peer)
+
+    # -- evaluation -----------------------------------------------------
+
+    def _distribution(self, peer: str) -> tuple[float, float]:
+        """Mean and (floored) std-dev of the peer's arrival intervals."""
+        window = self._intervals.get(peer)
+        if not window:
+            # Bootstrap: before any interval is observed, assume the
+            # configured cadence so a peer that dies immediately after
+            # registration is still eventually suspected.
+            mean = self.timing.bootstrap_interval_ms
+            return mean, max(self.timing.min_std_ms, mean / 4.0)
+        mean = sum(window) / len(window)
+        variance = sum((x - mean) ** 2 for x in window) / len(window)
+        return mean, max(self.timing.min_std_ms, math.sqrt(variance))
+
+    def phi(self, peer: str, now: float) -> float:
+        """Current suspicion level for ``peer`` (0 = just heard from)."""
+        last = self._last.get(peer)
+        if last is None:
+            return 0.0
+        elapsed = now - last
+        if elapsed <= 0:
+            return 0.0
+        mean, std = self._distribution(peer)
+        y = (elapsed - mean) / std
+        # Logistic approximation of the standard normal tail.
+        exponent = -y * (1.5976 + 0.070566 * y * y)
+        if exponent > 700.0:
+            # exp() would overflow: elapsed is so far below the mean
+            # (e.g. one huge outage-length interval poisoned the window)
+            # that the tail probability is ~1 — no suspicion at all.
+            return 0.0
+        e = math.exp(exponent)
+        if elapsed > mean:
+            tail = e / (1.0 + e)
+        else:
+            tail = 1.0 - 1.0 / (1.0 + e)
+        if tail <= 1e-100:
+            return PHI_MAX
+        return min(PHI_MAX, -math.log10(tail))

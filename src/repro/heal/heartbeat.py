@@ -1,0 +1,54 @@
+"""Lightweight heartbeat emission for the failure detector.
+
+Every monitored node — partition replicas (followers *and*
+speakers/sequencers), oracle replicas, and the recovery supervisors
+themselves — gets a :class:`HeartbeatEmitter` that periodically sends a
+tiny ``heal/hb`` message to each supervisor. Heartbeats ride the normal
+simulated network, so injected drops, delays and partitions perturb them
+exactly like protocol traffic — which is the point: the detector sees
+what a real deployment's detector would see.
+
+The emitter stops on its own when the node object-crashes (the timer
+callback checks ``node.crashed``), and can be stopped explicitly when a
+node is fenced out and replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Message kind carrying heartbeats (kept out of the fuzz MESSAGE_KINDS
+#: vocabulary on purpose: generic fault rules still hit it via the
+#: no-kind-filter path, but the sentinel-bug reply filter never does).
+HEARTBEAT_KIND = "heal/hb"
+
+#: Wire size of one heartbeat (bytes) — deliberately tiny.
+HEARTBEAT_SIZE = 32
+
+
+class HeartbeatEmitter:
+    """Periodic ``heal/hb`` sender from one node to the supervisors."""
+
+    def __init__(self, env, node, role: str, group: str,
+                 targets: Sequence[str], interval_ms: float):
+        self.env = env
+        self.node = node
+        self.role = role
+        self.group = group
+        self.targets = tuple(targets)
+        self.interval_ms = interval_ms
+        self.stopped = False
+        self._tick()
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def _tick(self) -> None:
+        if self.stopped or self.node.crashed:
+            return
+        payload = {"role": self.role, "group": self.group}
+        for target in self.targets:
+            if target != self.node.name:
+                self.node.send(target, HEARTBEAT_KIND, payload,
+                               size=HEARTBEAT_SIZE)
+        self.env.schedule_callback(self.interval_ms, self._tick)

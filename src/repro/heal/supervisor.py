@@ -1,0 +1,234 @@
+"""Leader-elected recovery supervisor.
+
+A small group of :class:`RecoverySupervisor` nodes (``h0``, ``h1``, …)
+watches every heartbeat in the deployment through a private φ-accrual
+detector and drives recovery *through a replicated log*: supervisors run
+their own :class:`~repro.ordering.paxos.PaxosLog` (the "heal group"),
+and both lease claims and recovery actions are ordered entries in it.
+
+Exactly-one-acts, by construction rather than by luck:
+
+* **Lease.** Epoch ``e``'s lease belongs to whichever supervisor's claim
+  ``{"kind": "lease", "epoch": e}`` is decided first with ``e`` equal to
+  the successor of the current epoch; later claims for the same epoch are
+  stale at apply time and ignored by everyone. Only the lease holder
+  submits recovery actions.
+* **Fencing.** Actions carry the holder's epoch and are checked against
+  the *applier's* epoch. A holder that was wrongly suspected (e.g. cut
+  off by a partition) loses the lease to a successor epoch; any action it
+  still manages to get decided afterwards carries a stale epoch and is
+  rejected by every live supervisor. While partitioned it cannot reach a
+  Paxos majority at all, so it cannot decide anything in the meantime.
+* **Dedup.** All supervisors apply the same decided sequence and forward
+  actions to one shared :class:`~repro.heal.healer.ClusterHealer`, which
+  executes each action uid exactly once.
+
+Suspicion uses hysteresis on top of φ: a peer must stay over its
+role-specific threshold for ``confirm_ticks`` consecutive detector ticks
+before it is *confirmed* and eligible for recovery; a single heartbeat
+arrival resets it to alive. Confirmed followers are fenced and replaced
+(checkpoint-install recovery); confirmed speakers/sequencers and oracle
+replicas are reconnected (their in-memory ordering state survives a
+blackout); a victim that stays dead through repeated attempts escalates
+to a replacement-join of a spare partition via the existing
+:class:`~repro.reconfig.ReconfigurationManager` machinery.
+"""
+
+from __future__ import annotations
+
+from repro.heal.detector import PhiAccrualDetector
+from repro.heal.heartbeat import HEARTBEAT_KIND
+from repro.heal.timing import TimingProfile
+from repro.net import Message
+from repro.ordering.group import GroupDirectory
+from repro.ordering.node import ProtocolNode
+from repro.ordering.paxos import PaxosLog
+
+#: Name of the supervisors' private Paxos group. The group lives in its
+#: own GroupDirectory so heal traffic never appears in the cluster's
+#: group map (invariant checkers and reconfiguration stay oblivious).
+HEAL_GROUP = "heal"
+
+#: Escalation: attempts of a non-repairing action before the holder asks
+#: for a spare-partition replacement join instead.
+ESCALATE_AFTER_ATTEMPTS = 3
+
+
+class RecoverySupervisor:
+    """One member of the leader-elected self-healing group."""
+
+    def __init__(self, env, network, directory: GroupDirectory, name: str,
+                 healer, timing: TimingProfile):
+        self.env = env
+        self.timing = timing
+        self.healer = healer
+        self.node = ProtocolNode(env, network, name)
+        self.log = PaxosLog(self.node, directory, HEAL_GROUP, timing=timing)
+        self.members = directory.members(HEAL_GROUP)
+        self.detector = PhiAccrualDetector(timing)
+        # Lease state, advanced only by decided log entries.
+        self.epoch = 0
+        self.holder: str | None = None
+        self._claimed_epoch = 0
+        # Per-peer hysteresis: {"state": alive|suspect|confirmed|recovering,
+        # "count": consecutive over-threshold ticks}.
+        self._peers: dict[str, dict] = {}
+        # Per-victim action pacing while we hold the lease.
+        self._last_action: dict[str, tuple[float, int]] = {}
+        self.stopped = False
+
+        self.node.on(HEARTBEAT_KIND, self._on_heartbeat)
+        self.log.on_decide(self._on_decide)
+        for peer in self.healer.roles:
+            if peer != name:
+                self.detector.prime(peer, env.now)
+        self._schedule_tick()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def stop(self) -> None:
+        """Shut the supervisor down (ends its timers and Paxos traffic)."""
+        self.stopped = True
+        self.node.crash()
+
+    def on_replaced(self, peer: str) -> None:
+        """The healer replaced ``peer``; restart its detection history."""
+        self.detector.reset(peer)
+        self.detector.prime(peer, self.env.now)
+        self._peers[peer] = {"state": "recovering", "count": 0}
+
+    def monitor(self, peer: str) -> None:
+        """Start watching a peer added after construction (spare join)."""
+        if peer != self.node.name and not self.detector.seen(peer):
+            self.detector.prime(peer, self.env.now)
+
+    def on_abandoned(self, peer: str) -> None:
+        """The healer gave up on ``peer`` (spare-join escalation): stop
+        issuing actions for it. A heartbeat from the name still revives
+        it to ``alive`` (a fenced comeback is handled like any other)."""
+        self._peers[peer] = {"state": "abandoned", "count": 0}
+
+    # -- heartbeat intake ------------------------------------------------
+
+    def _on_heartbeat(self, message: Message) -> None:
+        peer = message.src
+        now = self.env.now
+        self.detector.heartbeat(peer, now)
+        state = self._peers.setdefault(peer, {"state": "alive", "count": 0})
+        if state["state"] in ("confirmed", "recovering"):
+            self.healer.note_alive(peer, now)
+        state["state"] = "alive"
+        state["count"] = 0
+
+    # -- detector tick ---------------------------------------------------
+
+    def _schedule_tick(self) -> None:
+        def guarded() -> None:
+            if not self.stopped and not self.node.crashed:
+                self._tick()
+                self._schedule_tick()
+        self.env.schedule_callback(self.timing.detector_tick_ms, guarded)
+
+    def _tick(self) -> None:
+        now = self.env.now
+        self._evaluate_peers(now)
+        self._maybe_claim_lease(now)
+        if self.holder == self.node.name and self.epoch > 0:
+            self._issue_actions(now)
+
+    def _evaluate_peers(self, now: float) -> None:
+        for peer, (role, group) in sorted(self.healer.roles.items()):
+            if peer == self.node.name:
+                continue
+            state = self._peers.setdefault(peer,
+                                           {"state": "alive", "count": 0})
+            if state["state"] == "abandoned":
+                continue
+            phi = self.detector.phi(peer, now)
+            if phi < self.timing.phi_threshold(role):
+                state["count"] = 0
+                if state["state"] == "suspect":
+                    state["state"] = "alive"
+                continue
+            state["count"] += 1
+            if state["state"] in ("alive", "suspect"):
+                state["state"] = "suspect"
+            # Hysteresis: confirmation (or re-confirmation of a stalled
+            # recovery) needs `confirm_ticks` consecutive hot ticks.
+            if (state["state"] in ("suspect", "recovering")
+                    and state["count"] >= self.timing.confirm_ticks):
+                state["state"] = "confirmed"
+                last = self.detector.last_seen(peer)
+                silent = now - last if last is not None else now
+                self.healer.note_confirmed(peer, role, group, now,
+                                           phi=phi, silent_ms=silent,
+                                           supervisor=self.node.name)
+
+    # -- lease ----------------------------------------------------------
+
+    def _is_confirmed(self, peer: str) -> bool:
+        return self._peers.get(peer, {}).get("state") == "confirmed"
+
+    def _maybe_claim_lease(self, now: float) -> None:
+        holder_dead = (self.holder is not None
+                       and self.holder != self.node.name
+                       and self._is_confirmed(self.holder))
+        if self.holder is not None and not holder_dead:
+            return
+        live = [m for m in self.members
+                if m == self.node.name or not self._is_confirmed(m)]
+        if not live or live[0] != self.node.name:
+            return
+        claim = self.epoch + 1
+        if self._claimed_epoch >= claim:
+            return  # claim already in flight; Paxos retry re-routes it
+        self._claimed_epoch = claim
+        self.log.submit({"uid": f"lease-{claim}-{self.node.name}",
+                         "kind": "lease", "epoch": claim,
+                         "holder": self.node.name})
+
+    # -- recovery actions ------------------------------------------------
+
+    def _action_for(self, role: str, attempts: int) -> str:
+        if (attempts >= ESCALATE_AFTER_ATTEMPTS
+                and self.healer.spare_available()):
+            return "spare_join"
+        return "replace" if role == "follower" else "reconnect"
+
+    def _issue_actions(self, now: float) -> None:
+        for peer, (role, group) in sorted(self.healer.roles.items()):
+            if peer == self.node.name or role == "supervisor":
+                continue
+            if not self._is_confirmed(peer):
+                continue
+            last_at, attempts = self._last_action.get(peer, (None, 0))
+            if (last_at is not None
+                    and now - last_at < self.timing.action_retry_ms):
+                continue
+            action = self._action_for(role, attempts)
+            attempts += 1
+            self._last_action[peer] = (now, attempts)
+            self.log.submit({
+                "uid": f"act-{self.epoch}-{peer}-{attempts}-{action}",
+                "kind": "action", "epoch": self.epoch, "action": action,
+                "victim": peer, "role": role, "group": group,
+                "attempt": attempts})
+
+    # -- decided entries -------------------------------------------------
+
+    def _on_decide(self, _seq: int, entry: dict) -> None:
+        kind = entry.get("kind")
+        if kind == "lease":
+            # First decided claim for the successor epoch wins; anything
+            # else is a lost race or a stale holder and is ignored.
+            if entry["epoch"] == self.epoch + 1:
+                self.epoch = entry["epoch"]
+                self.holder = entry["holder"]
+                self._claimed_epoch = max(self._claimed_epoch, self.epoch)
+                self._last_action = {}
+                self.healer.note_lease(self.epoch, self.holder,
+                                       self.env.now)
+        elif kind == "action":
+            # Epoch fence: only the current lease's actions execute.
+            if entry["epoch"] == self.epoch:
+                self.healer.execute(entry, self.env.now)

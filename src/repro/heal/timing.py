@@ -1,0 +1,77 @@
+"""Shared timing profile for liveness machinery.
+
+One frozen profile gathers every liveness knob in the system: the
+Multi-Paxos heartbeat/suspect/retry timers (previously hardcoded class
+constants on :class:`~repro.ordering.paxos.PaxosLog`), the self-healing
+heartbeat cadence, and the φ-accrual detector/supervisor parameters of
+:mod:`repro.heal`. Components take a profile instead of magic numbers, so
+tests can run one "fast timers" profile (:data:`FAST_TIMING`) and sweeps
+can scale every timeout together.
+
+All durations are in simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingProfile:
+    """Every liveness timeout in one place.
+
+    The defaults (:data:`DEFAULT_TIMING`) reproduce the timers the
+    codebase shipped with, so existing runs are bit-for-bit unchanged.
+    """
+
+    # -- Multi-Paxos liveness (repro.ordering.paxos) --------------------
+    paxos_heartbeat_ms: float = 20.0   # leader heartbeat broadcast period
+    paxos_suspect_ms: float = 100.0    # member round-change timeout
+    paxos_retry_ms: float = 150.0      # resubmit / retransmit / gap-fill
+
+    # -- Self-healing heartbeats (repro.heal.heartbeat) -----------------
+    heartbeat_interval_ms: float = 10.0  # per-node heartbeat period
+    detector_tick_ms: float = 10.0       # supervisor evaluation period
+
+    # -- φ-accrual detector (repro.heal.detector) -----------------------
+    phi_window: int = 24          # inter-arrival samples kept per peer
+    min_std_ms: float = 3.0       # floor on σ (regular sim arrivals)
+    bootstrap_interval_ms: float = 20.0  # assumed mean before samples
+
+    # Per-role suspicion thresholds. Followers are cheap to replace
+    # (checkpoint install), so they get the most aggressive threshold;
+    # speakers and oracles only need a reconnect but a false positive
+    # perturbs ordering, so they are given more slack; supervisors watch
+    # each other with the most conservative threshold of all (a lease
+    # failover is the most disruptive action).
+    phi_follower: float = 5.0
+    phi_speaker: float = 6.0
+    phi_oracle: float = 6.0
+    phi_supervisor: float = 7.0
+
+    # -- Supervisor hysteresis and action pacing ------------------------
+    confirm_ticks: int = 3        # consecutive over-threshold ticks
+    action_retry_ms: float = 80.0     # re-issue an action that stalled
+    replace_cooldown_ms: float = 400.0  # min gap between fence+replace
+    # of the same node — the hard guard against double-replacing a
+    # slow-but-alive replica during one suspicion episode.
+
+    def phi_threshold(self, role: str) -> float:
+        """Suspicion threshold for ``role`` (unknown roles: supervisor)."""
+        return {
+            "follower": self.phi_follower,
+            "speaker": self.phi_speaker,
+            "oracle": self.phi_oracle,
+        }.get(role, self.phi_supervisor)
+
+
+#: The timers the repo has always used — production-shaped defaults.
+DEFAULT_TIMING = TimingProfile()
+
+#: Uniformly tightened profile for tests: everything fires ~3x sooner,
+#: thresholds and hysteresis unchanged (safety margins are relative).
+FAST_TIMING = TimingProfile(
+    paxos_heartbeat_ms=8.0, paxos_suspect_ms=40.0, paxos_retry_ms=60.0,
+    heartbeat_interval_ms=4.0, detector_tick_ms=4.0,
+    bootstrap_interval_ms=8.0, min_std_ms=1.5,
+    action_retry_ms=40.0, replace_cooldown_ms=200.0)

@@ -104,9 +104,11 @@ class FailureInjector:
 
     def drop_fraction(self, fraction: float,
                       kinds: Sequence[str] | None = None,
+                      nodes: Sequence[str] | None = None,
                       start: Optional[float] = None,
                       end: Optional[float] = None) -> Callable[[], None]:
-        """Drop a random ``fraction`` of messages (optionally only ``kinds``).
+        """Drop a random ``fraction`` of messages (optionally only ``kinds``
+        and/or only traffic touching ``nodes`` as source or destination).
 
         Without a window the rule is installed immediately; with
         ``(start, end)`` it is active only during that interval (mirroring
@@ -115,9 +117,13 @@ class FailureInjector:
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction out of range: {fraction}")
         kind_set = set(kinds) if kinds is not None else None
+        node_set = set(nodes) if nodes is not None else None
 
         def rule(message: Message) -> bool:
             if kind_set is not None and message.kind not in kind_set:
+                return False
+            if node_set is not None and message.src not in node_set \
+                    and message.dst not in node_set:
                 return False
             return self._rng.random() < fraction
 
@@ -126,18 +132,24 @@ class FailureInjector:
 
     def delay_spikes(self, fraction: float, spike_ms: float,
                      kinds: Sequence[str] | None = None,
+                     nodes: Sequence[str] | None = None,
                      start: Optional[float] = None,
                      end: Optional[float] = None) -> Callable[[], None]:
         """Add a latency spike of up to ``spike_ms`` to a random
-        ``fraction`` of messages; returns a remover."""
+        ``fraction`` of messages (optionally only ``kinds`` and/or only
+        traffic touching ``nodes``); returns a remover."""
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction out of range: {fraction}")
         if spike_ms <= 0:
             raise ValueError("spike_ms must be positive")
         kind_set = set(kinds) if kinds is not None else None
+        node_set = set(nodes) if nodes is not None else None
 
         def rule(message: Message) -> float:
             if kind_set is not None and message.kind not in kind_set:
+                return 0.0
+            if node_set is not None and message.src not in node_set \
+                    and message.dst not in node_set:
                 return 0.0
             if self._rng.random() >= fraction:
                 return 0.0
@@ -238,6 +250,8 @@ class FailureInjector:
         activity window ``at``/``end``, and the kind's parameters::
 
             {"kind": "drop", "at": 20.0, "end": 120.0, "fraction": 0.02}
+            {"kind": "drop", ..., "fraction": 1.0, "kinds": ["reply"]}
+            {"kind": "drop", ..., "fraction": 1.0, "nodes": ["p0s1"]}
             {"kind": "delay", ..., "fraction": 0.1, "spike_ms": 12.0}
             {"kind": "duplicate", ..., "fraction": 0.1, "copies": 1}
             {"kind": "reorder", ..., "fraction": 0.2, "window_ms": 3.0}
@@ -249,9 +263,14 @@ class FailureInjector:
         kind = spec["kind"]
         at, end = spec["at"], spec["end"]
         if kind == "drop":
-            self.drop_fraction(spec["fraction"], start=at, end=end)
+            self.drop_fraction(spec["fraction"],
+                               kinds=spec.get("kinds"),
+                               nodes=spec.get("nodes"),
+                               start=at, end=end)
         elif kind == "delay":
             self.delay_spikes(spec["fraction"], spec["spike_ms"],
+                              kinds=spec.get("kinds"),
+                              nodes=spec.get("nodes"),
                               start=at, end=end)
         elif kind == "duplicate":
             self.duplicate_fraction(spec["fraction"],

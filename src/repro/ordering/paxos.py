@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.heal.timing import DEFAULT_TIMING, TimingProfile
 from repro.net import Message
 from repro.ordering.group import GroupDirectory
 from repro.ordering.log import GroupLog, submit_kind
@@ -35,14 +36,21 @@ Ballot = tuple[int, int]  # (round, member rank); compared lexicographically
 class PaxosLog(GroupLog):
     """One member's endpoint of a Multi-Paxos replicated log."""
 
-    HEARTBEAT_MS = 20.0
-    SUSPECT_MS = 100.0
-    RETRY_MS = 150.0
+    # Liveness timers come from the shared profile (repro.heal.timing);
+    # the class attributes keep the historical spelling and defaults, and
+    # a per-instance ``timing`` overrides them (e.g. FAST_TIMING in tests).
+    HEARTBEAT_MS = DEFAULT_TIMING.paxos_heartbeat_ms
+    SUSPECT_MS = DEFAULT_TIMING.paxos_suspect_ms
+    RETRY_MS = DEFAULT_TIMING.paxos_retry_ms
     CONTROL_SIZE = 128
 
     def __init__(self, node: ProtocolNode, directory: GroupDirectory,
-                 group: str):
+                 group: str, timing: Optional[TimingProfile] = None):
         super().__init__(node, directory, group)
+        if timing is not None:
+            self.HEARTBEAT_MS = timing.paxos_heartbeat_ms
+            self.SUSPECT_MS = timing.paxos_suspect_ms
+            self.RETRY_MS = timing.paxos_retry_ms
         self.members = directory.members(group)
         self.rank = self.members.index(node.name)
         self.majority = len(self.members) // 2 + 1

@@ -1,0 +1,139 @@
+"""The φ-accrual detector: suspicion math, priming, determinism.
+
+φ(t) = -log10 P(gap >= current silence | observed arrivals). The tests
+pin the properties the supervisor depends on: φ is ~0 right after a
+heartbeat, grows monotonically with silence, crosses the role
+thresholds within a few missed heartbeats, survives jitter without
+false-positive spikes, and is a pure function of the fed timestamps.
+"""
+
+import pytest
+
+from repro.heal import (DEFAULT_TIMING, FAST_TIMING, PHI_MAX,
+                        PhiAccrualDetector, TimingProfile)
+
+
+def fed_detector(interval=10.0, beats=30, timing=DEFAULT_TIMING):
+    """A detector that heard `beats` regular heartbeats from peer 'a'."""
+    detector = PhiAccrualDetector(timing)
+    for i in range(beats):
+        detector.heartbeat("a", i * interval)
+    return detector, (beats - 1) * interval
+
+
+class TestPhi:
+    def test_zero_right_after_heartbeat(self):
+        detector, last = fed_detector()
+        assert detector.phi("a", last) == 0.0
+
+    def test_zero_for_unknown_peer(self):
+        detector = PhiAccrualDetector()
+        assert detector.phi("ghost", 123.0) == 0.0
+
+    def test_monotonic_in_silence(self):
+        detector, last = fed_detector()
+        values = [detector.phi("a", last + silence)
+                  for silence in (5, 10, 20, 40, 80, 160, 320)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_small_at_expected_gap(self):
+        # Silence of one regular interval is business as usual.
+        detector, last = fed_detector(interval=10.0)
+        assert detector.phi("a", last + 10.0) < 1.5
+
+    def test_crosses_thresholds_after_a_few_missed_beats(self):
+        detector, last = fed_detector(interval=10.0)
+        phi = detector.phi("a", last + 60.0)
+        assert phi > DEFAULT_TIMING.phi_follower
+        assert phi > DEFAULT_TIMING.phi_supervisor
+
+    def test_caps_at_phi_max(self):
+        detector, last = fed_detector()
+        assert detector.phi("a", last + 1e7) == PHI_MAX
+
+    def test_jitter_widens_the_distribution(self):
+        # Same mean interval, but jittery arrivals: suspicion at a given
+        # silence must be LOWER than with clockwork arrivals.
+        steady = PhiAccrualDetector()
+        jittery = PhiAccrualDetector()
+        now_s = now_j = 0.0
+        for i in range(30):
+            now_s += 10.0
+            steady.heartbeat("a", now_s)
+            now_j += 5.0 if i % 2 else 15.0
+            jittery.heartbeat("a", now_j)
+        assert jittery.phi("a", now_j + 30.0) \
+            < steady.phi("a", now_s + 30.0)
+
+    def test_deterministic(self):
+        a, last_a = fed_detector(interval=7.5, beats=20)
+        b, last_b = fed_detector(interval=7.5, beats=20)
+        assert last_a == last_b
+        for silence in (1.0, 13.7, 52.0, 400.0):
+            assert a.phi("a", last_a + silence) \
+                == b.phi("a", last_b + silence)
+
+
+class TestBootstrap:
+    def test_prime_starts_the_silence_clock(self):
+        # A peer that dies before its first heartbeat must still accrue
+        # suspicion from the moment monitoring began.
+        detector = PhiAccrualDetector()
+        detector.prime("a", 0.0)
+        assert detector.seen("a")
+        assert detector.phi("a", 200.0) > DEFAULT_TIMING.phi_supervisor
+
+    def test_prime_never_clobbers_a_real_heartbeat(self):
+        detector = PhiAccrualDetector()
+        detector.heartbeat("a", 50.0)
+        detector.prime("a", 60.0)
+        assert detector.last_seen("a") == 50.0
+
+    def test_bootstrap_distribution_applies_before_samples(self):
+        # One heartbeat, zero intervals: the configured cadence is the
+        # assumed mean, so silence of a few cadences is already suspect.
+        timing = TimingProfile(bootstrap_interval_ms=20.0)
+        detector = PhiAccrualDetector(timing)
+        detector.heartbeat("a", 0.0)
+        assert detector.phi("a", 30.0) < detector.phi("a", 120.0)
+        assert detector.phi("a", 120.0) > timing.phi_follower
+
+
+class TestBookkeeping:
+    def test_reset_forgets_history(self):
+        detector, last = fed_detector()
+        detector.reset("a")
+        assert not detector.seen("a")
+        assert detector.phi("a", last + 1000.0) == 0.0
+
+    def test_window_is_bounded(self):
+        timing = TimingProfile(phi_window=8)
+        detector = PhiAccrualDetector(timing)
+        # 100 early slow arrivals must be forgotten once 8 fast ones
+        # have rolled the window over.
+        now = 0.0
+        for _ in range(100):
+            now += 50.0
+            detector.heartbeat("a", now)
+        for _ in range(8):
+            now += 5.0
+            detector.heartbeat("a", now)
+        mean, _std = detector._distribution("a")
+        assert mean == pytest.approx(5.0)
+
+    def test_min_std_floor(self):
+        # Perfectly regular arrivals give sigma=0; the floor keeps phi
+        # finite and smooth instead of a step function.
+        detector, last = fed_detector(interval=10.0)
+        _mean, std = detector._distribution("a")
+        assert std == DEFAULT_TIMING.min_std_ms
+
+    def test_fast_profile_suspects_sooner(self):
+        slow, last_slow = fed_detector(
+            interval=DEFAULT_TIMING.heartbeat_interval_ms)
+        fast, last_fast = fed_detector(
+            interval=FAST_TIMING.heartbeat_interval_ms,
+            timing=FAST_TIMING)
+        assert fast.phi("a", last_fast + 25.0) \
+            > slow.phi("a", last_slow + 25.0)

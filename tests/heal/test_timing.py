@@ -1,0 +1,100 @@
+"""The shared timing profile: one place for every liveness timeout.
+
+The profile must (a) reproduce the timers the codebase shipped with, so
+existing runs are bit-for-bit unchanged, (b) actually reach the Paxos
+implementation when overridden, and (c) provide a uniformly faster test
+profile whose *relative* safety margins match the default's.
+"""
+
+from repro.heal import DEFAULT_TIMING, FAST_TIMING, TimingProfile
+from repro.ordering import GroupDirectory, PaxosLog, ProtocolNode
+from repro.sim import Environment
+
+from tests.conftest import make_network
+
+
+class TestDefaults:
+    def test_default_profile_matches_historical_paxos_timers(self):
+        # The constants PaxosLog shipped with before the profile existed.
+        assert DEFAULT_TIMING.paxos_heartbeat_ms == 20.0
+        assert DEFAULT_TIMING.paxos_suspect_ms == 100.0
+        assert DEFAULT_TIMING.paxos_retry_ms == 150.0
+
+    def test_paxos_class_attributes_come_from_the_profile(self):
+        assert PaxosLog.HEARTBEAT_MS == DEFAULT_TIMING.paxos_heartbeat_ms
+        assert PaxosLog.SUSPECT_MS == DEFAULT_TIMING.paxos_suspect_ms
+        assert PaxosLog.RETRY_MS == DEFAULT_TIMING.paxos_retry_ms
+
+    def test_profile_is_frozen(self):
+        import dataclasses
+
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_TIMING.paxos_heartbeat_ms = 1.0
+
+    def test_per_role_thresholds(self):
+        t = DEFAULT_TIMING
+        assert t.phi_threshold("follower") == t.phi_follower
+        assert t.phi_threshold("speaker") == t.phi_speaker
+        assert t.phi_threshold("oracle") == t.phi_oracle
+        # Unknown roles get the most conservative threshold.
+        assert t.phi_threshold("supervisor") == t.phi_supervisor
+        assert t.phi_threshold("???") == t.phi_supervisor
+        # Followers (cheap checkpoint-install replace) are the most
+        # aggressively suspected; supervisors the least.
+        assert t.phi_follower <= t.phi_speaker <= t.phi_supervisor
+
+
+class TestPaxosOverride:
+    def _log(self, timing=None):
+        env = Environment()
+        network = make_network(env)
+        directory = GroupDirectory({"g": ["m0", "m1", "m2"]})
+        node = ProtocolNode(env, network, "m0")
+        if timing is None:
+            return PaxosLog(node, directory, "g")
+        return PaxosLog(node, directory, "g", timing=timing)
+
+    def test_no_profile_keeps_class_defaults(self):
+        log = self._log()
+        assert log.HEARTBEAT_MS == 20.0
+        assert log.SUSPECT_MS == 100.0
+        assert log.RETRY_MS == 150.0
+
+    def test_profile_overrides_instance_timers(self):
+        log = self._log(FAST_TIMING)
+        assert log.HEARTBEAT_MS == FAST_TIMING.paxos_heartbeat_ms
+        assert log.SUSPECT_MS == FAST_TIMING.paxos_suspect_ms
+        assert log.RETRY_MS == FAST_TIMING.paxos_retry_ms
+        # The class attributes are untouched: other logs keep defaults.
+        assert PaxosLog.HEARTBEAT_MS == 20.0
+
+    def test_custom_profile(self):
+        log = self._log(TimingProfile(paxos_suspect_ms=55.0))
+        assert log.SUSPECT_MS == 55.0
+        assert log.HEARTBEAT_MS == 20.0
+
+
+class TestFastProfile:
+    def test_every_timer_is_faster(self):
+        for field in ("paxos_heartbeat_ms", "paxos_suspect_ms",
+                      "paxos_retry_ms", "heartbeat_interval_ms",
+                      "detector_tick_ms", "bootstrap_interval_ms",
+                      "action_retry_ms", "replace_cooldown_ms"):
+            assert getattr(FAST_TIMING, field) \
+                < getattr(DEFAULT_TIMING, field), field
+
+    def test_thresholds_and_hysteresis_unchanged(self):
+        # Safety margins are relative: only the clocks speed up.
+        assert FAST_TIMING.phi_follower == DEFAULT_TIMING.phi_follower
+        assert FAST_TIMING.phi_supervisor == DEFAULT_TIMING.phi_supervisor
+        assert FAST_TIMING.confirm_ticks == DEFAULT_TIMING.confirm_ticks
+
+    def test_heartbeats_outpace_suspicion(self):
+        # In both profiles several heartbeats fit inside the suspect
+        # timeout, so a healthy leader is never round-changed away.
+        for timing in (DEFAULT_TIMING, FAST_TIMING):
+            assert timing.paxos_suspect_ms \
+                >= 4 * timing.paxos_heartbeat_ms
+            assert timing.bootstrap_interval_ms \
+                >= timing.heartbeat_interval_ms
