@@ -1,0 +1,33 @@
+"""E19 — cost attribution: where virtual time goes, per scheme.
+
+The same seeded workload runs under the virtual-time profiler against
+S-SMR, DS-SMR and the graph-partitioned oracle. The profiler's cost
+tree (scheme ; role [; partition] ; stage) must account every stage of
+every command exactly — per-command stage sums equal the end-to-end
+latency — and the schemes must differ where the protocols differ: only
+the dynamic schemes pay consult cost, and only they spend oracle time.
+"""
+
+from repro.harness.figures import figure18_cost_attribution
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig18_cost_attribution(benchmark):
+    figure = run_figure(benchmark, figure18_cost_attribution)
+    schemes = figure.data
+
+    for scheme, profile in schemes.items():
+        # Exact accounting: every command's stages sum to its e2e latency.
+        assert profile["stage_sum_errors"] == []
+        assert profile["commands"] == 30
+        assert profile["total_ms"] > 0
+
+    # Only the dynamic schemes consult (and spend oracle time).
+    assert "client;consult" not in schemes["ssmr"]["tree"]
+    for scheme in ("dssmr", "dynastar"):
+        assert schemes[scheme]["tree"]["client;consult"]["ms"] > 0
+        assert any(key.startswith("oracle;")
+                   for key in schemes[scheme]["tree"])
+    assert not any(key.startswith("oracle;")
+                   for key in schemes["ssmr"]["tree"])

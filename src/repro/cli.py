@@ -37,6 +37,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig15": figures.figure15_chaos_overhead,
         "fig16": figures.figure16_elastic_scaleout,
         "fig17": figures.figure17_self_healing,
+        "fig18": figures.figure18_cost_attribution,
     }
 
 
@@ -95,6 +96,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print timelines of the N slowest commands")
     trace.add_argument("--k", type=float, default=3.0,
                        help="slow-command anomaly threshold (x p95)")
+
+    profile = sub.add_parser(
+        "profile", help="virtual-time profiler: attribute simulated cost "
+                        "to a component/stage tree, folded stacks + table")
+    profile.add_argument("--scheme", default="dssmr",
+                         choices=["smr", "ssmr", "dssmr", "dynastar"])
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--clients", type=int, default=3)
+    profile.add_argument("--ops", type=int, default=10,
+                         help="operations per client")
+    profile.add_argument("--partitions", type=int, default=2)
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the self/total cost table")
+    profile.add_argument("--smoke", action="store_true",
+                         help="profile all four schemes at the fixed smoke "
+                              "configuration and print the canonical JSON "
+                              "on stdout (CI byte-compares two runs)")
+    profile.add_argument("--json", action="store_true",
+                         help="print the canonical profile JSON on stdout "
+                              "(report goes to stderr)")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="write the folded-stack text to PATH "
+                              "(flamegraph.pl-compatible)")
+
+    perfcheck = sub.add_parser(
+        "perfcheck", help="perf-regression gate: run the seeded perf "
+                          "suite and compare against a committed baseline")
+    perfcheck.add_argument("--seed", type=int, default=7)
+    perfcheck.add_argument("--baseline",
+                           default="benchmarks/baselines/perf_smoke.json",
+                           metavar="PATH")
+    perfcheck.add_argument("--tolerance", type=float, default=0.05,
+                           help="relative drift allowed before the gate "
+                                "fails (throughput down / p95 up)")
+    perfcheck.add_argument("--slowdown", type=float, default=1.0,
+                           help="scale the execution cost model (test "
+                                "knob: CI injects 1.2 and requires the "
+                                "gate to FAIL)")
+    perfcheck.add_argument("--update-baseline", action="store_true",
+                           help="write the current metrics to --baseline "
+                                "instead of gating")
+    perfcheck.add_argument("--smoke", action="store_true",
+                           help="print the canonical metrics JSON on "
+                                "stdout without gating (CI byte-compares "
+                                "two runs)")
 
     fuzz = sub.add_parser(
         "fuzz", help="deterministic fault-schedule fuzzer: generate, "
@@ -186,11 +232,11 @@ def cmd_figure(args) -> int:
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
     if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15",
-                          "fig16", "fig17"):
+                          "fig16", "fig17", "fig18"):
         # figures without duration parameters
         kwargs = {"seed": args.seed} \
             if args.figure_id in ("fig13", "fig14", "fig15", "fig16",
-                                  "fig17") \
+                                  "fig17", "fig18") \
             else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
@@ -308,6 +354,104 @@ def cmd_trace(args) -> int:
     return 0 if run.completed == run.expected and not errors else 1
 
 
+def cmd_profile(args) -> int:
+    import json
+
+    from repro.harness.tracerun import run_traced_workload
+    from repro.obs.profile import VirtualProfiler
+
+    started = time.perf_counter()
+    if args.smoke:
+        schemes = ("smr", "ssmr", "dssmr", "dynastar")
+        clients, ops, partitions = 3, 10, 2
+    else:
+        schemes = (args.scheme,)
+        clients, ops, partitions = args.clients, args.ops, args.partitions
+    emit_json = args.json or args.smoke
+    report = sys.stderr if emit_json else sys.stdout
+    payload: dict = {"seed": args.seed, "schemes": {}}
+    folded_sections: list[str] = []
+    ok = True
+    for scheme in schemes:
+        profiler = VirtualProfiler(scheme=scheme)
+        run = run_traced_workload(scheme, seed=args.seed,
+                                  num_clients=clients, ops_per_client=ops,
+                                  num_partitions=partitions, trace=True,
+                                  profiler=profiler)
+        errors = profiler.stage_sum_errors()
+        ok = ok and run.completed == run.expected and not errors
+        payload["schemes"][scheme] = profiler.to_dict()
+        folded_sections.append(profiler.folded())
+        print(f"== {scheme}: {run.completed}/{run.expected} command(s), "
+              f"{profiler.total_cost():.1f}ms attributed ==", file=report)
+        print(profiler.table(top=args.top), file=report)
+        if errors:
+            print(f"stage-sum mismatches in {len(errors)} command(s): "
+                  f"{', '.join(errors[:5])}", file=report)
+        else:
+            print("per-command stage sums match end-to-end latency "
+                  "exactly", file=report)
+        print(file=report)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write("\n".join(folded_sections) + "\n")
+        print(f"wrote folded stacks to {args.out}", file=sys.stderr)
+    if emit_json:
+        # Canonical JSON on stdout: byte-identical across same-seed runs.
+        print(json.dumps(payload, sort_keys=True,
+                         separators=(",", ":")))
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
+def cmd_perfcheck(args) -> int:
+    import json
+
+    from repro.harness.perf import (canonical_json, compare_to_baseline,
+                                    load_baseline, run_perf_suite)
+
+    started = time.perf_counter()
+    current = run_perf_suite(seed=args.seed, slowdown=args.slowdown)
+    payload = canonical_json(current)
+    if args.update_baseline:
+        with open(args.baseline, "w") as sink:
+            json.dump(current, sink, sort_keys=True, indent=2)
+            sink.write("\n")
+        print(f"wrote baseline to {args.baseline}", file=sys.stderr)
+        print(f"(wall time: {time.perf_counter() - started:.1f}s)",
+              file=sys.stderr)
+        return 0
+    if args.smoke:
+        # Canonical JSON on stdout, no gating: CI byte-compares two runs.
+        print(payload)
+        print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+              file=sys.stderr)
+        return 0
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; create one with "
+              f"--update-baseline", file=sys.stderr)
+        return 2
+    failures = compare_to_baseline(current, baseline, args.tolerance)
+    for scheme, metrics in sorted(current["schemes"].items()):
+        base = baseline.get("schemes", {}).get(scheme, {})
+        print(f"{scheme:9s} throughput {metrics['throughput_ops_per_s']:8.1f} "
+              f"ops/s (baseline {base.get('throughput_ops_per_s', 0):8.1f})  "
+              f"p95 {metrics['latency_p95_ms']:.3f}ms "
+              f"(baseline {base.get('latency_p95_ms', 0):.3f}ms)")
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} regression(s), "
+              f"tolerance {args.tolerance:.0%}):")
+        for failure in failures:
+            print(f"  - {failure}")
+    else:
+        print(f"\nperf gate passed (tolerance {args.tolerance:.0%})")
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_fuzz(args) -> int:
     import json
 
@@ -406,6 +550,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": cmd_experiment,
         "partition": cmd_partition,
         "chaos": cmd_chaos,
+        "profile": cmd_profile,
+        "perfcheck": cmd_perfcheck,
         "fuzz": cmd_fuzz,
         "heal": cmd_heal,
         "trace": cmd_trace,

@@ -167,6 +167,7 @@ class DssmrClient(BaseClient):
         self.tracer.end_trace(command.cid, self.env.now,
                               status=reply.status.value, attempts=attempt,
                               fallback=fell_back)
+        self.profile_command(command.cid, start)
         return reply
 
     # -- routing: cache or oracle ------------------------------------------------

@@ -185,6 +185,10 @@ class OracleReplica:
                     self.tracer.span(trace_id_of(command.cid), "order",
                                      self.node.name, sent, self.env.now,
                                      uid=delivery.uid)
+                    if self.node.profiler.enabled:
+                        self.node.profiler.account(
+                            self.node.name, "order", self.env.now - sent)
+        if self.tracer.enabled or self.node.profiler.enabled:
             self._enqueue_times[delivery.uid] = self.env.now
         self._deliveries.put(delivery)
         depth = len(self._deliveries) or 1
@@ -197,18 +201,30 @@ class OracleReplica:
         try:
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
-                if self.tracer.enabled:
+                if self.tracer.enabled or self.node.profiler.enabled:
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
                     command = delivery_command(delivery.payload)
                     if (command is not None and enqueued is not None
                             and self.env.now > enqueued):
-                        self.tracer.span(trace_id_of(command.cid), "queue",
-                                         self.node.name, enqueued,
-                                         self.env.now)
+                        if self.tracer.enabled:
+                            self.tracer.span(trace_id_of(command.cid),
+                                             "queue", self.node.name,
+                                             enqueued, self.env.now)
+                        if self.node.profiler.enabled:
+                            self.node.profiler.account(
+                                self.node.name, "queue",
+                                self.env.now - enqueued)
                 started = self.env.now
                 yield from self._handle_delivery(delivery)
                 if self.env.now > started:
                     self.busy.add_busy(started, self.env.now - started)
+                    # Mirrors the BusyTracker: the whole handler (consult,
+                    # create/delete signal exchange, reconfig planning,
+                    # hint ingestion) is the oracle's "execute" stage.
+                    if self.node.profiler.enabled:
+                        self.node.profiler.account(
+                            self.node.name, "execute",
+                            self.env.now - started)
         except Interrupted:
             return
 
@@ -313,6 +329,7 @@ class OracleReplica:
         self.amcast.multicast(sorted(set(dests)), envelope,
                               size=move.payload_size(), uid=f"am:{move_cid}")
         self.moves_issued.increment(self.env.now, len(variables))
+        self.node.flight("move", f"issued {move_cid} -> {target}")
 
     # -- Task 2: create / delete ----------------------------------------------
 

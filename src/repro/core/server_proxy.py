@@ -77,6 +77,9 @@ class DssmrServer(SsmrServer):
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(command.cid), "execute",
                              self.node.name, exec_start, self.env.now)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "execute",
+                                       self.env.now - exec_start)
         from repro.smr.state_machine import ExecutionView
         view = ExecutionView(self.store)
         try:
@@ -114,6 +117,11 @@ class DssmrServer(SsmrServer):
                 self.tracer.span(trace_id_of(command.cid), "move",
                                  self.node.name, ship_start, self.env.now,
                                  role="source", shipped=len(shipped))
+            if self.node.profiler.enabled:
+                self.node.profiler.account(self.node.name, "move",
+                                           self.env.now - ship_start)
+            self.node.flight("move",
+                             f"shipped {len(shipped)} var(s) to {dest}")
             return
         if self.partition == dest:
             cached = self.replies.lookup(command.cid)
@@ -132,6 +140,11 @@ class DssmrServer(SsmrServer):
                 self.tracer.span(trace_id_of(command.cid), "move",
                                  self.node.name, gather_start, self.env.now,
                                  role="dest", received=len(received))
+            if self.node.profiler.enabled:
+                self.node.profiler.account(self.node.name, "move",
+                                           self.env.now - gather_start)
+            self.node.flight("move",
+                             f"installed {len(received)} var(s)")
             reply = Reply(cid=command.cid, status=ReplyStatus.OK,
                           value={"moved": len(received)},
                           sender=self.node.name, partition=self.partition)
@@ -152,6 +165,9 @@ class DssmrServer(SsmrServer):
             self.tracer.span(trace_id_of(command.cid), "exchange",
                              self.node.name, exchange_start, self.env.now,
                              peers=1)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "exchange",
+                                       self.env.now - exchange_start)
         verdict = self.exchange.collect(command.cid).get("verdict")
         if verdict != "ok" or key in self.store:
             return Reply(cid=command.cid, status=ReplyStatus.NOK,
@@ -164,6 +180,9 @@ class DssmrServer(SsmrServer):
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(command.cid), "execute",
                              self.node.name, exec_start, self.env.now)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "execute",
+                                       self.env.now - exec_start)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="created",
                      sender=self.node.name, partition=self.partition)
 
@@ -176,6 +195,9 @@ class DssmrServer(SsmrServer):
             self.tracer.span(trace_id_of(command.cid), "exchange",
                              self.node.name, exchange_start, self.env.now,
                              peers=1)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "exchange",
+                                       self.env.now - exchange_start)
         verdict = self.exchange.collect(command.cid).get("verdict")
         if verdict != "ok" or key not in self.store:
             return Reply(cid=command.cid, status=ReplyStatus.NOK,
@@ -187,5 +209,8 @@ class DssmrServer(SsmrServer):
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(command.cid), "execute",
                              self.node.name, exec_start, self.env.now)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "execute",
+                                       self.env.now - exec_start)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="deleted",
                      sender=self.node.name, partition=self.partition)

@@ -70,6 +70,10 @@ class ScheduleRunResult:
     # ClusterHealer.snapshot() for supervisor-enabled schedules (MTTR
     # accounting: detections, episodes, unavailability); None otherwise.
     heal: Optional[dict] = None
+    # FlightRecorder.dump() — the last protocol events of every node.
+    # Populated when the run violated an invariant (post-mortem context
+    # rides the repro artifact) or ran a healing episode; None otherwise.
+    flight: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -91,6 +95,7 @@ class ScheduleRunResult:
             "events_skipped": list(self.events_skipped),
             "trace_notes": list(self.trace_notes),
             "heal": self.heal,
+            "flight": self.flight,
         }
 
 
@@ -336,6 +341,14 @@ def run_schedule(schedule: FaultSchedule,
         if slow:
             trace_notes.append(command_timeline(tracer.spans, slow[0]))
 
+    heal = healer.snapshot() if healer is not None else None
+    flight = None
+    if violations or (heal is not None and heal.get("episodes")):
+        # Post-mortem context: the flight recorder's last-events rings
+        # from *every* node ride the repro artifact, so a shrunk repro
+        # shows what each node saw right before the violation.
+        flight = cluster.network.flight.dump()
+
     return ScheduleRunResult(
         schedule=schedule,
         ops_completed=status["completed"], ops_expected=expected,
@@ -347,4 +360,5 @@ def run_schedule(schedule: FaultSchedule,
         violations=tuple(violations),
         events_skipped=tuple(skipped),
         trace_notes=tuple(trace_notes),
-        heal=healer.snapshot() if healer is not None else None)
+        heal=heal,
+        flight=flight)

@@ -83,14 +83,16 @@ class ClusterConfig:
 class Cluster:
     """A running deployment plus its measurement instruments."""
 
-    def __init__(self, config: ClusterConfig, tracer=None):
+    def __init__(self, config: ClusterConfig, tracer=None, profiler=None):
         self.config = config
         self.env = Environment()
         self.seeds = SeedStream(config.seed)
         # tracer=None keeps span collection disabled (NULL_TRACER): every
         # emission site no-ops, so tracing is strictly opt-in and the
-        # disabled path adds no bookkeeping.
+        # disabled path adds no bookkeeping. The profiler follows the same
+        # null-object pattern; the Network carries it to every node.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler
         self.partitions = tuple(f"p{i}"
                                 for i in range(config.num_partitions))
         self._client_counter = itertools.count()
@@ -112,7 +114,8 @@ class Cluster:
                         if self._dynamic else ())
         self.topology = paper_cluster_topology(server_names, oracle_names)
         self.network = Network(self.env, self.seeds.child("net"),
-                               SwitchedClusterLatency(self.topology))
+                               SwitchedClusterLatency(self.topology),
+                               profiler=profiler)
 
         self.partition_map = StaticPartitionMap(
             self.partitions, assignment=config.initial_assignment)
@@ -423,6 +426,6 @@ class Cluster:
         return sum(getattr(c, "fallback_count", 0) for c in self.clients)
 
 
-def build_cluster(tracer=None, **kwargs) -> Cluster:
+def build_cluster(tracer=None, profiler=None, **kwargs) -> Cluster:
     """Convenience: ``build_cluster(scheme="dssmr", num_partitions=4, ...)``."""
-    return Cluster(ClusterConfig(**kwargs), tracer=tracer)
+    return Cluster(ClusterConfig(**kwargs), tracer=tracer, profiler=profiler)

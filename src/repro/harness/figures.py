@@ -882,3 +882,46 @@ def figure17_self_healing(seed: int = 5, duration_ms: float = 1_000.0,
     return FigureData("fig17", "Self-healing: MTTR and unavailability",
                       "\n".join(sections),
                       {"healed": healed, "baseline": baseline})
+
+
+def figure18_cost_attribution(seed: int = 7) -> FigureData:
+    """E19: where virtual time goes, per scheme (profiler cost tree).
+
+    Runs the seeded traced workload under the virtual-time profiler and
+    compares how the three schemes split their attributed cost across
+    the client stages, the server roles and the network. The static
+    scheme pays nothing for consults or moves; DS-SMR trades ordering
+    work for consult/move overhead; the graph-partitioned oracle shifts
+    cost into the oracle subtree (its consults issue the moves).
+    """
+    from repro.harness.tracerun import run_traced_workload
+    from repro.obs.profile import VirtualProfiler
+
+    profilers: dict[str, VirtualProfiler] = {}
+    rows = []
+    for scheme in SCHEMES:
+        profiler = VirtualProfiler(scheme=scheme)
+        run = run_traced_workload(scheme, seed=seed, trace=True,
+                                  profiler=profiler)
+        profilers[scheme] = profiler
+        total = profiler.total_cost()
+
+        def share(*path, total=total, profiler=profiler):
+            if not total:
+                return "-"
+            return f"{100.0 * profiler.cost_of(*path) / total:.1f}%"
+
+        rows.append([scheme, run.completed, round(total, 1),
+                     share("client"), share("replica"), share("oracle"),
+                     share("net")])
+    sections = [format_table(
+        ["scheme", "ops", "total-ms", "client", "replica", "oracle",
+         "net"], rows), ""]
+    lines = profilers["dynastar"].folded().splitlines()
+    top = sorted(lines, key=lambda line: -int(line.rsplit(" ", 1)[1]))[:6]
+    sections.append("dynastar folded-stack excerpt (top cost paths, us):")
+    sections.extend(f"  {line}" for line in top)
+    return FigureData("fig18", "Cost attribution across schemes",
+                      "\n".join(sections),
+                      {scheme: profiler.to_dict()
+                       for scheme, profiler in profilers.items()})

@@ -1,0 +1,132 @@
+"""Perf-regression suite: the engine behind ``python -m repro perfcheck``.
+
+Runs the seeded fault-free workload of :mod:`repro.harness.tracerun`
+against every scheme and condenses each run into a few headline metrics
+(virtual-time throughput, latency percentiles, message/byte counts). The
+numbers are pure functions of ``(seed, clients, ops, partitions,
+slowdown)`` — virtual time, not wall time — so they are byte-stable
+across machines and runs. That is what lets CI compare against a
+committed baseline and fail on real drift without flakiness: any change
+in the metrics is a change in protocol behaviour, never scheduler noise.
+
+Baselines live in ``benchmarks/baselines/*.json`` (format
+``repro-perf-baseline/1``). The gate checks throughput (lower is a
+regression) and p95 latency (higher is a regression) against a relative
+tolerance; ``slowdown`` scales the execution cost model to prove the
+gate trips (CI injects a 20% synthetic slowdown and requires failure).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+from repro.harness.tracerun import run_traced_workload
+
+BASELINE_FORMAT = "repro-perf-baseline/1"
+DEFAULT_BASELINE_PATH = "benchmarks/baselines/perf_smoke.json"
+DEFAULT_TOLERANCE = 0.05
+PERF_SCHEMES = ("smr", "ssmr", "dssmr", "dynastar")
+
+
+def canonical_json(obj) -> str:
+    """Byte-deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _round(value: float, digits: int = 6) -> float:
+    return round(float(value), digits)
+
+
+def _scheme_metrics(run) -> dict:
+    """Headline metrics of one workload run (all virtual-time)."""
+    latency = run.cluster.latency
+    finished = run.finished_at
+    if finished and finished > 0:
+        throughput = run.completed / (finished / 1000.0)
+    else:
+        throughput = 0.0
+    mean = latency.mean()
+    return {
+        "ops_completed": run.completed,
+        "ops_expected": run.expected,
+        "finished_at_ms": _round(finished) if finished else None,
+        "throughput_ops_per_s": _round(throughput),
+        "latency_mean_ms": _round(mean) if not math.isnan(mean) else None,
+        "latency_p50_ms": _round(latency.percentile(50)),
+        "latency_p95_ms": _round(latency.percentile(95)),
+        "latency_p99_ms": _round(latency.percentile(99)),
+        "messages_sent": run.cluster.network.messages_sent,
+        "bytes_sent": run.cluster.network.bytes_sent,
+    }
+
+
+def run_perf_suite(seed: int = 7, num_clients: int = 3,
+                   ops_per_client: int = 10, num_partitions: int = 2,
+                   slowdown: float = 1.0,
+                   schemes: tuple = PERF_SCHEMES) -> dict:
+    """Run the workload per scheme; returns a baseline-format dict."""
+    results = {}
+    for scheme in schemes:
+        run = run_traced_workload(
+            scheme, seed=seed, num_clients=num_clients,
+            ops_per_client=ops_per_client, num_partitions=num_partitions,
+            trace=False, slowdown=slowdown)
+        results[scheme] = _scheme_metrics(run)
+    return {
+        "format": BASELINE_FORMAT,
+        "seed": seed,
+        "num_clients": num_clients,
+        "ops_per_client": ops_per_client,
+        "num_partitions": num_partitions,
+        "slowdown": _round(slowdown),
+        "schemes": results,
+    }
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Gate check: list of regression descriptions (empty == pass).
+
+    Throughput may not drop, and p95 latency may not rise, by more than
+    ``tolerance`` (relative) against the baseline. Incomplete runs
+    (``ops_completed < ops_expected``) always fail.
+    """
+    failures: list[str] = []
+    if baseline.get("format") != BASELINE_FORMAT:
+        return [f"baseline format {baseline.get('format')!r} != "
+                f"{BASELINE_FORMAT!r}"]
+    for scheme, base in sorted(baseline.get("schemes", {}).items()):
+        cur = current.get("schemes", {}).get(scheme)
+        if cur is None:
+            failures.append(f"{scheme}: missing from current run")
+            continue
+        if cur["ops_completed"] < cur["ops_expected"]:
+            failures.append(
+                f"{scheme}: incomplete run "
+                f"({cur['ops_completed']}/{cur['ops_expected']} ops)")
+        floor = base["throughput_ops_per_s"] * (1.0 - tolerance)
+        if cur["throughput_ops_per_s"] < floor:
+            failures.append(
+                f"{scheme}: throughput {cur['throughput_ops_per_s']:.1f} "
+                f"ops/s below floor {floor:.1f} "
+                f"(baseline {base['throughput_ops_per_s']:.1f}, "
+                f"tolerance {tolerance:.0%})")
+        ceiling = base["latency_p95_ms"] * (1.0 + tolerance)
+        if cur["latency_p95_ms"] > ceiling:
+            failures.append(
+                f"{scheme}: p95 latency {cur['latency_p95_ms']:.3f}ms "
+                f"above ceiling {ceiling:.3f}ms "
+                f"(baseline {base['latency_p95_ms']:.3f}ms, "
+                f"tolerance {tolerance:.0%})")
+    return failures
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    """Parse a baseline file; None when it does not exist."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None

@@ -23,6 +23,7 @@ from repro.harness.cluster import Cluster, ClusterConfig
 from repro.obs import CommandTracer
 from repro.resilience import RetryPolicy
 from repro.sim import SeedStream
+from repro.smr import ExecutionModel
 
 #: Virtual-time bound of one traced run (ms); fault-free runs finish far
 #: earlier, the bound only catches a wedged deployment.
@@ -40,6 +41,7 @@ class TraceRun:
     finished_at: Optional[float]    # virtual ms; None if the run got stuck
     tracer: Optional[CommandTracer]
     cluster: Cluster
+    profiler: object = None
 
     @property
     def spans(self):
@@ -48,11 +50,16 @@ class TraceRun:
 
 def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
                         ops_per_client: int = 10, num_partitions: int = 2,
-                        trace: bool = True) -> TraceRun:
+                        trace: bool = True, profiler=None,
+                        slowdown: float = 1.0) -> TraceRun:
     """Run the seeded workload against ``scheme``, collecting spans.
 
     ``trace=False`` runs the identical workload with the null tracer —
     used by the overhead test to show disabled tracing changes nothing.
+    ``profiler`` attaches a :class:`~repro.obs.profile.VirtualProfiler`
+    (cost attribution rides the same hook sites as tracing). ``slowdown``
+    scales the execution cost model — the perf gate's synthetic
+    regression knob (1.0 = the real model).
     """
     _reset_id_counters()
     tracer = CommandTracer() if trace else None
@@ -62,11 +69,15 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
                       for i, key in enumerate(KEYS)}
     cluster_seed = SeedStream(seed).child(scheme).stream("trace") \
         .randrange(2 ** 31)
+    base = ExecutionModel()
+    execution = ExecutionModel(base_ms=base.base_ms * slowdown,
+                               per_variable_ms=base.per_variable_ms * slowdown)
     cluster = Cluster(ClusterConfig(
         scheme=scheme, num_partitions=num_partitions,
         replicas_per_partition=2, seed=cluster_seed,
-        retry_policy=RetryPolicy(), initial_assignment=assignment),
-        tracer=tracer)
+        retry_policy=RetryPolicy(), initial_assignment=assignment,
+        execution=execution),
+        tracer=tracer, profiler=profiler)
     cluster.preload(dict(INITIAL))
     status, done = _spawn_workload(
         cluster, None, num_clients, ops_per_client,
@@ -82,4 +93,5 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
     return TraceRun(
         scheme=scheme, seed=seed, completed=status["completed"],
         expected=num_clients * ops_per_client,
-        finished_at=end_marker["at"], tracer=tracer, cluster=cluster)
+        finished_at=end_marker["at"], tracer=tracer, cluster=cluster,
+        profiler=profiler)

@@ -203,6 +203,9 @@ class ClusterHealer:
         self.detect_hist.observe(silent_ms)
         self._note(now, f"{supervisor} confirmed {victim} ({role}) "
                         f"phi={phi:.1f} after {silent_ms:.1f}ms silence")
+        self.cluster.network.flight.record(
+            victim, "suspected",
+            f"by {supervisor} phi={phi:.1f} after {silent_ms:.1f}ms")
         # Unavailability window: from estimated failure onset (last
         # heartbeat heard) until the group's last open episode closes.
         if group in self.cluster.partitions and group not in self._window_open:
@@ -224,6 +227,10 @@ class ClusterHealer:
             self.mttr_hist.observe(episode.silent_ms + repair)
             self._note(now, f"{victim} healthy again {repair:.1f}ms after "
                             f"confirmation (action={episode.action})")
+        self.cluster.network.flight.record(
+            victim, "healed",
+            f"action={episode.action or 'none'} "
+            f"false_positive={episode.false_positive}")
         group = episode.group
         if group in self._window_open and not any(
                 e.group == group for e in self._open.values()):

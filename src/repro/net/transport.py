@@ -27,6 +27,8 @@ from typing import Any, Callable, Iterable, Optional
 
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import DEFAULT_MESSAGE_SIZE, Message
+from repro.obs.flight import FlightRecorder
+from repro.obs.profile import NULL_PROFILER
 from repro.sim import Channel, Environment, SeedStream
 
 DropRule = Callable[[Message], bool]
@@ -91,9 +93,19 @@ class Network:
     """
 
     def __init__(self, env: Environment, seeds: SeedStream,
-                 latency: Optional[LatencyModel] = None):
+                 latency: Optional[LatencyModel] = None,
+                 profiler=None):
         self.env = env
         self.latency = latency or FixedLatency(0.1)
+        # profiler=None keeps cost attribution disabled (NULL_PROFILER):
+        # the network is the carrier every component reaches through its
+        # ProtocolNode, so threading happens here once instead of through
+        # every constructor. See repro.obs.profile.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        # The flight recorder is *always on* (bounded rings, virtual
+        # timestamps only — it cannot perturb results): every delivery,
+        # drop, crash and recovery leaves a trace for postmortems.
+        self.flight = FlightRecorder(env)
         self._rng: random.Random = seeds.stream("latency")
         self._endpoints: dict[str, Endpoint] = {}
         self._crashed: set[str] = set()
@@ -153,11 +165,14 @@ class Network:
         first message addressed to a recovered successor of this name.
         """
         self._crashed.add(name)
+        self.flight.record(name, "crash")
         endpoint = self._endpoints.get(name)
         if endpoint is not None:
             endpoint.inbox._getters.clear()
 
     def recover(self, name: str) -> None:
+        if name in self._crashed:
+            self.flight.record(name, "recover")
         self._crashed.discard(name)
 
     def is_crashed(self, name: str) -> bool:
@@ -243,6 +258,8 @@ class Network:
             if copy_index:
                 self._trace("duplicated", message)
             delay = self.latency.delay(src, dst, size, self._rng) + extra
+            if self.profiler.enabled:
+                self.profiler.net(kind, delay, size)
             self._dispatch(endpoint, message, delay)
         return message
 
@@ -267,7 +284,11 @@ class Network:
         # Crash may have happened while the message was in flight.
         if endpoint.name in self._crashed:
             self._trace("dropped", message)
+            self.flight.record(endpoint.name, "drop",
+                               f"{message.kind} from {message.src}")
             return
         self._trace("delivered", message)
+        self.flight.record(endpoint.name, "deliver",
+                           f"{message.kind} from {message.src}")
         self.messages_delivered += 1
         endpoint.inbox.put(message)

@@ -10,7 +10,7 @@ latency exactly (the client's code between yields takes zero virtual
 time), so per-stage sums reconcile against the latency figures by
 construction.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.obs.tracing` — :class:`CommandTracer` collects spans;
   :data:`NULL_TRACER` is the disabled default (zero overhead: all
@@ -21,8 +21,18 @@ Three pieces:
 * :mod:`repro.obs.report` — latency-breakdown tables, per-command
   timelines, anomaly detection and the JSONL event schema behind
   ``python -m repro trace``.
+* :mod:`repro.obs.profile` — :class:`VirtualProfiler` attributes
+  simulated CPU and network cost to a scheme × role × stage tree
+  (folded-stack/flamegraph output); :data:`NULL_PROFILER` is the
+  disabled default behind the same ``enabled`` guard idiom.
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, the always-on
+  bounded per-node ring of recent protocol events that chaos/fuzz/heal
+  dump alongside invariant violations and MTTR episodes.
 """
 
+from repro.obs.flight import FlightRecorder
+from repro.obs.profile import (NULL_PROFILER, NullProfiler, VirtualProfiler,
+                               classify_node)
 from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.report import (
     command_timeline,
@@ -43,12 +53,17 @@ from repro.obs.tracing import (
 
 __all__ = [
     "CommandTracer",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
     "STAGE_NAMES",
     "Span",
+    "VirtualProfiler",
+    "classify_node",
     "command_timeline",
     "dump_jsonl",
     "find_anomalies",

@@ -1,0 +1,237 @@
+"""Virtual-time continuous profiler: cost attribution over components.
+
+Where :mod:`repro.obs.tracing` answers "how long did this command take",
+the profiler answers "which component burned the time". Lightweight scope
+hooks threaded through the protocol layers (clients, replicas, oracle,
+ordering, network) attribute every millisecond of simulated cost to a
+path in a component/stage tree rooted at the scheme:
+
+* ``<scheme>;client;<stage>`` — client-side waits (consult, move,
+  execute, retry-wait). These are fed by the same single funnel that
+  emits tracer stage spans, so per-command they partition the end-to-end
+  latency *exactly* (checked by :meth:`VirtualProfiler.stage_sum_errors`).
+* ``<scheme>;<role>[;<partition>];<stage>`` — server-side attributed
+  time: simulated execution CPU, ordering delay, executor queueing,
+  exchange coordination, moves. Roles are classified from the cluster's
+  node-naming conventions (``p<i>s<j>`` replicas, ``or*`` oracle
+  replicas, ``c*`` clients, ``h*`` supervisors, ``rm*`` managers).
+* ``<scheme>;net;<kind>`` — per-message-kind network cost (the latency
+  the model charged each delivery) plus a bytes-by-kind side table.
+
+Everything is virtual-time arithmetic on plain dicts: the profiler
+touches no RNG and schedules no events, so profiling on or off can never
+change simulation results, and the same seed yields byte-identical
+output. :data:`NULL_PROFILER` is the disabled default; every hook site
+guards on :attr:`NullProfiler.enabled`, so the disabled path allocates
+nothing.
+
+Output formats: :meth:`VirtualProfiler.folded` emits folded-stack text
+(one ``path cost_in_us`` line per tree path — directly consumable by
+standard flamegraph tooling), :meth:`VirtualProfiler.table` the top-N
+self/total cost table, and :meth:`VirtualProfiler.to_dict` the canonical
+JSON shape the CLI byte-compares.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+_REPLICA_RE = re.compile(r"^(p\d+)s\d+$")
+_CLIENT_RE = re.compile(r"^c\d+$|^cool$")
+_ORACLE_RE = re.compile(r"^or\d+$")
+_SUPERVISOR_RE = re.compile(r"^h\d+$")
+_MANAGER_RE = re.compile(r"^rm\d+$")
+
+
+def classify_node(name: str) -> tuple[str, Optional[str]]:
+    """Map a node name to ``(role, partition)`` per naming convention."""
+    match = _REPLICA_RE.match(name)
+    if match:
+        return "replica", match.group(1)
+    if _CLIENT_RE.match(name):
+        return "client", None
+    if _ORACLE_RE.match(name):
+        return "oracle", None
+    if _SUPERVISOR_RE.match(name):
+        return "supervisor", None
+    if _MANAGER_RE.match(name):
+        return "manager", None
+    return "other", None
+
+
+class NullProfiler:
+    """Disabled profiler: every scope hook is a no-op.
+
+    Hot paths guard on :attr:`enabled` before computing durations or
+    classifying nodes, so a disabled profiler adds no measurable work —
+    and because hooks never touch the event queue or any RNG, profiling
+    on or off can never change simulation results.
+    """
+
+    enabled = False
+
+    def stage(self, trace: str, name: str, duration: float) -> None:
+        pass
+
+    def command(self, trace: str, duration: float) -> None:
+        pass
+
+    def account(self, node: str, stage: str, duration: float) -> None:
+        pass
+
+    def net(self, kind: str, latency: float, size: int) -> None:
+        pass
+
+    def mark(self, node: str, stage: str, count: int = 1) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()
+
+
+class VirtualProfiler(NullProfiler):
+    """Accumulates attributed virtual-time cost into a component tree."""
+
+    enabled = True
+
+    def __init__(self, scheme: str = ""):
+        self.scheme = scheme
+        # Tree leaves: path tuple (below the scheme root) -> cost in
+        # virtual ms / number of contributions.
+        self._cost: dict[tuple, float] = {}
+        self._count: dict[tuple, int] = {}
+        # Per-command reconciliation records: trace id -> stage sums and
+        # the end-to-end latency the stages must add up to.
+        self.commands: dict[str, dict] = {}
+        self.bytes_by_kind: dict[str, int] = {}
+
+    # -- scope hooks (called by the instrumented layers) -------------------
+
+    def _add(self, path: tuple, duration: float, count: int = 1) -> None:
+        self._cost[path] = self._cost.get(path, 0.0) + duration
+        self._count[path] = self._count.get(path, 0) + count
+
+    def stage(self, trace: str, name: str, duration: float) -> None:
+        """One client stage wait of ``trace`` (partitions its latency)."""
+        self._add(("client", name), duration)
+        record = self.commands.get(trace)
+        if record is None:
+            record = self.commands[trace] = {"stages": {}}
+        stages = record["stages"]
+        stages[name] = stages.get(name, 0.0) + duration
+
+    def command(self, trace: str, duration: float) -> None:
+        """Close ``trace``: record its end-to-end virtual latency."""
+        record = self.commands.get(trace)
+        if record is None:
+            record = self.commands[trace] = {"stages": {}}
+        record["e2e"] = duration
+
+    def account(self, node: str, stage: str, duration: float) -> None:
+        """Attribute server-side cost to ``node``'s role/partition."""
+        role, partition = classify_node(node)
+        if partition is not None:
+            self._add((role, partition, stage), duration)
+        else:
+            self._add((role, stage), duration)
+
+    def net(self, kind: str, latency: float, size: int) -> None:
+        """Attribute one message delivery's network latency and bytes."""
+        self._add(("net", kind), latency)
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+
+    def mark(self, node: str, stage: str, count: int = 1) -> None:
+        """Count-only event (e.g. entries sequenced): no attributed cost."""
+        role, partition = classify_node(node)
+        if partition is not None:
+            self._add((role, partition, stage), 0.0, count)
+        else:
+            self._add((role, stage), 0.0, count)
+
+    # -- reconciliation ----------------------------------------------------
+
+    def stage_sum_errors(self, tolerance: float = 1e-6) -> list[str]:
+        """Commands whose stage costs do not sum to their e2e latency.
+
+        Mirrors :func:`repro.obs.report.stage_sum_errors` on the
+        profiler's own books: for every closed command the attributed
+        per-stage costs must add up to the end-to-end virtual latency.
+        """
+        errors = []
+        for trace in sorted(self.commands):
+            record = self.commands[trace]
+            e2e = record.get("e2e")
+            if e2e is None:
+                continue   # still in flight at the deadline
+            total = sum(record["stages"].values())
+            if abs(total - e2e) > tolerance:
+                errors.append(f"{trace}: stages {total:.6f}ms "
+                              f"!= e2e {e2e:.6f}ms")
+        return errors
+
+    # -- tree queries ------------------------------------------------------
+
+    def paths(self) -> list[tuple]:
+        """All recorded leaf paths (below the scheme root), sorted."""
+        return sorted(self._cost)
+
+    def cost_of(self, *path: str) -> float:
+        """Total cost (ms) of ``path`` and everything beneath it."""
+        return sum(cost for p, cost in self._cost.items()
+                   if p[:len(path)] == path)
+
+    def total_cost(self) -> float:
+        return sum(self._cost.values())
+
+    # -- output ------------------------------------------------------------
+
+    def folded(self) -> str:
+        """Folded-stack text: ``scheme;a;b cost_us`` lines, sorted.
+
+        Costs are integer microseconds (flamegraph tools want integral
+        sample counts); zero-cost count-only marks are omitted.
+        """
+        lines = []
+        for path in self.paths():
+            us = int(round(self._cost[path] * 1000.0))
+            if us <= 0:
+                continue
+            lines.append(f"{self.scheme};{';'.join(path)} {us}")
+        return "\n".join(lines)
+
+    def table(self, top: int = 15) -> str:
+        """Top-N self/total cost table over the attributed tree."""
+        from repro.obs.report import _format_table
+        self_ms: dict[tuple, float] = dict(self._cost)
+        total_ms: dict[tuple, float] = {}
+        counts: dict[tuple, int] = {}
+        for path, cost in self._cost.items():
+            for depth in range(1, len(path) + 1):
+                prefix = path[:depth]
+                total_ms[prefix] = total_ms.get(prefix, 0.0) + cost
+                counts[prefix] = (counts.get(prefix, 0)
+                                  + self._count.get(path, 0))
+        ranked = sorted(total_ms,
+                        key=lambda p: (-total_ms[p], p))[:max(top, 1)]
+        rows = []
+        for path in ranked:
+            rows.append([f"{self.scheme};{';'.join(path)}",
+                         f"{self_ms.get(path, 0.0):10.3f}",
+                         f"{total_ms[path]:10.3f}",
+                         counts.get(path, 0)])
+        return _format_table(["path", "self-ms", "total-ms", "count"], rows)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON shape (byte-stable: sorted keys, rounded ms)."""
+        tree = {";".join(path): {"ms": round(self._cost[path], 6),
+                                 "count": self._count[path]}
+                for path in self.paths()}
+        return {
+            "scheme": self.scheme,
+            "tree": tree,
+            "bytes_by_kind": dict(sorted(self.bytes_by_kind.items())),
+            "commands": len(self.commands),
+            "total_ms": round(self.total_cost(), 6),
+            "stage_sum_errors": self.stage_sum_errors(),
+        }

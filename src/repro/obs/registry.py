@@ -55,24 +55,47 @@ class Histogram:
         return sum(self.samples) / len(self.samples) if self.samples \
             else math.nan
 
+    def min(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    def max(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
     def percentile(self, p: float) -> float:
-        """p-th percentile (0..100), nearest-rank; NaN when empty."""
+        """p-th percentile (0..100), nearest-rank; NaN when empty.
+
+        Edge cases are pinned down: ``p=0`` is the minimum and ``p=100``
+        the maximum (nearest-rank rounding alone would already map p=0 to
+        rank 0, but the explicit branches keep the contract obvious and
+        immune to float rounding in ``p/100*n``).
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
         if not self.samples:
             return math.nan
         ordered = sorted(self.samples)
+        if p == 0:
+            return ordered[0]
+        if p == 100:
+            return ordered[-1]
         rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
         return ordered[rank]
 
     def summary(self) -> dict[str, float]:
-        """The sub-metrics a scrape expands a histogram into."""
+        """The sub-metrics a scrape expands a histogram into.
+
+        Also the row format of the profiler's per-stage table (see
+        :mod:`repro.obs.profile` and the ``profile`` CLI).
+        """
         return {
             "count": self.count,
+            "max": self.max(),
             "mean": self.mean(),
+            "min": self.min(),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "total": self.total() if self.samples else math.nan,
         }
 
 
@@ -154,3 +177,14 @@ class MetricsRegistry:
                     continue
                 out[f"{name}.{key}"] = value
         return dict(sorted(out.items()))
+
+    def snapshot(self) -> dict[str, Number]:
+        """Scrape with *guaranteed* canonical key order.
+
+        ``scrape`` happens to sort already; ``snapshot`` is the promise —
+        insertion order is the sorted key order regardless of the order
+        instruments were registered in, so ``json.dumps(reg.snapshot())``
+        is byte-stable across registration orders even without
+        ``sort_keys``. All emitted-JSON paths go through this.
+        """
+        return {name: value for name, value in sorted(self.scrape().items())}

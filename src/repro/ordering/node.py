@@ -26,6 +26,11 @@ class ProtocolNode:
         self.env = env
         self.network = network
         self.name = name
+        # Cost-attribution hooks (repro.obs.profile): the network carries
+        # the deployment's profiler, so every protocol layer reaches it
+        # through its node with no constructor threading. NULL_PROFILER
+        # when disabled — hook sites guard on ``profiler.enabled``.
+        self.profiler = network.profiler
         self.endpoint = network.register(name)
         self._handlers: dict[str, Handler] = {}
         self._default_handler: Optional[Handler] = None
@@ -61,6 +66,12 @@ class ProtocolNode:
         if self._crashed:
             return
         self.network.send_all(self.name, dsts, kind, payload, size)
+
+    # -- observability -------------------------------------------------------
+
+    def flight(self, kind: str, detail: str = "") -> None:
+        """Log one protocol event into this node's flight-recorder ring."""
+        self.network.flight.record(self.name, kind, detail)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -49,8 +49,10 @@ class BaseClient:
         self.latency = latency if latency is not None else LatencyRecorder(name)
         # tracer=None disables span collection (see repro.obs.tracing);
         # every emission site guards on tracer.enabled, so the disabled
-        # path does no bookkeeping at all.
+        # path does no bookkeeping at all. The profiler rides on the
+        # network (see repro.obs.profile) under the same guard idiom.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = self.node.profiler
         # retry_policy=None keeps the legacy block-forever behaviour.
         self.retry_policy = retry_policy
         self._rng = rng if rng is not None else random.Random(0)
@@ -101,11 +103,26 @@ class BaseClient:
 
         Stage spans partition a command's end-to-end latency: every wait
         the client performs while running a command is bracketed by
-        exactly one of them (consult, move, execute, retry-wait).
+        exactly one of them (consult, move, execute, retry-wait). The
+        profiler taps the same funnel, which is what makes its per-stage
+        attributed costs sum exactly to each command's e2e latency.
         """
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(cid), name, self.name, start,
                              self.env.now, stage=True, **meta)
+        if self.profiler.enabled:
+            self.profiler.stage(trace_id_of(cid), name,
+                                self.env.now - start)
+
+    def profile_command(self, cid: str, start: float) -> None:
+        """Record a finished command's end-to-end latency (profiler tap).
+
+        Called by every scheme's ``run_command`` next to its
+        ``end_trace`` — the reconciliation target the stage costs
+        recorded through :meth:`trace_stage` must add up to.
+        """
+        if self.profiler.enabled:
+            self.profiler.command(trace_id_of(cid), self.env.now - start)
 
     # -- resilient requests --------------------------------------------------
 
@@ -155,6 +172,7 @@ class BaseClient:
             self.trace_stage(cid, stage, wait_start, timeout=True)
             self.cancel_wait(cid)
             self.timeouts += 1
+            self.node.flight("retry", f"{cid} attempt {attempt} timed out")
             if policy.gives_up(attempt):
                 raise RequestTimeout(cid, attempt)
             backoff_start = self.env.now
@@ -187,6 +205,7 @@ class BaseClient:
             self.trace_stage(cid, stage, wait_start, timeout=True)
             self.cancel_wait(cid)
             self.timeouts += 1
+            self.node.flight("retry", f"{cid} send {sends} timed out")
             if policy.gives_up(sends):
                 raise RequestTimeout(cid, sends)
             backoff_start = self.env.now
@@ -225,6 +244,7 @@ class BaseClient:
         self.latency.record(self.env.now, self.env.now - start)
         self.tracer.end_trace(command.cid, self.env.now,
                               status=reply.status.value)
+        self.profile_command(command.cid, start)
         return reply
 
 

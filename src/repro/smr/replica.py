@@ -104,6 +104,10 @@ class SmrReplica:
                     self.tracer.span(trace_id_of(command.cid), "order",
                                      self.node.name, sent, self.env.now,
                                      uid=delivery.uid)
+                    if self.node.profiler.enabled:
+                        self.node.profiler.account(
+                            self.node.name, "order", self.env.now - sent)
+        if self.tracer.enabled or self.node.profiler.enabled:
             self._enqueue_times[delivery.uid] = self.env.now
         self._deliveries.put(delivery)
         depth = len(self._deliveries) or 1
@@ -123,12 +127,17 @@ class SmrReplica:
                 else:                            # legacy raw Command
                     command = payload
                     attempt = 1
-                if self.tracer.enabled:
+                if self.tracer.enabled or self.node.profiler.enabled:
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
                     if enqueued is not None and self.env.now > enqueued:
-                        self.tracer.span(trace_id_of(command.cid), "queue",
-                                         self.node.name, enqueued,
-                                         self.env.now)
+                        if self.tracer.enabled:
+                            self.tracer.span(trace_id_of(command.cid),
+                                             "queue", self.node.name,
+                                             enqueued, self.env.now)
+                        if self.node.profiler.enabled:
+                            self.node.profiler.account(
+                                self.node.name, "queue",
+                                self.env.now - enqueued)
                 if self.replies.enabled and command.cid in self._executed_set:
                     # Already covered: a client resend, or recovery-snapshot
                     # overlap with backfilled log entries. Re-executing
@@ -147,6 +156,9 @@ class SmrReplica:
                 if self.tracer.enabled:
                     self.tracer.span(trace_id_of(command.cid), "execute",
                                      self.node.name, exec_start, self.env.now)
+                if self.node.profiler.enabled:
+                    self.node.profiler.account(self.node.name, "execute",
+                                               self.env.now - exec_start)
                 self.executed.append(command.cid)
                 self._executed_set.add(command.cid)
                 self.replies.store(command.cid, reply)

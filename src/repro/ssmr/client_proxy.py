@@ -57,4 +57,5 @@ class SsmrClient(BaseClient):
         self.tracer.end_trace(command.cid, self.env.now,
                               status=reply.status.value,
                               partitions=len(dests))
+        self.profile_command(command.cid, start)
         return reply

@@ -121,6 +121,10 @@ class SsmrServer:
                     self.tracer.span(trace_id_of(command.cid), "order",
                                      self.node.name, sent, self.env.now,
                                      uid=delivery.uid)
+                    if self.node.profiler.enabled:
+                        self.node.profiler.account(
+                            self.node.name, "order", self.env.now - sent)
+        if self.tracer.enabled or self.node.profiler.enabled:
             self._enqueue_times[delivery.uid] = self.env.now
         self._deliveries.put(delivery)
         depth = len(self._deliveries) or 1
@@ -135,14 +139,19 @@ class SsmrServer:
                 yield self._start_gate
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
-                if self.tracer.enabled:
+                if self.tracer.enabled or self.node.profiler.enabled:
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
                     command = delivery_command(delivery.payload)
                     if (command is not None and enqueued is not None
                             and self.env.now > enqueued):
-                        self.tracer.span(trace_id_of(command.cid), "queue",
-                                         self.node.name, enqueued,
-                                         self.env.now)
+                        if self.tracer.enabled:
+                            self.tracer.span(trace_id_of(command.cid),
+                                             "queue", self.node.name,
+                                             enqueued, self.env.now)
+                        if self.node.profiler.enabled:
+                            self.node.profiler.account(
+                                self.node.name, "queue",
+                                self.env.now - enqueued)
                 self._current_delivery = delivery
                 yield from self._handle_delivery(delivery)
                 self._current_delivery = None
@@ -207,6 +216,8 @@ class SsmrServer:
                     return
                 self.applied_reconfigs.add(rid)
             self.epoch += 1
+            self.node.flight("epoch",
+                             f"{spec['kind']} -> epoch {self.epoch}")
             if self.checkpointer is not None:
                 self.checkpointer.capture(reason=spec["kind"])
 
@@ -225,6 +236,9 @@ class SsmrServer:
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(command.cid), "execute",
                              self.node.name, exec_start, self.env.now)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "execute",
+                                       self.env.now - exec_start)
         if others:
             exchange_start = self.env.now
             yield from self.exchange.wait(command.cid, set(others))
@@ -232,6 +246,9 @@ class SsmrServer:
                 self.tracer.span(trace_id_of(command.cid), "exchange",
                                  self.node.name, exchange_start,
                                  self.env.now, peers=len(others))
+            if self.node.profiler.enabled:
+                self.node.profiler.account(self.node.name, "exchange",
+                                           self.env.now - exchange_start)
             # A done-marked exchange (peer cache hit on a client resend)
             # carries the peer's merged original variables, so execution
             # proceeds with the same inputs either way. Whether *we*
@@ -278,6 +295,9 @@ class SsmrServer:
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(command.cid), "execute",
                              self.node.name, exec_start, self.env.now)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "execute",
+                                       self.env.now - exec_start)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="created",
                      sender=self.node.name, partition=self.partition)
 
@@ -293,6 +313,9 @@ class SsmrServer:
         if self.tracer.enabled:
             self.tracer.span(trace_id_of(command.cid), "execute",
                              self.node.name, exec_start, self.env.now)
+        if self.node.profiler.enabled:
+            self.node.profiler.account(self.node.name, "execute",
+                                       self.env.now - exec_start)
         return Reply(cid=command.cid, status=ReplyStatus.OK, value="deleted",
                      sender=self.node.name, partition=self.partition)
 

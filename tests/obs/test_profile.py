@@ -1,0 +1,166 @@
+"""Virtual-time profiler tests (repro.obs.profile).
+
+The two load-bearing guarantees:
+
+* **Exactness** — per-command, the attributed client-stage costs sum to
+  the command's end-to-end virtual latency (the profiler taps the same
+  single funnel as tracer stage spans), and the whole tree is
+  byte-deterministic for a fixed seed.
+* **Zero overhead when off** — every hook site guards on ``enabled``,
+  profiling touches no RNG and schedules no events, so a profiled and an
+  unprofiled run of the same seed produce identical simulation results.
+"""
+
+import json
+
+from repro.obs.profile import (NULL_PROFILER, NullProfiler,
+                               VirtualProfiler, classify_node)
+
+
+class TestClassifyNode:
+    def test_roles(self):
+        assert classify_node("p0s1") == ("replica", "p0")
+        assert classify_node("p12s0") == ("replica", "p12")
+        assert classify_node("c3") == ("client", None)
+        assert classify_node("cool") == ("client", None)
+        assert classify_node("or1") == ("oracle", None)
+        assert classify_node("h0") == ("supervisor", None)
+        assert classify_node("rm0") == ("manager", None)
+        assert classify_node("weird") == ("other", None)
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert NULL_PROFILER.enabled is False
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        # Every hook is a no-op returning None and allocating no state.
+        assert NULL_PROFILER.stage("t", "execute", 1.0) is None
+        assert NULL_PROFILER.command("t", 2.0) is None
+        assert NULL_PROFILER.account("p0s0", "order", 1.0) is None
+        assert NULL_PROFILER.net("reply", 0.1, 128) is None
+        assert NULL_PROFILER.mark("p0s0", "sequence") is None
+        assert not hasattr(NULL_PROFILER, "_cost")
+
+
+class TestAccounting:
+    def test_tree_paths_and_prefix_sums(self):
+        prof = VirtualProfiler(scheme="dssmr")
+        prof.account("p0s0", "execute", 1.0)
+        prof.account("p0s1", "execute", 2.0)
+        prof.account("p1s0", "order", 4.0)
+        prof.account("or0", "execute", 8.0)
+        prof.net("reply", 0.5, 128)
+        assert prof.cost_of("replica", "p0") == 3.0
+        assert prof.cost_of("replica") == 7.0
+        assert prof.cost_of("oracle") == 8.0
+        assert prof.cost_of("net") == 0.5
+        assert prof.total_cost() == 15.5
+        assert prof.bytes_by_kind == {"reply": 128}
+
+    def test_stage_sums_reconcile_against_e2e(self):
+        prof = VirtualProfiler()
+        prof.stage("t1", "consult", 1.0)
+        prof.stage("t1", "execute", 2.0)
+        prof.command("t1", 3.0)
+        assert prof.stage_sum_errors() == []
+        prof.stage("t2", "execute", 1.0)
+        prof.command("t2", 5.0)          # 4ms unaccounted
+        errors = prof.stage_sum_errors()
+        assert len(errors) == 1 and errors[0].startswith("t2:")
+
+    def test_open_commands_not_flagged(self):
+        prof = VirtualProfiler()
+        prof.stage("inflight", "execute", 1.0)   # never closed
+        assert prof.stage_sum_errors() == []
+
+    def test_mark_counts_without_cost(self):
+        prof = VirtualProfiler(scheme="smr")
+        prof.mark("p0s0", "sequence", 5)
+        assert prof.cost_of("replica") == 0.0
+        assert prof.to_dict()["tree"]["replica;p0;sequence"]["count"] == 5
+        assert prof.folded() == ""       # zero-cost paths omitted
+
+
+class TestOutput:
+    def _small(self):
+        prof = VirtualProfiler(scheme="ssmr")
+        prof.stage("t", "execute", 1.2345)
+        prof.command("t", 1.2345)
+        prof.account("p0s0", "order", 0.5)
+        prof.net("reply", 0.25, 64)
+        return prof
+
+    def test_folded_format(self):
+        lines = self._small().folded().splitlines()
+        assert lines == sorted(lines)
+        assert "ssmr;client;execute 1234" in lines      # integer us
+        assert "ssmr;replica;p0;order 500" in lines
+        assert "ssmr;net;reply 250" in lines
+
+    def test_table_has_roots_and_leaves(self):
+        table = self._small().table(top=10)
+        assert "path" in table and "self-ms" in table
+        assert "ssmr;client" in table
+        assert "ssmr;replica;p0;order" in table
+
+    def test_to_dict_is_canonical_json(self):
+        prof = self._small()
+        payload = json.dumps(prof.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        again = json.dumps(self._small().to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+        assert payload == again
+        parsed = json.loads(payload)
+        assert parsed["scheme"] == "ssmr"
+        assert parsed["stage_sum_errors"] == []
+        assert parsed["commands"] == 1
+
+
+class TestWorkloadIntegration:
+    def test_stage_sums_exact_for_every_scheme(self):
+        from repro.harness.tracerun import run_traced_workload
+
+        for scheme in ("smr", "ssmr", "dssmr", "dynastar"):
+            prof = VirtualProfiler(scheme=scheme)
+            run = run_traced_workload(scheme, trace=True, profiler=prof)
+            assert run.completed == run.expected
+            assert prof.stage_sum_errors() == [], scheme
+            assert len(prof.commands) == run.completed
+            assert prof.total_cost() > 0
+
+    def test_profile_is_byte_deterministic(self):
+        from repro.harness.tracerun import run_traced_workload
+
+        def one():
+            prof = VirtualProfiler(scheme="dssmr")
+            run_traced_workload("dssmr", trace=True, profiler=prof)
+            return prof
+
+        a, b = one(), one()
+        assert a.folded() == b.folded()
+        assert json.dumps(a.to_dict(), sort_keys=True) \
+            == json.dumps(b.to_dict(), sort_keys=True)
+
+    def test_disabled_profiler_changes_nothing(self):
+        """Same seed, profiler on vs off: identical simulation results."""
+        from repro.harness.tracerun import run_traced_workload
+
+        profiled = run_traced_workload(
+            "dssmr", trace=True, profiler=VirtualProfiler(scheme="dssmr"))
+        plain = run_traced_workload("dssmr", trace=True)
+        assert plain.completed == profiled.completed
+        assert plain.finished_at == profiled.finished_at
+        assert (plain.cluster.network.messages_sent
+                == profiled.cluster.network.messages_sent)
+        assert (plain.cluster.registry.snapshot()
+                == profiled.cluster.registry.snapshot())
+
+    def test_profiler_without_tracer_still_accounts_server_time(self):
+        from repro.harness.tracerun import run_traced_workload
+
+        prof = VirtualProfiler(scheme="ssmr")
+        run = run_traced_workload("ssmr", trace=False, profiler=prof)
+        assert run.completed == run.expected
+        # No tracer marks -> no order spans, but execute/net accrue.
+        assert prof.cost_of("replica") > 0
+        assert prof.cost_of("net") > 0

@@ -92,3 +92,65 @@ class TestMetricsRegistry:
         assert reg.names() == ["a", "b"]
         with pytest.raises(KeyError):
             reg.get("c")
+
+
+class TestHistogramEdgeCases:
+    def test_p0_and_p100_are_min_and_max(self):
+        hist = Histogram()
+        for v in (5.0, 1.0, 3.0, 9.0):
+            hist.observe(v)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 9.0
+        assert hist.min() == 1.0
+        assert hist.max() == 9.0
+
+    def test_single_sample_percentiles(self):
+        hist = Histogram()
+        hist.observe(7.0)
+        for p in (0, 50, 95, 100):
+            assert hist.percentile(p) == 7.0
+
+    def test_empty_min_max_total_nan(self):
+        hist = Histogram()
+        assert math.isnan(hist.min())
+        assert math.isnan(hist.max())
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["total"])
+
+    def test_summary_keys(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        hist.observe(4.0)
+        summary = hist.summary()
+        assert sorted(summary) == ["count", "max", "mean", "min",
+                                   "p50", "p95", "p99", "total"]
+        assert summary["min"] == 2.0
+        assert summary["max"] == 4.0
+        assert summary["total"] == 6.0
+
+
+class TestSnapshot:
+    def test_snapshot_matches_scrape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.gauge("depth", lambda: 2)
+        assert reg.snapshot() == dict(reg.scrape())
+
+    def test_snapshot_canonical_regardless_of_registration_order(self):
+        import json
+
+        forward = MetricsRegistry()
+        forward.counter("aa").inc(1)
+        forward.gauge("zz.by_kind", lambda: {"b": 2, "a": 1})
+        forward.histogram("lat").observe(5.0)
+
+        backward = MetricsRegistry()
+        backward.histogram("lat").observe(5.0)
+        backward.gauge("zz.by_kind", lambda: {"a": 1, "b": 2})
+        backward.counter("aa").inc(1)
+
+        a = json.dumps(forward.snapshot(), sort_keys=False)
+        b = json.dumps(backward.snapshot(), sort_keys=False)
+        assert a == b                      # byte-stable, order included
+        assert list(forward.snapshot()) == sorted(forward.snapshot())
