@@ -38,6 +38,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig16": figures.figure16_elastic_scaleout,
         "fig17": figures.figure17_self_healing,
         "fig18": figures.figure18_cost_attribution,
+        "fig19": figures.figure19_overload,
     }
 
 
@@ -179,6 +180,28 @@ def build_parser() -> argparse.ArgumentParser:
                            "recovery supervisor (repro.heal): crashes "
                            "get no harness restart and the generator "
                            "adds false-suspicion faults")
+    fuzz.add_argument("--overload", action="store_true",
+                      help="QoS fuzzing: clusters run with overload "
+                           "control armed and the generator adds "
+                           "overload-burst events (background open-loop "
+                           "traffic surges)")
+
+    qos = sub.add_parser(
+        "qos", help="overload campaign: offered-load sweep with QoS "
+                    "(admission control + AIMD) off and on")
+    qos.add_argument("--seed", type=int, default=0)
+    qos.add_argument("--scheme", default="ssmr",
+                     choices=["smr", "ssmr", "dssmr", "dynastar"])
+    qos.add_argument("--smoke", action="store_true",
+                     help="short fixed sweep printing the canonical JSON "
+                          "on stdout (CI byte-compares two same-seed "
+                          "runs)")
+    qos.add_argument("--json", action="store_true",
+                     help="print the canonical campaign JSON on stdout "
+                          "(report goes to stderr)")
+    qos.add_argument("--out", default=None, metavar="PATH",
+                     help="also write the canonical campaign JSON to "
+                          "PATH")
 
     heal = sub.add_parser(
         "heal", help="self-healing campaign: crash every role, let the "
@@ -232,11 +255,11 @@ def cmd_figure(args) -> int:
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
     if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15",
-                          "fig16", "fig17", "fig18"):
+                          "fig16", "fig17", "fig18", "fig19"):
         # figures without duration parameters
         kwargs = {"seed": args.seed} \
             if args.figure_id in ("fig13", "fig14", "fig15", "fig16",
-                                  "fig17", "fig18") \
+                                  "fig17", "fig18", "fig19") \
             else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
@@ -473,7 +496,8 @@ def cmd_fuzz(args) -> int:
         num_schedules=num_schedules, seed=args.seed,
         num_clients=args.clients, ops_per_client=args.ops,
         inject_bug=args.inject_bug, shrink=not args.no_shrink,
-        artifacts_dir=args.artifacts, supervisor=args.supervisor)
+        artifacts_dir=args.artifacts, supervisor=args.supervisor,
+        overload=args.overload)
     payload = json.dumps(campaign.to_dict(), sort_keys=True,
                          separators=(",", ":"))
     emit_json = args.json or args.smoke
@@ -492,6 +516,42 @@ def cmd_fuzz(args) -> int:
         # campaign means the fuzzer lost its teeth.
         return 0 if not campaign.ok else 1
     return 0 if campaign.ok else 1
+
+
+def cmd_qos(args) -> int:
+    import json
+
+    from repro.harness.overload import (format_overload_report,
+                                        run_overload_campaign)
+
+    started = time.perf_counter()
+    data = run_overload_campaign(seed=args.seed, smoke=args.smoke,
+                                 scheme=args.scheme)
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    emit_json = args.json or args.smoke
+    # Report to stderr in JSON mode: stdout must stay byte-comparable.
+    print(format_overload_report(data),
+          file=sys.stderr if emit_json else sys.stdout)
+    if emit_json:
+        print(payload)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(payload + "\n")
+        print(f"wrote campaign JSON to {args.out}", file=sys.stderr)
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    summary = data["summary"]
+    # The campaign is also a self-check: QoS must beat the baseline
+    # beyond saturation (full sweep only; the smoke sweep is a
+    # determinism probe, too short to claim the figure's shape).
+    if not args.smoke:
+        collapse = summary["qos_off"]["tail_ratio"]
+        plateau = summary["qos_on"]["tail_ratio"]
+        if plateau <= collapse:
+            print("QOS GATE FAILED: qos_on tail ratio "
+                  f"{plateau} <= qos_off {collapse}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def cmd_heal(args) -> int:
@@ -553,6 +613,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": cmd_profile,
         "perfcheck": cmd_perfcheck,
         "fuzz": cmd_fuzz,
+        "qos": cmd_qos,
         "heal": cmd_heal,
         "trace": cmd_trace,
         "reconfig": cmd_reconfig,

@@ -109,13 +109,33 @@ class DssmrClient(BaseClient):
             fired, prophecy = yield from with_timeout(
                 self.env, event, policy.timeout_ms if policy else None)
             if fired:
+                if prophecy.status is ProphecyStatus.OVERLOAD:
+                    # Consult shed by the oracle's admission control —
+                    # explicit backpressure on the prophecy channel.
+                    self.trace_stage(consult_cid, "consult", wait_start,
+                                     overload=True)
+                    self.overload_replies += 1
+                    self._note_congestion()
+                    self.node.flight("qos", f"{consult_cid} overload "
+                                            f"({prophecy.reason})")
+                    if policy is not None and policy.gives_up(sends):
+                        raise RequestTimeout(consult_cid, sends)
+                    yield from self.acquire_retry(consult_cid)
+                    backoff_start = self.env.now
+                    yield self.env.timeout(self.overload_backoff_ms(sends))
+                    self.trace_stage(consult_cid, "retry-wait",
+                                     backoff_start)
+                    continue
                 self.trace_stage(consult_cid, "consult", wait_start)
+                self._note_success()
                 return prophecy
             self.trace_stage(consult_cid, "consult", wait_start, timeout=True)
             self._prophecy_waits.pop(consult_cid, None)
             self.timeouts += 1
+            self._note_congestion()
             if policy.gives_up(sends):
                 raise RequestTimeout(consult_cid, sends)
+            yield from self.acquire_retry(consult_cid)
             backoff_start = self.env.now
             yield self.env.timeout(policy.backoff_ms(sends, self._rng))
             self.trace_stage(consult_cid, "retry-wait", backoff_start)

@@ -129,6 +129,9 @@ class OracleReplica:
         self.evacuations = Counter(f"{name}/evacuations")
 
         self.queue_peak = 0
+        # Overload control (repro.qos), attached by the harness; None
+        # keeps the intake/executor hot paths in their pre-QoS shape.
+        self.qos = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._enqueue)
@@ -188,12 +191,52 @@ class OracleReplica:
                     if self.node.profiler.enabled:
                         self.node.profiler.account(
                             self.node.name, "order", self.env.now - sent)
-        if self.tracer.enabled or self.node.profiler.enabled:
+        if (self.tracer.enabled or self.node.profiler.enabled
+                or self.qos is not None):
             self._enqueue_times[delivery.uid] = self.env.now
         self._deliveries.put(delivery)
         depth = len(self._deliveries) or 1
         if depth > self.queue_peak:
             self.queue_peak = depth
+
+    # -- overload control (repro.qos) ----------------------------------------
+
+    def queue_depth(self) -> int:
+        """Current oracle-queue depth (the adaptive batching signal)."""
+        return len(self._deliveries)
+
+    def attach_qos(self, admission, batcher=None, classify=None) -> None:
+        """Attach overload control to this oracle replica.
+
+        The oracle group gets the same sequencer-side admission as the
+        partitions — consult floods are the oracle's overload mode. Shed
+        consults are answered with an ``OVERLOAD`` prophecy (the consult
+        reply channel), everything else with an ``OVERLOAD`` reply.
+        """
+        self.qos = admission
+        if hasattr(self.log, "attach_qos"):
+            self.log.attach_qos(admission=admission, batcher=batcher,
+                                on_shed=self._shed_reply, classify=classify)
+
+    def _shed_reply(self, entry: dict, reason: str) -> None:
+        payload = entry.get("payload")
+        command = delivery_command(payload)
+        if command is None or not command.client:
+            return
+        if command.ctype is CommandType.CONSULT:
+            prophecy = Prophecy(status=ProphecyStatus.OVERLOAD,
+                                reason=reason, epoch=self.epoch)
+            self.node.send(command.client, PROPHECY_KIND,
+                           {"cid": command.cid, "prophecy": prophecy},
+                           size=96)
+        else:
+            attempt = (payload.get("attempt", 1)
+                       if isinstance(payload, dict) else 1)
+            self.node.send(command.client, REPLY_KIND, Reply(
+                cid=command.cid, status=ReplyStatus.OVERLOAD, value=reason,
+                sender=self.node.name, partition=ORACLE_GROUP,
+                attempt=attempt), size=96)
+        self.node.flight("qos", f"shed {command.cid} ({reason})")
 
     # -- executor ---------------------------------------------------------------
 
@@ -201,8 +244,12 @@ class OracleReplica:
         try:
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
-                if self.tracer.enabled or self.node.profiler.enabled:
+                if (self.tracer.enabled or self.node.profiler.enabled
+                        or self.qos is not None):
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
+                    if self.qos is not None and enqueued is not None:
+                        self.qos.note_sojourn(self.env.now,
+                                              self.env.now - enqueued)
                     command = delivery_command(delivery.payload)
                     if (command is not None and enqueued is not None
                             and self.env.now > enqueued):

@@ -20,6 +20,7 @@ class ProphecyStatus(str, Enum):
     OK = "ok"          # terminal: nothing to execute (e.g. delete of absent)
     NOK = "nok"        # terminal: command cannot execute (e.g. unknown var)
     LOCATIONS = "locations"
+    OVERLOAD = "overload"  # consult shed by admission control; back off
 
 
 @dataclass

@@ -124,7 +124,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                       shrink: bool = True,
                       shrink_probes: int = 120,
                       artifacts_dir: Optional[str] = None,
-                      supervisor: bool = False) -> FuzzCampaignResult:
+                      supervisor: bool = False,
+                      overload: bool = False) -> FuzzCampaignResult:
     """Run ``num_schedules`` generated schedules; shrink any violation.
 
     With ``supervisor=True`` every schedule runs under the autonomous
@@ -132,6 +133,12 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
     harness-driven restart — the healer alone must bring the system
     back — and the generator adds the false-suspicion vocabulary
     (delay-spiked and drop-isolated nodes).
+
+    With ``overload=True`` every cluster runs with overload control
+    armed (:mod:`repro.qos`) and the generator adds overload-burst
+    events: open-loop read-only surges the admission controllers must
+    shed while the foreground workload still completes under the
+    schedule's other faults.
     """
     runs: list[ScheduleRunResult] = []
     shrinks: dict[int, ShrinkResult] = {}
@@ -141,7 +148,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                                      num_clients=num_clients,
                                      ops_per_client=ops_per_client,
                                      inject_bug=inject_bug,
-                                     supervisor=supervisor)
+                                     supervisor=supervisor,
+                                     overload=overload)
         run = run_schedule(schedule)
         runs.append(run)
         if run.ok:

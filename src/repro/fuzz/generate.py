@@ -131,12 +131,31 @@ def _supervisor_events(rng, shape: dict, horizon: float) -> list[dict]:
     return events
 
 
+def _overload_events(rng, horizon: float) -> list[dict]:
+    """Traffic-burst vocabulary, drawn only for qos-enabled schedules.
+
+    An open-loop read-only surge well above the sequencers' admission
+    rate: the controllers must shed it (explicit OVERLOAD backpressure)
+    while the foreground workload still completes — including under
+    whatever partition/crash faults the schedule combines it with.
+    """
+    events: list[dict] = []
+    count = 1 if rng.random() < 0.75 else 2
+    for _ in range(count):
+        at, end = _window(rng, horizon, min_len=30.0, max_len=80.0)
+        events.append({"kind": "overload", "at": at, "end": end,
+                       "rate_per_s": round(rng.uniform(2_000.0, 6_000.0)),
+                       "clients": rng.randint(4, 8)})
+    return events
+
+
 def generate_schedule(seed: int, index: int,
                       schemes: Sequence[str] = GENERATOR_SCHEMES,
                       num_clients: int = 3, ops_per_client: int = 8,
                       num_keys: int = 6,
                       inject_bug: Optional[str] = None,
-                      supervisor: bool = False) -> FaultSchedule:
+                      supervisor: bool = False,
+                      overload: bool = False) -> FaultSchedule:
     """Draw schedule ``index`` of campaign ``seed`` (pure function)."""
     rng = SeedStream(seed).child("fuzz-gen").stream(f"s{index}")
     scheme = schemes[rng.randrange(len(schemes))]
@@ -170,6 +189,8 @@ def generate_schedule(seed: int, index: int,
     events.extend(_reconfig_events(rng, scheme, horizon))
     if supervisor:
         events.extend(_supervisor_events(rng, shape, horizon))
+    if overload:
+        events.extend(_overload_events(rng, horizon))
     if inject_bug is not None:
         # Sentinel trigger: a planted bug is only observable if a client
         # actually resends a command its server already executed, which
@@ -185,4 +206,5 @@ def generate_schedule(seed: int, index: int,
         seed=seed, index=index, scheme=scheme, events=tuple(events),
         horizon_ms=horizon, deadline_ms=DEADLINE_MS,
         num_clients=num_clients, ops_per_client=ops_per_client,
-        num_keys=num_keys, inject_bug=inject_bug, supervisor=supervisor))
+        num_keys=num_keys, inject_bug=inject_bug, supervisor=supervisor,
+        qos=overload))

@@ -39,7 +39,8 @@ from repro.harness.invariants import cluster_invariants
 from repro.net import FailureInjector
 from repro.obs import CommandTracer, command_timeline, find_anomalies
 from repro.obs.report import slowest_traces
-from repro.resilience import RetryPolicy
+from repro.qos import QosConfig
+from repro.resilience import RequestTimeout, RetryPolicy
 from repro.sim import SeedStream
 from repro.smr import Command, ReplyStatus
 
@@ -129,18 +130,63 @@ def _build_cluster(schedule: FaultSchedule, keys: tuple,
         assignment = {key: i % 2 for i, key in enumerate(keys)}
     cluster_seed = (SeedStream(schedule.seed).child(schedule.scheme)
                     .stream(f"fuzz{schedule.index}").randrange(2**31))
+    # qos=True arms the full overload-control stack with a token bucket
+    # low enough that the generator's burst rates actually shed (the
+    # fuzzer's execution model leaves the executors far from saturated,
+    # so CoDel alone would rarely fire) plus a retry budget on every
+    # client — the maximal surface for QoS x fault interactions.
     cluster = Cluster(ClusterConfig(
         scheme=schedule.scheme, num_partitions=2, replicas_per_partition=2,
-        seed=cluster_seed, retry_policy=RetryPolicy(),
+        seed=cluster_seed,
+        retry_policy=RetryPolicy(budget_ratio=0.2 if schedule.qos
+                                 else None),
         initial_assignment=assignment,
-        dedup=schedule.inject_bug != "no_dedup"), tracer=tracer)
+        dedup=schedule.inject_bug != "no_dedup",
+        qos=QosConfig(rate_per_s=2_000.0) if schedule.qos else None),
+        tracer=tracer)
     cluster.preload({key: 0 for key in keys})
     return cluster
 
 
+def _overload_burst(cluster: Cluster, event: dict, burst_index: int,
+                    keys: tuple):
+    """Generator: open-loop read-only surge over the event's window.
+
+    Burst clients are real cluster clients (their AIMD windows and
+    retry budgets are live), but their ops are *not* recorded in the
+    linearizability history and do not count toward completion — the
+    burst is environment, not workload. Ops are read-only gets, so the
+    recorded history's sequential spec is unaffected, and a burst op
+    that exhausts its retry budget after the window is simply dropped.
+    """
+    env = cluster.env
+    rng = cluster.seeds.child("overload-burst").stream(f"b{burst_index}")
+    clients = [cluster.new_client(f"burst{burst_index}x{i}")
+               for i in range(event["clients"])]
+    gap_ms = 1000.0 / event["rate_per_s"]
+
+    def one_op(client, key):
+        try:
+            yield from client.pace()
+            yield from client.run_command(
+                Command(op="get", args={"key": key}, variables=(key,)))
+        except RequestTimeout:
+            pass
+
+    index = 0
+    while True:
+        yield env.timeout(gap_ms * (0.5 + rng.random()))
+        if env.now >= event["end"]:
+            return
+        env.process(
+            one_op(clients[index % len(clients)], rng.choice(keys)),
+            name=f"fuzz/burst{burst_index}-{index}")
+        index += 1
+
+
 def _apply_schedule(cluster: Cluster, injector: FailureInjector,
                     schedule: FaultSchedule, skipped: list,
-                    reconfig_done: list) -> None:
+                    reconfig_done: list, keys: tuple = ()) -> None:
     """Install every schedule event against the simulation clock."""
     env = cluster.env
 
@@ -225,6 +271,17 @@ def _apply_schedule(cluster: Cluster, injector: FailureInjector,
                 env.process(run(), name=f"fuzz/leave-{partition}")
 
             env.schedule_callback(event["at"], start_leave)
+        elif kind == "overload":
+            burst_index = len([e for e in schedule.events
+                               if e["kind"] == "overload"
+                               and e["at"] < event["at"]])
+
+            def start_burst(event=event, burst_index=burst_index):
+                env.process(_overload_burst(cluster, event, burst_index,
+                                            keys),
+                            name=f"fuzz/burst{burst_index}")
+
+            env.schedule_callback(event["at"], start_burst)
         else:
             raise ValueError(f"unknown event kind {kind!r}")
 
@@ -251,7 +308,8 @@ def run_schedule(schedule: FaultSchedule,
         cluster.seeds.child(f"fuzz{schedule.index}"))
     skipped: list[str] = []
     reconfig_done: list = []
-    _apply_schedule(cluster, injector, schedule, skipped, reconfig_done)
+    _apply_schedule(cluster, injector, schedule, skipped, reconfig_done,
+                    keys=keys)
     # A clean network for the post-fault phase: the invariants are
     # end-state guarantees, and trailing in-window faults would race them.
     env.schedule_callback(schedule.horizon_ms, injector.heal_all)

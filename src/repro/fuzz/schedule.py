@@ -36,7 +36,13 @@ from typing import Optional
 MESSAGE_KINDS = ("drop", "delay", "duplicate", "reorder",
                  "partition", "partition_oneway")
 #: Event kinds the runner handles against the deployment.
-CLUSTER_KINDS = ("crash", "join", "leave")
+#: ``overload`` is an open-loop background traffic surge:
+#: ``{"kind": "overload", "at": t, "end": e, "rate_per_s": r,
+#: "clients": n}`` spawns ``n`` burst clients issuing read-only gets at
+#: aggregate rate ``r`` over the window. Burst ops are excluded from the
+#: completion and linearizability accounting (reads by design, so the
+#: recorded history's spec is unaffected).
+CLUSTER_KINDS = ("crash", "join", "leave", "overload")
 
 #: Minimum ms a clamped crash still keeps its victim down.
 MIN_CRASH_MS = 5.0
@@ -66,6 +72,10 @@ class FaultSchedule:
     # with no harness restart at all. Off by default so existing
     # schedules replay unchanged.
     supervisor: bool = False
+    # Overload control (repro.qos): build the cluster with admission
+    # control, adaptive batching and client AIMD windows armed. Off by
+    # default so existing schedules replay unchanged.
+    qos: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -80,6 +90,7 @@ class FaultSchedule:
             "num_keys": self.num_keys,
             "inject_bug": self.inject_bug,
             "supervisor": self.supervisor,
+            "qos": self.qos,
         }
 
     @classmethod
@@ -93,7 +104,8 @@ class FaultSchedule:
                    ops_per_client=data["ops_per_client"],
                    num_keys=data["num_keys"],
                    inject_bug=data.get("inject_bug"),
-                   supervisor=data.get("supervisor", False))
+                   supervisor=data.get("supervisor", False),
+                   qos=data.get("qos", False))
 
     def canonical_json(self) -> str:
         """Canonical serialisation (sorted keys, no whitespace) — the
@@ -116,6 +128,10 @@ class FaultSchedule:
             elif kind in ("join", "leave"):
                 parts.append(f"{kind}({event['partition']}"
                              f"@{event['at']:.0f})")
+            elif kind == "overload":
+                parts.append(f"burst({event['rate_per_s']:.0f}/s"
+                             f"x{event['clients']}[{event['at']:.0f},"
+                             f"{event['end']:.0f}))")
             elif kind in ("partition", "partition_oneway"):
                 arrow = "~" if kind == "partition" else ">"
                 parts.append(f"split{arrow}[{event['at']:.0f},"
@@ -130,6 +146,8 @@ class FaultSchedule:
                              f"[{event['at']:.0f},{event['end']:.0f}))")
         if self.supervisor:
             parts.append("+supervisor")
+        if self.qos:
+            parts.append("+qos")
         return " ".join(parts) if parts else "no-faults"
 
 
@@ -151,7 +169,9 @@ def normalize_schedule(schedule: FaultSchedule) -> FaultSchedule:
     for event in schedule.events:
         event = dict(event)
         kind = event["kind"]
-        if kind in MESSAGE_KINDS:
+        if kind in MESSAGE_KINDS or kind == "overload":
+            # Windowed events (message faults and traffic bursts) are
+            # clipped to the horizon and dropped when empty.
             if event["at"] >= horizon:
                 continue
             event["end"] = min(event["end"], horizon)

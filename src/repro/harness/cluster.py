@@ -28,6 +28,8 @@ from repro.net import Network, SwitchedClusterLatency, paper_cluster_topology
 from repro.obs import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.ordering import GroupDirectory
+from repro.qos import (AdaptiveBatcher, AdmissionController, AimdWindow,
+                       QosConfig, classify_entry)
 from repro.reconfig import (CheckpointHost, PartitionCheckpointer,
                             ReconfigurationManager,
                             recover_partition_server)
@@ -69,6 +71,12 @@ class ClusterConfig:
     # test-only switch for the chaos sentinel: with dedup off, client
     # resends execute twice and the checkers must catch it.
     dedup: bool = True
+    # Overload control (repro.qos): None builds no controller objects and
+    # keeps every hot path in its pre-QoS shape (the perf gate pins the
+    # default path to the committed baseline). A QosConfig arms
+    # sequencer-side admission + adaptive batching on every group speaker
+    # and an AIMD congestion window on every client.
+    qos: Optional[QosConfig] = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -122,6 +130,23 @@ class Cluster:
         self.servers: dict[str, object] = {}
         self.oracles: list[OracleReplica] = []
         self._build_servers()
+
+        # Overload control (repro.qos): one admission controller and one
+        # adaptive batcher per group, armed on the group's speaker (the
+        # sequencer — the only process that sees client entries before
+        # they are ordered, so the admitted sequence is replica-consistent
+        # by construction).
+        self.qos_admission: dict[str, AdmissionController] = {}
+        self.qos_batchers: dict[str, AdaptiveBatcher] = {}
+        if config.qos is not None:
+            for partition in self.partitions:
+                speaker = self.directory.speaker(partition)
+                self._attach_qos(partition, self.servers[speaker])
+            if self._dynamic:
+                speaker = self.directory.speaker(ORACLE_GROUP)
+                for oracle in self.oracles:
+                    if oracle.node.name == speaker:
+                        self._attach_qos(ORACLE_GROUP, oracle)
 
         # Elastic reconfiguration (repro.reconfig): every partitioned
         # server gets a checkpointer + checkpoint host (pure handler
@@ -181,6 +206,19 @@ class Cluster:
         PartitionCheckpointer(server)
         CheckpointHost(server)
         return server
+
+    def _attach_qos(self, group: str, owner) -> None:
+        """Arm one group's overload control on its speaker replica."""
+        qcfg = self.config.qos
+        admission = AdmissionController(qcfg, name=owner.node.name)
+        batcher = AdaptiveBatcher(min_window_ms=qcfg.min_batch_window_ms,
+                                  max_window_ms=qcfg.max_batch_window_ms,
+                                  depth_per_ms=qcfg.batch_depth_per_ms,
+                                  depth_fn=owner.queue_depth)
+        owner.attach_qos(admission, batcher=batcher,
+                         classify=classify_entry)
+        self.qos_admission[group] = admission
+        self.qos_batchers[group] = batcher
 
     def _register_metrics(self) -> None:
         """Register the deployment's scrape-time gauges (see repro.obs).
@@ -255,6 +293,31 @@ class Cluster:
             1 for s in self.servers.values()
             if getattr(s, "recovery", None) is not None
             and s.recovery.installed))
+        if self.config.qos is not None:
+            # qos.* gauges only exist on QoS-enabled deployments, so the
+            # scrape output of every pre-existing campaign is unchanged.
+            reg.gauge("qos.admitted", lambda: sum(
+                a.admitted for a in self.qos_admission.values()))
+            reg.gauge("qos.shed", lambda: sum(
+                a.shed for a in self.qos_admission.values()))
+            reg.gauge("qos.shed_rate", lambda: sum(
+                a.shed_rate for a in self.qos_admission.values()))
+            reg.gauge("qos.shed_codel", lambda: sum(
+                a.shed_codel for a in self.qos_admission.values()))
+            reg.gauge("qos.control_bypass", lambda: sum(
+                a.bypassed for a in self.qos_admission.values()))
+            reg.gauge("qos.batch_window_ms", lambda: {
+                group: round(b.last_window_ms, 4)
+                for group, b in sorted(self.qos_batchers.items())})
+            reg.gauge("qos.overload_replies", lambda: sum(
+                getattr(c, "overload_replies", 0) for c in self.clients))
+            reg.gauge("qos.aimd_window_min", lambda: round(min(
+                (c.congestion.window for c in self.clients
+                 if getattr(c, "congestion", None) is not None),
+                default=0.0), 3))
+            reg.gauge("qos.retry_budget_denied", lambda: sum(
+                c.retry_budget.denied for c in self.clients
+                if getattr(c, "retry_budget", None) is not None))
 
     def _policy_factory(self):
         config = self.config
@@ -319,6 +382,13 @@ class Cluster:
                                  latency=self.latency,
                                  retry_policy=config.retry_policy, rng=rng,
                                  tracer=self.tracer)
+        if config.qos is not None:
+            qcfg = config.qos
+            client.congestion = AimdWindow(
+                initial=qcfg.aimd_initial, min_window=qcfg.aimd_min,
+                max_window=qcfg.aimd_max, increase=qcfg.aimd_increase,
+                decrease=qcfg.aimd_decrease, rtt_ms=qcfg.aimd_rtt_ms,
+                cooldown_ms=qcfg.aimd_cooldown_ms)
         self.clients.append(client)
         return client
 
@@ -353,6 +423,9 @@ class Cluster:
             # they only deliver fences ordered after their creation.
             server.epoch = self.reconfig.epoch
             self.servers[name] = server
+        if self.config.qos is not None:
+            speaker = self.directory.speaker(partition)
+            self._attach_qos(partition, self.servers[speaker])
         ack = yield from self.reconfig.join(partition)
         self.partitions = tuple(list(self.partitions) + [partition])
         for client in self.clients:
@@ -370,6 +443,13 @@ class Cluster:
             raise RuntimeError("elastic reconfiguration needs a dynamic "
                                "scheme (dssmr or dynastar)")
         result = yield from self.reconfig.leave(partition)
+        # A batch open on the drained partition's sequencer must not be
+        # stranded mid-window: flush it now that no new traffic will
+        # re-arm the window (the LogSequencer batching edge).
+        for name in self.directory.members(partition):
+            log = getattr(self.servers.get(name), "log", None)
+            if log is not None and hasattr(log, "flush_pending"):
+                log.flush_pending()
         self.partitions = tuple(p for p in self.partitions
                                 if p != partition)
         self.retired_partitions = tuple(
@@ -394,6 +474,9 @@ class Cluster:
         replacement = recover_partition_server(crashed,
                                                self.servers[peer_name])
         self.servers[name] = replacement
+        if (self.config.qos is not None
+                and name == self.directory.speaker(partition)):
+            self._attach_qos(partition, replacement)
         return replacement
 
     # -- metrics access ------------------------------------------------------------

@@ -199,8 +199,34 @@ class SequencerLog(GroupLog):
         self._batch: list[dict] = []
         self._flush_scheduled = False
         self.decisions_sent = 0   # decision messages (for E14)
+        # Overload control (repro.qos), attached by the harness; all None
+        # by default so the pre-QoS hot path is untouched.
+        self._admission = None
+        self._batcher = None
+        self._on_shed = None
+        self._classify = None
         node.on(submit_kind(group), self._on_submit)
         node.on(f"log/{group}/decide", self._on_decide)
+        # A batch held across a blackout must drain once we are back.
+        node.on_reconnect(self.flush_pending)
+
+    def attach_qos(self, admission=None, batcher=None, on_shed=None,
+                   classify=None) -> None:
+        """Attach overload control (see :mod:`repro.qos`).
+
+        ``admission`` decides, per client entry arriving at the
+        sequencer, whether to order or shed it; shed entries are handed
+        to ``on_shed(entry, reason)`` so the owning server can send the
+        client an explicit ``OVERLOAD`` reply. ``batcher`` replaces the
+        fixed ``batch_window_ms`` with a queue-depth-adaptive window.
+        ``classify(entry) -> (priority, sheddable)`` marks control
+        traffic: never shed, and sorted ahead of client entries when a
+        batch flushes (reordering is only legal *before* ordering).
+        """
+        self._admission = admission
+        self._batcher = batcher
+        self._on_shed = on_shed
+        self._classify = classify
 
     def submit(self, entry: dict) -> None:
         if "uid" not in entry:
@@ -223,21 +249,61 @@ class SequencerLog(GroupLog):
         uid = entry["uid"]
         if uid in self._sequenced_uids:
             return
+        if self._admission is not None:
+            priority, sheddable = self._classify(entry)
+            reason = self._admission.admit(self.node.env.now,
+                                           sheddable=sheddable)
+            if reason is not None:
+                # Shed before recording the uid so a resubmission of the
+                # same entry gets a fresh admission decision.
+                if self._on_shed is not None:
+                    self._on_shed(entry, reason)
+                return
         self._sequenced_uids.add(uid)
-        if self.batch_window_ms <= 0:
+        window = (self._batcher.window_ms() if self._batcher is not None
+                  else self.batch_window_ms)
+        if window <= 0 and not self._batch:
             self._flush([entry])
             return
+        # Entries held from an earlier window (blackout) stay ahead of
+        # new arrivals: everything drains through one ordered batch.
         self._batch.append(entry)
         if not self._flush_scheduled:
             self._flush_scheduled = True
-            self.node.env.schedule_callback(self.batch_window_ms,
-                                            self._flush_batch)
+            self.node.env.schedule_callback(window, self._flush_batch)
 
     def _flush_batch(self) -> None:
         self._flush_scheduled = False
+        if not self._batch:
+            return
+        if self.node.crashed or self.node.network.is_crashed(self.node.name):
+            # Unreachable mid-window: flushing now would fan the decision
+            # into dropped links and strand the batch on the members.
+            # Hold it — flush_pending drains it on reconnect, and any new
+            # submission re-arms the window.
+            return
+        self._drain_batch()
+
+    def flush_pending(self) -> None:
+        """Flush the open batch immediately, if any.
+
+        The batching window is a throughput optimisation, not a
+        durability boundary: a sequencer drained out of the
+        configuration mid-window, or returning from a network blackout,
+        must not strand the entries buffered in ``_batch``. Harness
+        drain paths and the node's reconnect hook call this; the
+        already-scheduled window callback then finds an empty batch and
+        no-ops.
+        """
         if self._batch and not self.node.crashed:
-            batch, self._batch = self._batch, []
-            self._flush(batch)
+            self._drain_batch()
+
+    def _drain_batch(self) -> None:
+        batch, self._batch = self._batch, []
+        if self._classify is not None:
+            # Stable sort: control entries first, FIFO within a class.
+            batch.sort(key=lambda entry: self._classify(entry)[0])
+        self._flush(batch)
 
     def _flush(self, entries: list[dict]) -> None:
         first_seq = self._next_seq

@@ -34,6 +34,7 @@ class ProtocolNode:
         self.endpoint = network.register(name)
         self._handlers: dict[str, Handler] = {}
         self._default_handler: Optional[Handler] = None
+        self._reconnect_hooks: list[Callable[[], None]] = []
         self._crashed = False
         self._loop = env.process(self._dispatch_loop(), name=f"{name}/loop")
 
@@ -51,6 +52,15 @@ class ProtocolNode:
     def on_default(self, handler: Handler) -> None:
         """Handler for messages with no registered kind."""
         self._default_handler = handler
+
+    def on_reconnect(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after every :meth:`reconnect` (blackout recovery).
+
+        Protocol layers that buffer outbound work (e.g. the sequencer's
+        batch window) use this to drain state they deliberately held
+        while the node was unreachable.
+        """
+        self._reconnect_hooks.append(hook)
 
     # -- sending ------------------------------------------------------------
 
@@ -110,6 +120,8 @@ class ProtocolNode:
         self.endpoint.inbox._getters.clear()
         self._loop = self.env.process(self._dispatch_loop(),
                                       name=f"{self.name}/loop")
+        for hook in list(self._reconnect_hooks):
+            hook()
 
     def _dispatch_loop(self):
         try:

@@ -1,0 +1,146 @@
+"""Sequencer-side admission control: token bucket + CoDel-style shedding.
+
+Why the *sequencer* and not the executor: every replica of a group
+applies the same ordered sequence, so a shed decision taken after
+ordering would have to be replicated itself or the replicas diverge.
+The sequencer is the one process that sees a client entry before it is
+ordered — shedding there keeps the admitted sequence identical on all
+members for free, and the shed entry simply never enters the log.
+
+The delay signal is the *sojourn time* of deliveries leaving the
+colocated executor queue (the sequencer replica is also an executor, so
+its own queue is the congestion it is protecting): the executor loop
+reports each dequeued delivery's queue time via :meth:`note_sojourn`,
+and the CoDel state machine decides when sustained delay warrants
+shedding new arrivals. Everything runs on virtual time with no RNG —
+admission decisions are a pure function of the arrival/sojourn history.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.qos.config import QosConfig
+
+
+class TokenBucket:
+    """Virtual-time token bucket: ``rate_per_s`` admissions, burst depth.
+
+    Refill is computed lazily from elapsed virtual time, so the bucket
+    costs one multiply per admission check and never schedules events.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.rate_per_ms = rate_per_s / 1000.0
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_refill = 0.0
+
+    def try_take(self, now: float) -> bool:
+        """Take one token at virtual time ``now``; False when empty."""
+        if now > self._last_refill:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now - self._last_refill) * self.rate_per_ms)
+            self._last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class CoDelShedder:
+    """CoDel-style controller driven by observed queue sojourn times.
+
+    Classic CoDel drops at dequeue; here the *observation* happens at
+    dequeue (:meth:`note_sojourn`) but the action is taken on new
+    arrivals (:meth:`should_shed`) — the shed must happen before
+    ordering. The control law is unchanged: once sojourn stays above
+    ``target_ms`` for a full ``interval_ms`` the controller enters the
+    shedding state and sheds at ``interval / sqrt(count)`` spacing,
+    leaving the state as soon as a sojourn observation falls back under
+    target.
+    """
+
+    def __init__(self, target_ms: float, interval_ms: float):
+        self.target_ms = target_ms
+        self.interval_ms = interval_ms
+        self.shedding = False
+        self._first_above: Optional[float] = None
+        self._shed_next = 0.0
+        self._count = 0
+
+    def note_sojourn(self, now: float, sojourn_ms: float) -> None:
+        """Feed one dequeued delivery's queue time into the controller."""
+        if sojourn_ms < self.target_ms:
+            self._first_above = None
+            self.shedding = False
+            return
+        if self._first_above is None:
+            self._first_above = now + self.interval_ms
+        elif not self.shedding and now >= self._first_above:
+            self.shedding = True
+            # Restart near the recent shed cadence rather than from 1 —
+            # standard CoDel memory, reaches the right rate faster when
+            # overload resumes shortly after a lull.
+            self._count = max(1, self._count - 2)
+            self._shed_next = now
+
+    def should_shed(self, now: float) -> bool:
+        """True when a new arrival should be shed right now."""
+        if not self.shedding or now < self._shed_next:
+            return False
+        self._count += 1
+        self._shed_next = now + self.interval_ms / math.sqrt(self._count)
+        return True
+
+
+class AdmissionController:
+    """One group's ingress guard: bucket + CoDel + priority bypass.
+
+    ``admit`` returns ``None`` to admit or a short shed reason
+    (``"rate"`` / ``"codel"``) that travels back to the client inside
+    the ``OVERLOAD`` reply. Control traffic must be checked with
+    ``sheddable=False``: it is counted but never shed — moves, heal
+    actions and reconfiguration cannot be starved by client load.
+    """
+
+    def __init__(self, config: QosConfig, name: str = ""):
+        self.name = name
+        self.bucket = (TokenBucket(config.rate_per_s, config.burst)
+                       if config.rate_per_s is not None else None)
+        self.codel = CoDelShedder(config.codel_target_ms,
+                                  config.codel_interval_ms)
+        self.admitted = 0
+        self.bypassed = 0
+        self.shed_rate = 0
+        self.shed_codel = 0
+
+    @property
+    def shed(self) -> int:
+        return self.shed_rate + self.shed_codel
+
+    def note_sojourn(self, now: float, sojourn_ms: float) -> None:
+        self.codel.note_sojourn(now, sojourn_ms)
+
+    def admit(self, now: float, sheddable: bool = True) -> Optional[str]:
+        if not sheddable:
+            self.bypassed += 1
+            return None
+        if self.bucket is not None and not self.bucket.try_take(now):
+            self.shed_rate += 1
+            return "rate"
+        if self.codel.should_shed(now):
+            self.shed_codel += 1
+            return "codel"
+        self.admitted += 1
+        return None
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``qos.*`` gauges and campaign reports."""
+        return {"name": self.name, "admitted": self.admitted,
+                "bypassed": self.bypassed, "shed_rate": self.shed_rate,
+                "shed_codel": self.shed_codel}

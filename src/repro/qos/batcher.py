@@ -1,0 +1,50 @@
+"""Adaptive batch window: queue depth decides the amortization/latency trade.
+
+A fixed ``batch_window_ms`` (E14) buys message amortization at a flat
+latency tax — wrong at both ends: under light load the window is pure
+added latency, under heavy load it may still be too narrow to drain the
+backlog efficiently. The adaptive window reads the colocated executor's
+queue depth at the moment a batch opens and widens linearly from
+``min_window_ms`` toward ``max_window_ms`` by one millisecond per
+``depth_per_ms`` queued deliveries: an idle group flushes immediately,
+a saturated one fans out large batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class AdaptiveBatcher:
+    """Chooses the sequencer's batch window from observed queue depth."""
+
+    def __init__(self, min_window_ms: float = 0.0,
+                 max_window_ms: float = 4.0,
+                 depth_per_ms: float = 8.0,
+                 depth_fn: Optional[Callable[[], int]] = None):
+        if not (0 <= min_window_ms <= max_window_ms):
+            raise ValueError("window bounds out of order")
+        if depth_per_ms <= 0:
+            raise ValueError("depth_per_ms must be positive")
+        self.min_window_ms = min_window_ms
+        self.max_window_ms = max_window_ms
+        self.depth_per_ms = depth_per_ms
+        self.depth_fn = depth_fn
+        self.last_window_ms = min_window_ms
+        self.max_window_seen_ms = min_window_ms
+        self.windows_chosen = 0
+
+    def window_ms(self) -> float:
+        """Batch window to use for the batch opening now."""
+        depth = self.depth_fn() if self.depth_fn is not None else 0
+        window = min(self.max_window_ms,
+                     self.min_window_ms + depth / self.depth_per_ms)
+        self.last_window_ms = window
+        self.max_window_seen_ms = max(self.max_window_seen_ms, window)
+        self.windows_chosen += 1
+        return window
+
+    def stats(self) -> dict:
+        return {"windows_chosen": self.windows_chosen,
+                "last_window_ms": round(self.last_window_ms, 4),
+                "max_window_ms": round(self.max_window_seen_ms, 4)}

@@ -1,0 +1,59 @@
+"""QoS knobs, one frozen dataclass threaded through the harness.
+
+``ClusterConfig.qos`` defaults to ``None`` — no controller objects are
+built and every hot path keeps its pre-QoS shape (the perf gate holds
+the default path to the committed baseline). Constructing a
+:class:`QosConfig` turns everything on at once; individual mechanisms
+can be weakened back to no-ops (``rate_per_s=None`` disables the token
+bucket, ``codel_target_ms=0`` effectively disables CoDel, equal min/max
+windows pin the batcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Tuning for admission, batching and the client congestion window."""
+
+    #: Token-bucket admission rate per sequencer (client entries per
+    #: second); ``None`` disables the bucket and leaves CoDel in charge.
+    rate_per_s: Optional[float] = None
+    #: Bucket depth — how large a burst is admitted at line rate.
+    burst: float = 32.0
+    #: CoDel: shed while queue sojourn stays above target for a full
+    #: interval (both in virtual ms).
+    codel_target_ms: float = 5.0
+    codel_interval_ms: float = 40.0
+    #: Adaptive batch window bounds; the window widens from min toward
+    #: max by 1 ms per ``batch_depth_per_ms`` queued deliveries.
+    min_batch_window_ms: float = 0.0
+    max_batch_window_ms: float = 4.0
+    batch_depth_per_ms: float = 8.0
+    #: Client AIMD congestion window (see :class:`~repro.qos.AimdWindow`).
+    aimd_initial: float = 8.0
+    aimd_min: float = 1.0
+    aimd_max: float = 64.0
+    aimd_increase: float = 1.0
+    aimd_decrease: float = 0.5
+    aimd_rtt_ms: float = 5.0
+    aimd_cooldown_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.codel_target_ms < 0 or self.codel_interval_ms <= 0:
+            raise ValueError("codel target/interval must be sane")
+        if not (0 <= self.min_batch_window_ms <= self.max_batch_window_ms):
+            raise ValueError("batch window bounds out of order")
+        if self.batch_depth_per_ms <= 0:
+            raise ValueError("batch_depth_per_ms must be positive")
+        if not (0 < self.aimd_min <= self.aimd_initial <= self.aimd_max):
+            raise ValueError("aimd window bounds out of order")
+        if not (0 < self.aimd_decrease < 1):
+            raise ValueError("aimd_decrease must be in (0, 1)")

@@ -1,0 +1,88 @@
+"""Client-side AIMD congestion window.
+
+The resilient request loop (:mod:`repro.resilience`,
+:meth:`repro.smr.client.BaseClient.resilient_request`) is an overload
+*amplifier* on its own: every timeout resends, so offered load grows
+exactly when the system can least absorb it. The AIMD window turns the
+explicit ``OVERLOAD`` backpressure signal (and timeouts) into reduced
+client pressure, TCP-style: multiplicative decrease on congestion,
+additive increase on success, with a cooldown so one burst of overload
+replies from the same round trip counts as a single congestion event.
+
+The window paces two things: fresh sends (``reserve`` hands out send
+slots at ``window / rtt_ms`` per millisecond) and retry backoff
+(``backoff_ms`` stretches as the window shrinks). Deterministic — any
+jitter comes from the caller's seeded RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AimdWindow:
+    """Additive-increase / multiplicative-decrease send window."""
+
+    def __init__(self, initial: float = 8.0, min_window: float = 1.0,
+                 max_window: float = 64.0, increase: float = 1.0,
+                 decrease: float = 0.5, rtt_ms: float = 5.0,
+                 cooldown_ms: float = 10.0):
+        if not (0 < min_window <= initial <= max_window):
+            raise ValueError("window bounds out of order")
+        if not (0 < decrease < 1):
+            raise ValueError("decrease must be in (0, 1)")
+        self.window = float(initial)
+        self.min_window = float(min_window)
+        self.max_window = float(max_window)
+        self.increase = increase
+        self.decrease = decrease
+        self.rtt_ms = rtt_ms
+        self.cooldown_ms = cooldown_ms
+        self._recover_until: Optional[float] = None
+        self._next_free = 0.0
+        self.successes = 0
+        self.congestions = 0
+        self.decreases = 0
+        self.min_seen = self.window
+        self.max_seen = self.window
+
+    def on_success(self) -> None:
+        """One request completed: grow by ~1/window (additive per RTT)."""
+        self.successes += 1
+        self.window = min(self.max_window,
+                          self.window + self.increase / max(1.0, self.window))
+        self.max_seen = max(self.max_seen, self.window)
+
+    def on_congestion(self, now: float) -> None:
+        """An OVERLOAD reply or timeout: halve, at most once per cooldown."""
+        self.congestions += 1
+        if self._recover_until is not None and now < self._recover_until:
+            return
+        self.window = max(self.min_window, self.window * self.decrease)
+        self.decreases += 1
+        self._recover_until = now + self.cooldown_ms
+        self.min_seen = min(self.min_seen, self.window)
+
+    def reserve(self, now: float) -> float:
+        """Claim the next send slot; returns how long to wait (ms, >= 0).
+
+        Slots are spaced ``rtt_ms / window`` apart, i.e. the window is an
+        allowed-concurrency-per-RTT turned into a pacing rate.
+        """
+        interval = self.rtt_ms / self.window
+        start = max(now, self._next_free)
+        self._next_free = start + interval
+        return start - now
+
+    def backoff_ms(self) -> float:
+        """Retry backoff scaled to the window: full window → one RTT,
+        smallest window → stretched by sqrt(max/min)."""
+        return self.rtt_ms * (self.max_window / self.window) ** 0.5
+
+    def stats(self) -> dict:
+        return {"window": round(self.window, 3),
+                "min_seen": round(self.min_seen, 3),
+                "max_seen": round(self.max_seen, 3),
+                "successes": self.successes,
+                "congestions": self.congestions,
+                "decreases": self.decreases}

@@ -50,6 +50,13 @@ class RetryPolicy:
     RNG so that synchronised clients desynchronise deterministically.
     ``max_attempts == 0`` retries forever — the right default for chaos
     campaigns where every injected fault eventually heals.
+
+    ``budget_ratio`` arms a retry *budget* (default ``None`` = off, the
+    historical behaviour): each success deposits ``budget_ratio``
+    withdrawal rights, each retry withdraws one, so sustained retries
+    are capped at that fraction of the recent success rate and the
+    retry loop cannot multiply offered load during overload. See
+    :class:`RetryBudget`.
     """
 
     timeout_ms: float = 50.0
@@ -58,12 +65,21 @@ class RetryPolicy:
     backoff_max_ms: float = 200.0
     jitter: float = 0.5
     max_attempts: int = 0
+    budget_ratio: Optional[float] = None
 
     def __post_init__(self):
         if self.timeout_ms <= 0:
             raise ValueError("timeout_ms must be positive")
         if not 0 <= self.jitter <= 1:
             raise ValueError("jitter must be within [0, 1]")
+        if self.budget_ratio is not None and not 0 < self.budget_ratio <= 1:
+            raise ValueError("budget_ratio must be in (0, 1]")
+
+    def make_budget(self) -> Optional["RetryBudget"]:
+        """Build this policy's retry budget, or None when disabled."""
+        if self.budget_ratio is None:
+            return None
+        return RetryBudget(ratio=self.budget_ratio)
 
     def backoff_ms(self, attempt: int,
                    rng: Optional[random.Random] = None) -> float:
@@ -78,6 +94,52 @@ class RetryPolicy:
     def gives_up(self, attempts: int) -> bool:
         """True when ``attempts`` completed attempts exhaust the budget."""
         return bool(self.max_attempts) and attempts >= self.max_attempts
+
+
+class RetryBudget:
+    """Token budget capping retries at a fraction of recent successes.
+
+    The resilient request loop is an overload amplifier: every timeout
+    resends, so offered load grows exactly when the system is slowest.
+    The budget (the Finagle-style construction) breaks the feedback:
+    successes deposit ``ratio`` tokens, each retry withdraws one, and
+    the balance is capped so old quiet periods cannot bankroll a retry
+    storm. A small time-based reserve (``reserve_per_s``, virtual time)
+    keeps a fully-failed client probing slowly instead of livelocking —
+    a denied withdrawal is a *wait*, never a permanent give-up.
+    """
+
+    def __init__(self, ratio: float = 0.2, cap: float = 10.0,
+                 reserve_per_s: float = 2.0):
+        if not 0 < ratio <= 1:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+        self.cap = float(cap)
+        self.reserve_per_s = reserve_per_s
+        # Start full: cold-start retries (first request lost before any
+        # success) must not be starved.
+        self.balance = float(cap)
+        self._last_refill = 0.0
+        self.granted = 0
+        self.denied = 0
+
+    def note_success(self) -> None:
+        self.balance = min(self.cap, self.balance + self.ratio)
+
+    def allow(self, now: float) -> bool:
+        """Withdraw one retry right at virtual time ``now``."""
+        if self.reserve_per_s > 0 and now > self._last_refill:
+            self.balance = min(
+                self.cap,
+                self.balance
+                + (now - self._last_refill) * self.reserve_per_s / 1000.0)
+        self._last_refill = max(self._last_refill, now)
+        if self.balance >= 1.0:
+            self.balance -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
 
 
 def with_timeout(env: Environment, event: Event,

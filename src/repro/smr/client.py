@@ -24,7 +24,7 @@ from repro.obs.tracing import NULL_TRACER, trace_id_of
 from repro.ordering import GroupDirectory, MulticastClient, ProtocolNode
 from repro.resilience import RequestTimeout, RetryPolicy, with_timeout
 from repro.sim import Environment, Event, LatencyRecorder
-from repro.smr.command import Command, Reply
+from repro.smr.command import Command, Reply, ReplyStatus
 from repro.smr.replica import REPLY_KIND
 
 
@@ -55,6 +55,13 @@ class BaseClient:
         self.profiler = self.node.profiler
         # retry_policy=None keeps the legacy block-forever behaviour.
         self.retry_policy = retry_policy
+        # Overload control (repro.qos): the AIMD congestion window is
+        # attached by the harness when QoS is enabled; the retry budget
+        # arms itself from the policy's default-off knob.
+        self.congestion = None
+        self.retry_budget = (retry_policy.make_budget()
+                             if retry_policy is not None else None)
+        self.overload_replies = 0
         self._rng = rng if rng is not None else random.Random(0)
         self._waiting: dict[str, tuple[Event, Optional[int]]] = {}
         self._done: set[str] = set()
@@ -124,6 +131,58 @@ class BaseClient:
         if self.profiler.enabled:
             self.profiler.command(trace_id_of(cid), self.env.now - start)
 
+    # -- overload control (repro.qos) ----------------------------------------
+
+    def pace(self):
+        """Generator: claim an AIMD send slot before issuing a fresh command.
+
+        No-op without an attached congestion window. Open-loop drivers
+        call this so client pressure tracks the window rather than the
+        raw arrival process.
+        """
+        if self.congestion is None:
+            return
+        delay = self.congestion.reserve(self.env.now)
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    def _note_success(self) -> None:
+        if self.congestion is not None:
+            self.congestion.on_success()
+        if self.retry_budget is not None:
+            self.retry_budget.note_success()
+
+    def _note_congestion(self) -> None:
+        if self.congestion is not None:
+            self.congestion.on_congestion(self.env.now)
+
+    def overload_backoff_ms(self, attempt: int) -> float:
+        """Backoff after an ``OVERLOAD`` reply: window-scaled, jittered."""
+        if self.congestion is not None:
+            base = self.congestion.backoff_ms()
+        elif self.retry_policy is not None:
+            return self.retry_policy.backoff_ms(attempt, self._rng)
+        else:
+            base = 5.0
+        return base * (1.0 - 0.5 * self._rng.random())
+
+    def acquire_retry(self, cid: str):
+        """Generator: wait until the retry budget grants a withdrawal.
+
+        No-op when the budget knob is off. A denied withdrawal sleeps
+        one max-backoff and asks again — the time-based reserve refill
+        guarantees eventual progress, so this never gives up.
+        """
+        if self.retry_budget is None:
+            return
+        while not self.retry_budget.allow(self.env.now):
+            wait = (self.retry_policy.backoff_max_ms
+                    if self.retry_policy is not None else 50.0)
+            self.node.flight("retry-budget", f"{cid} deferred")
+            budget_start = self.env.now
+            yield self.env.timeout(wait)
+            self.trace_stage(cid, "retry-wait", budget_start)
+
     # -- resilient requests --------------------------------------------------
 
     def next_uid(self, base: str) -> str:
@@ -167,14 +226,33 @@ class BaseClient:
             fired, reply = yield from with_timeout(
                 self.env, event, policy.timeout_ms if policy else None)
             if fired:
+                if reply.status is ReplyStatus.OVERLOAD:
+                    # Explicit backpressure: the sequencer shed this
+                    # attempt before ordering it. Shrink the congestion
+                    # window and back off harder than a plain retry.
+                    self.trace_stage(cid, stage, wait_start, overload=True)
+                    self.overload_replies += 1
+                    self._note_congestion()
+                    self.node.flight("qos",
+                                     f"{cid} overload ({reply.value})")
+                    if policy is not None and policy.gives_up(attempt):
+                        raise RequestTimeout(cid, attempt)
+                    yield from self.acquire_retry(cid)
+                    backoff_start = self.env.now
+                    yield self.env.timeout(self.overload_backoff_ms(attempt))
+                    self.trace_stage(cid, "retry-wait", backoff_start)
+                    continue
                 self.trace_stage(cid, stage, wait_start)
+                self._note_success()
                 return reply
             self.trace_stage(cid, stage, wait_start, timeout=True)
             self.cancel_wait(cid)
             self.timeouts += 1
+            self._note_congestion()
             self.node.flight("retry", f"{cid} attempt {attempt} timed out")
             if policy.gives_up(attempt):
                 raise RequestTimeout(cid, attempt)
+            yield from self.acquire_retry(cid)
             backoff_start = self.env.now
             yield self.env.timeout(policy.backoff_ms(attempt, self._rng))
             self.trace_stage(cid, "retry-wait", backoff_start)
@@ -200,14 +278,30 @@ class BaseClient:
             fired, reply = yield from with_timeout(
                 self.env, event, policy.timeout_ms if policy else None)
             if fired:
+                if reply.status is ReplyStatus.OVERLOAD:
+                    self.trace_stage(cid, stage, wait_start, overload=True)
+                    self.overload_replies += 1
+                    self._note_congestion()
+                    self.node.flight("qos",
+                                     f"{cid} overload ({reply.value})")
+                    if policy is not None and policy.gives_up(sends):
+                        raise RequestTimeout(cid, sends)
+                    yield from self.acquire_retry(cid)
+                    backoff_start = self.env.now
+                    yield self.env.timeout(self.overload_backoff_ms(sends))
+                    self.trace_stage(cid, "retry-wait", backoff_start)
+                    continue
                 self.trace_stage(cid, stage, wait_start)
+                self._note_success()
                 return reply
             self.trace_stage(cid, stage, wait_start, timeout=True)
             self.cancel_wait(cid)
             self.timeouts += 1
+            self._note_congestion()
             self.node.flight("retry", f"{cid} send {sends} timed out")
             if policy.gives_up(sends):
                 raise RequestTimeout(cid, sends)
+            yield from self.acquire_retry(cid)
             backoff_start = self.env.now
             yield self.env.timeout(policy.backoff_ms(sends, self._rng))
             self.trace_stage(cid, "retry-wait", backoff_start)

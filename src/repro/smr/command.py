@@ -39,6 +39,7 @@ class ReplyStatus(str, Enum):
     OK = "ok"
     NOK = "nok"        # the oracle rejected the command (e.g. unknown var)
     RETRY = "retry"    # partition no longer holds the variables; re-consult
+    OVERLOAD = "overload"  # shed by admission control; back off and retry
 
 
 @dataclass

@@ -67,6 +67,9 @@ class SmrReplica:
         self.replies = ReplyCache(enabled=dedup)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.queue_peak = 0
+        # Overload control (repro.qos), attached by the harness; None
+        # keeps the intake/executor hot paths in their pre-QoS shape.
+        self.qos = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._enqueue)
@@ -107,12 +110,40 @@ class SmrReplica:
                     if self.node.profiler.enabled:
                         self.node.profiler.account(
                             self.node.name, "order", self.env.now - sent)
-        if self.tracer.enabled or self.node.profiler.enabled:
+        if (self.tracer.enabled or self.node.profiler.enabled
+                or self.qos is not None):
             self._enqueue_times[delivery.uid] = self.env.now
         self._deliveries.put(delivery)
         depth = len(self._deliveries) or 1
         if depth > self.queue_peak:
             self.queue_peak = depth
+
+    # -- overload control (repro.qos) ----------------------------------------
+
+    def queue_depth(self) -> int:
+        """Current executor-queue depth (the adaptive batching signal)."""
+        return len(self._deliveries)
+
+    def attach_qos(self, admission, batcher=None, classify=None) -> None:
+        """Attach overload control (see :meth:`SsmrServer.attach_qos`)."""
+        self.qos = admission
+        if hasattr(self.log, "attach_qos"):
+            self.log.attach_qos(admission=admission, batcher=batcher,
+                                on_shed=self._shed_reply, classify=classify)
+
+    def _shed_reply(self, entry: dict, reason: str) -> None:
+        """Backpressure for a shed entry: explicit OVERLOAD, not silence."""
+        payload = entry.get("payload")
+        command = delivery_command(payload)
+        if command is None or not command.client:
+            return
+        attempt = (payload.get("attempt", 1)
+                   if isinstance(payload, dict) else 1)
+        self.node.send(command.client, REPLY_KIND, Reply(
+            cid=command.cid, status=ReplyStatus.OVERLOAD, value=reason,
+            sender=self.node.name, partition=self.group,
+            attempt=attempt), size=96)
+        self.node.flight("qos", f"shed {command.cid} ({reason})")
 
     def _execute_loop(self):
         try:
@@ -127,8 +158,12 @@ class SmrReplica:
                 else:                            # legacy raw Command
                     command = payload
                     attempt = 1
-                if self.tracer.enabled or self.node.profiler.enabled:
+                if (self.tracer.enabled or self.node.profiler.enabled
+                        or self.qos is not None):
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
+                    if self.qos is not None and enqueued is not None:
+                        self.qos.note_sojourn(self.env.now,
+                                              self.env.now - enqueued)
                     if enqueued is not None and self.env.now > enqueued:
                         if self.tracer.enabled:
                             self.tracer.span(trace_id_of(command.cid),

@@ -80,6 +80,9 @@ class SsmrServer:
         self.applied_reconfigs: set[str] = set()
         # Attached by repro.reconfig.PartitionCheckpointer (None without).
         self.checkpointer = None
+        # Overload control (repro.qos), attached by the harness; None
+        # keeps the intake/executor hot paths in their pre-QoS shape.
+        self.qos = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         # The delivery the executor is currently inside (checkpoint
@@ -124,12 +127,47 @@ class SsmrServer:
                     if self.node.profiler.enabled:
                         self.node.profiler.account(
                             self.node.name, "order", self.env.now - sent)
-        if self.tracer.enabled or self.node.profiler.enabled:
+        if (self.tracer.enabled or self.node.profiler.enabled
+                or self.qos is not None):
             self._enqueue_times[delivery.uid] = self.env.now
         self._deliveries.put(delivery)
         depth = len(self._deliveries) or 1
         if depth > self.queue_peak:
             self.queue_peak = depth
+
+    # -- overload control (repro.qos) ----------------------------------------
+
+    def queue_depth(self) -> int:
+        """Current executor-queue depth (the adaptive batching signal)."""
+        return len(self._deliveries)
+
+    def attach_qos(self, admission, batcher=None, classify=None) -> None:
+        """Attach overload control to this replica.
+
+        Admission decisions happen inside the sequencer log (meaningful
+        on the group speaker only — the one process that sees client
+        entries before they are ordered, so the admitted sequence stays
+        identical on every member); the executor loop feeds each
+        dequeued delivery's queue sojourn to the CoDel controller.
+        """
+        self.qos = admission
+        if hasattr(self.log, "attach_qos"):
+            self.log.attach_qos(admission=admission, batcher=batcher,
+                                on_shed=self._shed_reply, classify=classify)
+
+    def _shed_reply(self, entry: dict, reason: str) -> None:
+        """Backpressure for a shed entry: explicit OVERLOAD, not silence."""
+        payload = entry.get("payload")
+        command = delivery_command(payload)
+        if command is None or not command.client:
+            return
+        attempt = (payload.get("attempt", 1)
+                   if isinstance(payload, dict) else 1)
+        self.node.send(command.client, REPLY_KIND, Reply(
+            cid=command.cid, status=ReplyStatus.OVERLOAD, value=reason,
+            sender=self.node.name, partition=self.partition,
+            attempt=attempt), size=96)
+        self.node.flight("qos", f"shed {command.cid} ({reason})")
 
     # -- executor -------------------------------------------------------------
 
@@ -139,8 +177,12 @@ class SsmrServer:
                 yield self._start_gate
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
-                if self.tracer.enabled or self.node.profiler.enabled:
+                if (self.tracer.enabled or self.node.profiler.enabled
+                        or self.qos is not None):
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
+                    if self.qos is not None and enqueued is not None:
+                        self.qos.note_sojourn(self.env.now,
+                                              self.env.now - enqueued)
                     command = delivery_command(delivery.payload)
                     if (command is not None and enqueued is not None
                             and self.env.now > enqueued):

@@ -81,3 +81,104 @@ class TestBatching:
         logs["m0"].submit({"uid": "dup"})
         env.run(until=1_000)
         assert [uid for _seq, uid in logs["m0"].applied] == ["dup"]
+
+
+class TestStrandedBatch:
+    """Regression: entries buffered in an open batch window must never be
+    stranded — not by a network blackout mid-window, and not by the
+    sequencer being drained out of the configuration."""
+
+    def test_flush_pending_drains_open_batch(self, env):
+        _net, logs = build(env, batch_window_ms=50.0)
+        logs["m0"].submit({"uid": "held"})
+        assert logs["m0"].applied == []  # still inside the window
+        logs["m0"].flush_pending()
+        assert [uid for _seq, uid in logs["m0"].applied] == ["held"]
+        env.run(until=1_000)
+        assert [uid for _seq, uid in logs["m2"].applied] == ["held"]
+        # The window callback later finds an empty batch and no-ops.
+        assert logs["m0"].decisions_sent == 1
+
+    def test_flush_pending_on_empty_batch_is_noop(self, env):
+        _net, logs = build(env, batch_window_ms=5.0)
+        logs["m0"].flush_pending()
+        assert logs["m0"].decisions_sent == 0
+
+    def test_batch_held_during_blackout_flushed_on_reconnect(self, env):
+        net, logs = build(env, batch_window_ms=5.0)
+
+        def scenario(env):
+            logs["m0"].submit({"uid": "pre-blackout"})
+            yield env.timeout(1.0)
+            net.crash("m0")  # blackout before the window fires
+            yield env.timeout(50.0)
+            # Held, not fanned into dropped links: followers saw nothing
+            # and the sequencer did not burn the decision.
+            assert logs["m1"].applied == []
+            assert logs["m0"].decisions_sent == 0
+            logs["m0"].node.reconnect()
+
+        env.process(scenario(env))
+        env.run(until=1_000)
+        assert [uid for _seq, uid in logs["m1"].applied] == ["pre-blackout"]
+        assert logs["m0"].applied == logs["m1"].applied == logs["m2"].applied
+
+    def test_shed_entry_can_be_resubmitted(self, env):
+        """A shed must happen before the uid is recorded: the client's
+        resubmission of the same entry gets a fresh admission decision
+        instead of vanishing into the dedup set."""
+        _net, logs = build(env, batch_window_ms=0.0)
+        shed = []
+
+        class OneShotAdmission:
+            def __init__(self):
+                self.calls = 0
+
+            def admit(self, now, sheddable=True):
+                self.calls += 1
+                return "rate" if self.calls == 1 else None
+
+        logs["m0"].attach_qos(OneShotAdmission(),
+                              on_shed=lambda entry, reason:
+                              shed.append((entry["uid"], reason)),
+                              classify=lambda entry: (1, True))
+        logs["m0"].submit({"uid": "again"})
+        assert shed == [("again", "rate")]
+        assert logs["m0"].applied == []
+        logs["m0"].submit({"uid": "again"})
+        env.run(until=1_000)
+        assert [uid for _seq, uid in logs["m2"].applied] == ["again"]
+
+
+class TestQosBatching:
+    def test_adaptive_window_follows_queue_depth(self, env):
+        from repro.qos import AdaptiveBatcher
+
+        _net, logs = build(env, batch_window_ms=0.0)
+        depth = {"n": 0}
+        batcher = AdaptiveBatcher(min_window_ms=0.0, max_window_ms=4.0,
+                                  depth_per_ms=8.0,
+                                  depth_fn=lambda: depth["n"])
+        logs["m0"].attach_qos(None, batcher=batcher)
+        logs["m0"].submit({"uid": "idle"})  # depth 0: immediate flush
+        assert [uid for _seq, uid in logs["m0"].applied] == ["idle"]
+        depth["n"] = 16  # 2 ms window under load
+        logs["m0"].submit({"uid": "busy"})
+        assert len(logs["m0"].applied) == 1  # batched, not yet flushed
+        env.run(until=1_000)
+        assert [uid for _seq, uid in logs["m0"].applied] == ["idle", "busy"]
+        assert batcher.last_window_ms == pytest.approx(2.0)
+        assert logs["m0"].decisions_sent == 2
+
+    def test_control_entries_sort_first_within_batch(self, env):
+        _net, logs = build(env, batch_window_ms=5.0)
+        logs["m0"].attach_qos(None, classify=lambda entry:
+                              (entry.get("prio", 1), True))
+        logs["m0"].submit({"uid": "client1"})
+        logs["m0"].submit({"uid": "ctrl", "prio": 0})
+        logs["m0"].submit({"uid": "client2"})
+        env.run(until=1_000)
+        # Control first, FIFO within a class, on every member.
+        expected = ["ctrl", "client1", "client2"]
+        assert [uid for _seq, uid in logs["m0"].applied] == expected
+        assert [uid for _seq, uid in logs["m2"].applied] == expected

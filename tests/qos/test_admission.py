@@ -1,0 +1,132 @@
+"""Unit tests for admission control: token bucket + CoDel shedder."""
+
+import pytest
+
+from repro.qos import AdmissionController, CoDelShedder, QosConfig, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=4.0)
+        grants = [bucket.try_take(0.0) for _ in range(6)]
+        assert grants == [True] * 4 + [False] * 2
+
+    def test_refills_with_virtual_time(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 1000/s == 1 token per ms.
+        assert bucket.try_take(1.0)
+        assert not bucket.try_take(1.0)
+
+    def test_balance_capped_at_burst(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2.0)
+        # A long quiet period must not bankroll an unbounded burst.
+        grants = [bucket.try_take(10_000.0) for _ in range(5)]
+        assert grants.count(True) == 2
+
+
+class TestCoDelShedder:
+    def test_no_shedding_below_target(self):
+        codel = CoDelShedder(target_ms=5.0, interval_ms=40.0)
+        for now in range(100):
+            codel.note_sojourn(float(now), 1.0)
+            assert not codel.should_shed(float(now))
+
+    def test_enters_shedding_after_sustained_delay(self):
+        codel = CoDelShedder(target_ms=5.0, interval_ms=40.0)
+        shed = []
+        for now in range(0, 200, 2):
+            codel.note_sojourn(float(now), 20.0)
+            if codel.should_shed(float(now)):
+                shed.append(now)
+        # Nothing shed during the first full interval of bad sojourns,
+        # then sqrt-spaced shedding kicks in.
+        assert shed
+        assert shed[0] >= 40
+        assert len(shed) >= 2
+
+    def test_shed_spacing_tightens_with_count(self):
+        codel = CoDelShedder(target_ms=5.0, interval_ms=40.0)
+        shed_times = []
+        now = 0.0
+        while now < 2_000.0:
+            codel.note_sojourn(now, 50.0)
+            if codel.should_shed(now):
+                shed_times.append(now)
+            now += 0.5
+        gaps = [b - a for a, b in zip(shed_times, shed_times[1:])]
+        assert len(gaps) >= 4
+        # Interval shrinks as interval/sqrt(count): later gaps strictly
+        # tighter than the first.
+        assert gaps[-1] < gaps[0]
+
+    def test_exits_shedding_when_sojourn_recovers(self):
+        codel = CoDelShedder(target_ms=5.0, interval_ms=40.0)
+        now = 0.0
+        while now < 200.0:
+            codel.note_sojourn(now, 50.0)
+            codel.should_shed(now)
+            now += 1.0
+        codel.note_sojourn(now, 1.0)
+        assert not codel.should_shed(now)
+        # Fully recovered: a later bad patch needs a full interval again.
+        codel.note_sojourn(now + 1.0, 50.0)
+        assert not codel.should_shed(now + 1.0)
+
+
+class TestAdmissionController:
+    def test_disabled_bucket_admits_everything_idle(self):
+        ctrl = AdmissionController(QosConfig())  # rate_per_s=None
+        assert all(ctrl.admit(float(t)) is None for t in range(100))
+        assert ctrl.admitted == 100
+        assert ctrl.shed == 0
+
+    def test_rate_shedding_reports_reason(self):
+        ctrl = AdmissionController(QosConfig(rate_per_s=1000.0, burst=2.0))
+        reasons = [ctrl.admit(0.0) for _ in range(4)]
+        assert reasons[:2] == [None, None]
+        assert reasons[2] == "rate" and reasons[3] == "rate"
+        assert ctrl.shed == 2 and ctrl.shed_rate == 2
+
+    def test_codel_shedding_reports_reason(self):
+        ctrl = AdmissionController(QosConfig(codel_target_ms=5.0,
+                                             codel_interval_ms=40.0))
+        reasons = set()
+        for now in range(0, 400, 1):
+            ctrl.note_sojourn(float(now), 30.0)
+            reason = ctrl.admit(float(now))
+            if reason is not None:
+                reasons.add(reason)
+        assert reasons == {"codel"}
+        assert ctrl.shed == ctrl.shed_codel > 0
+
+    def test_control_traffic_bypasses_shedding(self):
+        ctrl = AdmissionController(QosConfig(rate_per_s=1000.0, burst=1.0))
+        assert ctrl.admit(0.0) is None           # burst spent
+        assert ctrl.admit(0.0) == "rate"         # client entry shed
+        assert ctrl.admit(0.0, sheddable=False) is None
+        assert ctrl.bypassed == 1
+
+    def test_stats_shape(self):
+        ctrl = AdmissionController(QosConfig(rate_per_s=100.0), name="p0s0")
+        ctrl.admit(0.0)
+        stats = ctrl.stats()
+        assert stats["name"] == "p0s0"
+        assert stats["admitted"] == 1
+        assert {"shed_rate", "shed_codel", "bypassed"} <= set(stats)
+
+
+class TestQosConfigValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            QosConfig(rate_per_s=0.0)
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            QosConfig(min_batch_window_ms=5.0, max_batch_window_ms=1.0)
+
+    def test_rejects_bad_aimd(self):
+        with pytest.raises(ValueError):
+            QosConfig(aimd_min=8.0, aimd_max=2.0)

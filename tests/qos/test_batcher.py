@@ -1,0 +1,57 @@
+"""Unit tests for the adaptive batch window."""
+
+import pytest
+
+from repro.qos import AdaptiveBatcher
+
+
+class TestAdaptiveBatcher:
+    def test_idle_queue_flushes_immediately(self):
+        batcher = AdaptiveBatcher(min_window_ms=0.0, max_window_ms=4.0,
+                                  depth_per_ms=8.0, depth_fn=lambda: 0)
+        assert batcher.window_ms() == 0.0
+
+    def test_window_scales_linearly_with_depth(self):
+        depth = {"n": 0}
+        batcher = AdaptiveBatcher(min_window_ms=0.0, max_window_ms=10.0,
+                                  depth_per_ms=8.0,
+                                  depth_fn=lambda: depth["n"])
+        depth["n"] = 8
+        assert batcher.window_ms() == pytest.approx(1.0)
+        depth["n"] = 24
+        assert batcher.window_ms() == pytest.approx(3.0)
+
+    def test_window_clamped_at_max(self):
+        batcher = AdaptiveBatcher(min_window_ms=0.0, max_window_ms=4.0,
+                                  depth_per_ms=8.0, depth_fn=lambda: 10_000)
+        assert batcher.window_ms() == 4.0
+
+    def test_min_window_is_floor(self):
+        batcher = AdaptiveBatcher(min_window_ms=1.5, max_window_ms=4.0,
+                                  depth_per_ms=8.0, depth_fn=lambda: 0)
+        assert batcher.window_ms() == 1.5
+
+    def test_no_depth_fn_means_min_window(self):
+        batcher = AdaptiveBatcher(min_window_ms=0.5, max_window_ms=4.0)
+        assert batcher.window_ms() == 0.5
+
+    def test_stats_track_choices(self):
+        depth = {"n": 0}
+        batcher = AdaptiveBatcher(min_window_ms=0.0, max_window_ms=4.0,
+                                  depth_per_ms=8.0,
+                                  depth_fn=lambda: depth["n"])
+        batcher.window_ms()
+        depth["n"] = 16
+        batcher.window_ms()
+        depth["n"] = 4
+        batcher.window_ms()
+        stats = batcher.stats()
+        assert stats["windows_chosen"] == 3
+        assert stats["last_window_ms"] == pytest.approx(0.5)
+        assert stats["max_window_ms"] == pytest.approx(2.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(min_window_ms=5.0, max_window_ms=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(depth_per_ms=0.0)

@@ -1,0 +1,143 @@
+"""Unit tests for the client AIMD window and the retry budget."""
+
+import pytest
+
+from repro.qos import AimdWindow
+from repro.resilience import RetryBudget, RetryPolicy
+
+
+class TestAimdWindow:
+    def test_additive_increase_on_success(self):
+        win = AimdWindow(initial=8.0, increase=1.0)
+        win.on_success()
+        assert win.window == pytest.approx(8.0 + 1.0 / 8.0)
+
+    def test_increase_capped_at_max(self):
+        win = AimdWindow(initial=8.0, max_window=9.0)
+        for _ in range(100):
+            win.on_success()
+        assert win.window == 9.0
+
+    def test_multiplicative_decrease_on_congestion(self):
+        win = AimdWindow(initial=8.0, decrease=0.5)
+        win.on_congestion(now=0.0)
+        assert win.window == 4.0
+        assert win.decreases == 1
+
+    def test_cooldown_coalesces_congestion_burst(self):
+        # A round trip's worth of OVERLOAD replies is one congestion
+        # event, not window *= 0.5**n.
+        win = AimdWindow(initial=16.0, decrease=0.5, cooldown_ms=10.0)
+        win.on_congestion(now=0.0)
+        win.on_congestion(now=1.0)
+        win.on_congestion(now=9.0)
+        assert win.window == 8.0
+        assert win.congestions == 3 and win.decreases == 1
+        win.on_congestion(now=10.0)  # cooldown elapsed: halves again
+        assert win.window == 4.0
+
+    def test_window_floored_at_min(self):
+        win = AimdWindow(initial=2.0, min_window=1.0, cooldown_ms=0.0)
+        for t in range(10):
+            win.on_congestion(now=float(t))
+        assert win.window == 1.0
+
+    def test_reserve_paces_at_rtt_over_window(self):
+        win = AimdWindow(initial=4.0, rtt_ms=8.0)
+        # Slots spaced rtt/window = 2 ms apart.
+        assert win.reserve(0.0) == 0.0
+        assert win.reserve(0.0) == pytest.approx(2.0)
+        assert win.reserve(0.0) == pytest.approx(4.0)
+        # A late arrival does not inherit old slots.
+        assert win.reserve(100.0) == 0.0
+
+    def test_backoff_stretches_as_window_shrinks(self):
+        win = AimdWindow(initial=64.0, min_window=1.0, max_window=64.0,
+                         rtt_ms=5.0, cooldown_ms=0.0)
+        full = win.backoff_ms()
+        assert full == pytest.approx(5.0)  # full window: one RTT
+        for t in range(20):
+            win.on_congestion(now=float(t))
+        assert win.window == 1.0
+        assert win.backoff_ms() == pytest.approx(5.0 * 8.0)  # sqrt(64)
+
+    def test_convergence_under_alternating_feedback(self):
+        # Sustained success/congestion alternation must oscillate in a
+        # bounded band, not drift to either clamp.
+        win = AimdWindow(initial=8.0, min_window=1.0, max_window=64.0,
+                         cooldown_ms=0.0)
+        samples = []
+        now = 0.0
+        for round_index in range(200):
+            for _ in range(10):
+                win.on_success()
+            win.on_congestion(now)
+            now += 20.0
+            if round_index >= 100:
+                samples.append(win.window)
+        assert 1.0 < min(samples) and max(samples) < 64.0
+
+    def test_stats_shape(self):
+        win = AimdWindow(initial=8.0)
+        win.on_success()
+        win.on_congestion(0.0)
+        stats = win.stats()
+        assert stats["successes"] == 1
+        assert stats["congestions"] == 1
+        assert stats["min_seen"] <= stats["window"] <= stats["max_seen"]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AimdWindow(initial=1.0, min_window=2.0)
+        with pytest.raises(ValueError):
+            AimdWindow(decrease=1.5)
+
+
+class TestRetryBudget:
+    def test_starts_full_for_cold_start_retries(self):
+        budget = RetryBudget(ratio=0.2, cap=10.0, reserve_per_s=0.0)
+        grants = [budget.allow(0.0) for _ in range(12)]
+        assert grants.count(True) == 10
+        assert budget.granted == 10 and budget.denied == 2
+
+    def test_successes_deposit_fractional_rights(self):
+        budget = RetryBudget(ratio=0.2, cap=10.0, reserve_per_s=0.0)
+        for _ in range(10):
+            budget.allow(0.0)  # drain
+        assert not budget.allow(0.0)
+        for _ in range(5):
+            budget.note_success()  # 5 * 0.2 == one retry right
+        assert budget.allow(0.0)
+        assert not budget.allow(0.0)
+
+    def test_balance_capped(self):
+        budget = RetryBudget(ratio=0.5, cap=2.0, reserve_per_s=0.0)
+        for _ in range(100):
+            budget.note_success()
+        assert budget.balance == 2.0
+
+    def test_reserve_refills_with_virtual_time(self):
+        # A fully-failed client (no successes at all) keeps probing at
+        # reserve_per_s instead of livelocking.
+        budget = RetryBudget(ratio=0.2, cap=10.0, reserve_per_s=2.0)
+        for _ in range(10):
+            budget.allow(0.0)
+        assert not budget.allow(0.0)
+        assert budget.allow(600.0)  # 0.6 s * 2/s = 1.2 tokens
+        assert not budget.allow(600.0)
+
+    def test_policy_default_is_off(self):
+        assert RetryPolicy().make_budget() is None
+
+    def test_policy_builds_budget_with_ratio(self):
+        budget = RetryPolicy(budget_ratio=0.25).make_budget()
+        assert isinstance(budget, RetryBudget)
+        assert budget.ratio == 0.25
+
+    def test_policy_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(budget_ratio=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(budget_ratio=1.5)
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=0.0)

@@ -167,3 +167,32 @@ class TestReconfigCommand:
         out = capsys.readouterr().out
         assert "elastic scenario" in out
         assert "ok" in out
+
+
+class TestQosCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["qos"])
+        assert args.seed == 0
+        assert args.scheme == "ssmr"
+        assert args.smoke is False
+        assert args.json is False
+        assert args.out is None
+
+    def test_fuzz_overload_flag(self):
+        assert build_parser().parse_args(["fuzz"]).overload is False
+        assert build_parser().parse_args(
+            ["fuzz", "--overload"]).overload is True
+
+    def test_smoke_json_is_byte_deterministic(self, capsys, tmp_path):
+        out_path = str(tmp_path / "qos.json")
+        argv = ["qos", "--smoke", "--json", "--out", out_path]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        # stdout carries exactly the canonical campaign JSON; the human
+        # report goes to stderr.
+        assert first.out.startswith("{") and '"points"' in first.out
+        assert "overload campaign" in first.err
+        with open(out_path, encoding="utf-8") as fh:
+            assert fh.read() == first.out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first.out
