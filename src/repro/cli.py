@@ -39,6 +39,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig17": figures.figure17_self_healing,
         "fig18": figures.figure18_cost_attribution,
         "fig19": figures.figure19_overload,
+        "fig20": figures.figure20_durability,
     }
 
 
@@ -185,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "control armed and the generator adds "
                            "overload-burst events (background open-loop "
                            "traffic surges)")
+    fuzz.add_argument("--disk", action="store_true",
+                      help="storage fuzzing: clusters run with durable "
+                           "storage armed (repro.store) and the "
+                           "generator adds torn-write, bit-rot, "
+                           "slow-disk and power-loss events")
 
     qos = sub.add_parser(
         "qos", help="overload campaign: offered-load sweep with QoS "
@@ -202,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
     qos.add_argument("--out", default=None, metavar="PATH",
                      help="also write the canonical campaign JSON to "
                           "PATH")
+
+    durability = sub.add_parser(
+        "durability", help="durable-storage campaign: WAL replay "
+                           "equivalence, whole-cluster power loss, "
+                           "torn-write/bit-rot recovery ladder")
+    durability.add_argument("--seed", type=int, default=0)
+    durability.add_argument("--smoke", action="store_true",
+                            help="short fixed campaign printing the "
+                                 "canonical JSON on stdout (CI "
+                                 "byte-compares two same-seed runs)")
+    durability.add_argument("--json", action="store_true",
+                            help="print the canonical campaign JSON on "
+                                 "stdout (report goes to stderr)")
+    durability.add_argument("--out", default=None, metavar="PATH",
+                            help="also write the canonical campaign "
+                                 "JSON to PATH")
 
     heal = sub.add_parser(
         "heal", help="self-healing campaign: crash every role, let the "
@@ -255,11 +277,11 @@ def cmd_figure(args) -> int:
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
     if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15",
-                          "fig16", "fig17", "fig18", "fig19"):
+                          "fig16", "fig17", "fig18", "fig19", "fig20"):
         # figures without duration parameters
         kwargs = {"seed": args.seed} \
             if args.figure_id in ("fig13", "fig14", "fig15", "fig16",
-                                  "fig17", "fig18", "fig19") \
+                                  "fig17", "fig18", "fig19", "fig20") \
             else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
@@ -497,7 +519,7 @@ def cmd_fuzz(args) -> int:
         num_clients=args.clients, ops_per_client=args.ops,
         inject_bug=args.inject_bug, shrink=not args.no_shrink,
         artifacts_dir=args.artifacts, supervisor=args.supervisor,
-        overload=args.overload)
+        overload=args.overload, disk=args.disk)
     payload = json.dumps(campaign.to_dict(), sort_keys=True,
                          separators=(",", ":"))
     emit_json = args.json or args.smoke
@@ -552,6 +574,31 @@ def cmd_qos(args) -> int:
                   f"{plateau} <= qos_off {collapse}", file=sys.stderr)
             return 1
     return 0
+
+
+def cmd_durability(args) -> int:
+    import json
+
+    from repro.harness.durability import (format_durability_report,
+                                          run_durability_campaign)
+
+    started = time.perf_counter()
+    data = run_durability_campaign(seed=args.seed, smoke=args.smoke)
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    emit_json = args.json or args.smoke
+    # Report to stderr in JSON mode: stdout must stay byte-comparable.
+    print(format_durability_report(data),
+          file=sys.stderr if emit_json else sys.stdout)
+    if emit_json:
+        print(payload)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(payload + "\n")
+        print(f"wrote campaign JSON to {args.out}", file=sys.stderr)
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    # The campaign is also a self-check: every section gates.
+    return 0 if data["summary"]["ok"] else 1
 
 
 def cmd_heal(args) -> int:
@@ -614,6 +661,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "perfcheck": cmd_perfcheck,
         "fuzz": cmd_fuzz,
         "qos": cmd_qos,
+        "durability": cmd_durability,
         "heal": cmd_heal,
         "trace": cmd_trace,
         "reconfig": cmd_reconfig,

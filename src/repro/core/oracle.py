@@ -132,6 +132,14 @@ class OracleReplica:
         # Overload control (repro.qos), attached by the harness; None
         # keeps the intake/executor hot paths in their pre-QoS shape.
         self.qos = None
+        # Write-ahead log (repro.store), attached by the harness; None
+        # keeps the executor free of durability barriers.
+        self.wal = None
+        # Delivery uids marked as replayed history by a durable cold
+        # start (see repro.store.coldstart): their state effects are
+        # re-applied, but no message leaves the node and no cost is
+        # charged — the original execution already paid both.
+        self._replay_uids: set[str] = set()
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._enqueue)
@@ -244,6 +252,12 @@ class OracleReplica:
         try:
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
+                if (self.wal is not None
+                        and delivery.uid not in self._replay_uids):
+                    # Durability barrier (repro.store): the ordered map
+                    # change must be on disk before any verdict or
+                    # prophecy derived from it leaves this replica.
+                    yield self.wal.sync_barrier()
                 if (self.tracer.enabled or self.node.profiler.enabled
                         or self.qos is not None):
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
@@ -276,6 +290,10 @@ class OracleReplica:
             return
 
     def _handle_delivery(self, delivery: AmcastDelivery):
+        if delivery.uid in self._replay_uids:
+            self._replay_uids.discard(delivery.uid)
+            self._replay_delivery(delivery)
+            return
         envelope = delivery.payload
         if "hint" in envelope:
             yield from self._task_hint(envelope["hint"])
@@ -689,6 +707,98 @@ class OracleReplica:
         self.policy.install_ideal(ideal)
         self._repartition_inflight = False
         self.repartitions.increment(self.env.now)
+
+    # -- durable cold start (repro.store.coldstart) ---------------------------
+
+    def arm_replay(self, uids) -> None:
+        """Mark delivery uids as replayed history (WAL cold start).
+
+        Replayed deliveries re-apply their effect on the variable map,
+        the policy and the reply cache, but send nothing: the original
+        execution already answered the client, issued the move, or
+        acknowledged the reconfiguration. A marked uid that only arrives
+        later (a post-restore heal round finalising old history) is
+        still treated as replay — it *is* old history.
+        """
+        self._replay_uids.update(uids)
+
+    def _replay_delivery(self, delivery: AmcastDelivery) -> None:
+        """Re-apply one logged delivery's state effects, silently.
+
+        Mirrors :meth:`_handle_delivery` task by task; consults are pure
+        reads of the map and have nothing to re-apply. Verdict-bearing
+        replies are re-cached so post-restore client resends
+        deduplicate exactly as they would have against the lost cache.
+        """
+        envelope = delivery.payload
+        if not isinstance(envelope, dict):
+            return
+        if "hint" in envelope:
+            hint = envelope["hint"]
+            vertices = hint.get("vertices", ())
+            edges = hint.get("edges", ())
+            if self.async_repartition:
+                self.policy.ingest_hint(vertices, edges)
+            else:
+                self.policy.on_hint(vertices, edges, self.location)
+            return
+        if "activate_partitioning" in envelope:
+            self._task_activate(envelope["activate_partitioning"])
+            return
+        if "reconfig" in envelope:
+            spec = envelope["reconfig"]
+            kind, partition = spec["kind"], spec["partition"]
+            if kind == "join":
+                self._reconfig_join(partition)
+            elif kind == "leave_begin":
+                self._reconfig_leave_begin(partition)
+            elif kind == "leave_commit":
+                self._reconfig_leave_commit(partition)
+            return
+        command = envelope.get("command")
+        if command is None:
+            return
+        attempt = envelope.get("attempt", 1)
+        if command.ctype is CommandType.CREATE:
+            key = command.variables[0]
+            partition = command.args["partition"]
+            if key not in self.location:
+                self._relocate(key, partition)
+                self.policy.on_create(key, partition)
+                self._cache_reply(command, ReplyStatus.OK, "created",
+                                  attempt)
+            else:
+                self._cache_reply(command, ReplyStatus.NOK, "exists",
+                                  attempt)
+        elif command.ctype is CommandType.DELETE:
+            key = command.variables[0]
+            partition = command.args["partition"]
+            if self.location.get(key) == partition:
+                self._forget(key)
+                self.policy.on_delete(key)
+                self._cache_reply(command, ReplyStatus.OK, "deleted",
+                                  attempt)
+            else:
+                self._cache_reply(command, ReplyStatus.NOK, "missing",
+                                  attempt)
+        elif command.ctype is CommandType.MOVE:
+            dest = command.args["dest"]
+            sources = set(command.args.get("sources", ()))
+            for key in command.variables:
+                location = self.location.get(key)
+                if location is None:
+                    continue
+                if sources and location not in sources and location != dest:
+                    continue  # raced move; keep following the ordered log
+                self._relocate(key, dest)
+        # CONSULT: pure read of the map — nothing to re-apply.
+
+    def _cache_reply(self, command: Command, status: ReplyStatus,
+                     value, attempt: int) -> None:
+        self.replies.store(command.cid, Reply(
+            cid=command.cid, status=status, value=value,
+            sender=self.node.name, partition=ORACLE_GROUP,
+            attempt=attempt))
 
     # -- replies -------------------------------------------------------------
 

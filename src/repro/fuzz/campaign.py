@@ -125,7 +125,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                       shrink_probes: int = 120,
                       artifacts_dir: Optional[str] = None,
                       supervisor: bool = False,
-                      overload: bool = False) -> FuzzCampaignResult:
+                      overload: bool = False,
+                      disk: bool = False) -> FuzzCampaignResult:
     """Run ``num_schedules`` generated schedules; shrink any violation.
 
     With ``supervisor=True`` every schedule runs under the autonomous
@@ -139,6 +140,11 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
     events: open-loop read-only surges the admission controllers must
     shed while the foreground workload still completes under the
     schedule's other faults.
+
+    With ``disk=True`` every cluster runs with durable storage armed
+    (:mod:`repro.store`): crashes recover through the cold-start
+    ladder, and the generator adds the storage-fault vocabulary —
+    torn writes, bit rot, slow disks and whole-cluster power loss.
     """
     runs: list[ScheduleRunResult] = []
     shrinks: dict[int, ShrinkResult] = {}
@@ -149,7 +155,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                                      ops_per_client=ops_per_client,
                                      inject_bug=inject_bug,
                                      supervisor=supervisor,
-                                     overload=overload)
+                                     overload=overload,
+                                     disk=disk)
         run = run_schedule(schedule)
         runs.append(run)
         if run.ok:

@@ -149,13 +149,47 @@ def _overload_events(rng, horizon: float) -> list[dict]:
     return events
 
 
+def _disk_events(rng, shape: dict, horizon: float) -> list[dict]:
+    """Storage-fault vocabulary, drawn only for durability-enabled
+    schedules.
+
+    Torn writes and bit rot are latent: they damage durable bytes that
+    only matter when a later crash cold-starts the victim from disk —
+    so they are biased early, before the crash events' window. A slow
+    disk stretches fsync latency, stressing the group-commit barrier
+    under load. A rare whole-cluster power loss replaces the usual
+    crash faults entirely: every node must come back from its own disk
+    with zero live peers.
+    """
+    events: list[dict] = []
+    if rng.random() < 0.12:
+        # Power loss subsumes every other crash: nothing else to draw.
+        at = round(rng.uniform(40.0, horizon * 0.4), 1)
+        duration = round(rng.uniform(40.0, 100.0), 1)
+        return [{"kind": "power_loss", "at": at, "duration": duration}]
+    if rng.random() < 0.5:
+        node = shape["all"][rng.randrange(len(shape["all"]))]
+        kind = ("disk_torn_write" if rng.random() < 0.5
+                else "disk_bitrot")
+        events.append({"kind": kind, "node": node,
+                       "at": round(rng.uniform(10.0, horizon * 0.4), 1)})
+    if rng.random() < 0.35:
+        node = shape["all"][rng.randrange(len(shape["all"]))]
+        at, end = _window(rng, horizon, min_len=40.0, max_len=100.0)
+        events.append({"kind": "disk_slow", "at": at, "end": end,
+                       "node": node,
+                       "factor": round(rng.uniform(4.0, 20.0), 1)})
+    return events
+
+
 def generate_schedule(seed: int, index: int,
                       schemes: Sequence[str] = GENERATOR_SCHEMES,
                       num_clients: int = 3, ops_per_client: int = 8,
                       num_keys: int = 6,
                       inject_bug: Optional[str] = None,
                       supervisor: bool = False,
-                      overload: bool = False) -> FaultSchedule:
+                      overload: bool = False,
+                      disk: bool = False) -> FaultSchedule:
     """Draw schedule ``index`` of campaign ``seed`` (pure function)."""
     rng = SeedStream(seed).child("fuzz-gen").stream(f"s{index}")
     scheme = schemes[rng.randrange(len(schemes))]
@@ -185,9 +219,15 @@ def generate_schedule(seed: int, index: int,
     partition = _partition_event(rng, shape, horizon)
     if partition is not None:
         events.append(partition)
-    events.extend(_crash_events(rng, shape, horizon))
-    events.extend(_reconfig_events(rng, scheme, horizon))
-    if supervisor:
+    disk_events = _disk_events(rng, shape, horizon) if disk else []
+    power = any(e["kind"] == "power_loss" for e in disk_events)
+    events.extend(disk_events)
+    if not power:
+        # A whole-cluster power loss subsumes individual crashes and
+        # would race a mid-flight join/leave; it rides alone.
+        events.extend(_crash_events(rng, shape, horizon))
+        events.extend(_reconfig_events(rng, scheme, horizon))
+    if supervisor and not power:
         events.extend(_supervisor_events(rng, shape, horizon))
     if overload:
         events.extend(_overload_events(rng, horizon))
@@ -207,4 +247,4 @@ def generate_schedule(seed: int, index: int,
         horizon_ms=horizon, deadline_ms=DEADLINE_MS,
         num_clients=num_clients, ops_per_client=ops_per_client,
         num_keys=num_keys, inject_bug=inject_bug, supervisor=supervisor,
-        qos=overload))
+        qos=overload, durability=disk))

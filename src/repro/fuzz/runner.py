@@ -43,6 +43,7 @@ from repro.qos import QosConfig
 from repro.resilience import RequestTimeout, RetryPolicy
 from repro.sim import SeedStream
 from repro.smr import Command, ReplyStatus
+from repro.store import DurabilityConfig
 
 #: Settle time after the cooldown round before invariant checking (ms).
 SETTLE_MS = 400.0
@@ -142,7 +143,8 @@ def _build_cluster(schedule: FaultSchedule, keys: tuple,
                                  else None),
         initial_assignment=assignment,
         dedup=schedule.inject_bug != "no_dedup",
-        qos=QosConfig(rate_per_s=2_000.0) if schedule.qos else None),
+        qos=QosConfig(rate_per_s=2_000.0) if schedule.qos else None,
+        durability=DurabilityConfig() if schedule.durability else None),
         tracer=tracer)
     cluster.preload({key: 0 for key in keys})
     return cluster
@@ -209,10 +211,13 @@ def _apply_schedule(cluster: Cluster, injector: FailureInjector,
             if mode == "restart":
                 speakers = {cluster.directory.speaker(p)
                             for p in cluster.partitions}
-                if self_name not in cluster.servers \
-                        or self_name in speakers:
+                if self_name not in cluster.servers or (
+                        self_name in speakers
+                        and not schedule.durability):
                     # Amnesia cannot resurrect sequencer state; only a
-                    # blackout models a speaker/oracle outage.
+                    # blackout models a speaker/oracle outage — unless
+                    # the deployment is durable, where the cold-start
+                    # ladder reconciles the sequencer from its WAL.
                     skip(event, "restart (amnesia) is only valid for "
                                 "follower replicas")
                     continue
@@ -282,6 +287,50 @@ def _apply_schedule(cluster: Cluster, injector: FailureInjector,
                             name=f"fuzz/burst{burst_index}")
 
             env.schedule_callback(event["at"], start_burst)
+        elif kind in ("disk_torn_write", "disk_bitrot"):
+            if cluster.disks is None:
+                skip(event, "durability is not armed")
+                continue
+            node, method = event["node"], (
+                "tear_tail" if kind == "disk_torn_write"
+                else "inject_bitrot")
+
+            def corrupt(node=node, method=method):
+                getattr(cluster.disks.disk(node), method)()
+
+            env.schedule_callback(event["at"], corrupt)
+        elif kind == "disk_slow":
+            if cluster.disks is None:
+                skip(event, "durability is not armed")
+                continue
+            node, factor = event["node"], event["factor"]
+
+            def slow_down(node=node, factor=factor):
+                cluster.disks.disk(node).slow_factor = factor
+
+            def speed_up(node=node):
+                cluster.disks.disk(node).slow_factor = 1.0
+
+            env.schedule_callback(event["at"], slow_down)
+            env.schedule_callback(event["end"], speed_up)
+        elif kind == "power_loss":
+            if cluster.disks is None:
+                skip(event, "durability is not armed")
+                continue
+            if schedule.supervisor:
+                # The healer's replace actions would race the restore:
+                # a deployment with zero live peers has nothing for the
+                # supervisors to recover from anyway.
+                skip(event, "power_loss and the heal supervisor are "
+                            "mutually exclusive")
+                continue
+
+            def power_cycle(event=event):
+                cluster.power_fail()
+                env.schedule_callback(event["duration"],
+                                      cluster.power_restore)
+
+            env.schedule_callback(event["at"], power_cycle)
         else:
             raise ValueError(f"unknown event kind {kind!r}")
 

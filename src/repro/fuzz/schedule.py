@@ -18,6 +18,20 @@ message-level kinds). Node- and cluster-level kinds add:
 * ``{"kind": "leave", "at": t, "partition": p}`` — two-phase drain and
   retire of a previously joined partition.
 
+Durable deployments (``durability=True``) add storage faults:
+
+* ``{"kind": "disk_torn_write", "at": t, "node": n}`` — tear a seeded
+  suffix off the node's newest durable file (a write that half-landed).
+* ``{"kind": "disk_bitrot", "at": t, "node": n}`` — flip one seeded
+  byte in a seeded durable file; surfaces as a CRC mismatch at the next
+  cold start, never as silently wrong data.
+* ``{"kind": "disk_slow", "at": t, "end": e, "node": n, "factor": f}``
+  — multiply the node's fsync latency by ``f`` over the window.
+* ``{"kind": "power_loss", "at": t, "duration": d}`` — the whole
+  cluster loses power: every node object-crashes, every disk drops its
+  un-fsynced bytes, and ``duration`` ms later the deployment cold
+  starts from what the disks still hold.
+
 Schedules are *normalised* before running: events outside the horizon
 are dropped and crash durations are clamped so every victim is back
 before the heal point. The runner and the shrinker both normalise, so a
@@ -42,7 +56,9 @@ MESSAGE_KINDS = ("drop", "delay", "duplicate", "reorder",
 #: aggregate rate ``r`` over the window. Burst ops are excluded from the
 #: completion and linearizability accounting (reads by design, so the
 #: recorded history's spec is unaffected).
-CLUSTER_KINDS = ("crash", "join", "leave", "overload")
+CLUSTER_KINDS = ("crash", "join", "leave", "overload",
+                 "disk_torn_write", "disk_bitrot", "disk_slow",
+                 "power_loss")
 
 #: Minimum ms a clamped crash still keeps its victim down.
 MIN_CRASH_MS = 5.0
@@ -76,6 +92,11 @@ class FaultSchedule:
     # control, adaptive batching and client AIMD windows armed. Off by
     # default so existing schedules replay unchanged.
     qos: bool = False
+    # Durable storage (repro.store): every node gets a simulated disk
+    # with a write-ahead log, crashes recover through the cold-start
+    # ladder, and the disk_* / power_loss event kinds become live. Off
+    # by default so existing schedules replay unchanged.
+    durability: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -91,6 +112,7 @@ class FaultSchedule:
             "inject_bug": self.inject_bug,
             "supervisor": self.supervisor,
             "qos": self.qos,
+            "durability": self.durability,
         }
 
     @classmethod
@@ -105,7 +127,8 @@ class FaultSchedule:
                    num_keys=data["num_keys"],
                    inject_bug=data.get("inject_bug"),
                    supervisor=data.get("supervisor", False),
-                   qos=data.get("qos", False))
+                   qos=data.get("qos", False),
+                   durability=data.get("durability", False))
 
     def canonical_json(self) -> str:
         """Canonical serialisation (sorted keys, no whitespace) — the
@@ -132,6 +155,16 @@ class FaultSchedule:
                 parts.append(f"burst({event['rate_per_s']:.0f}/s"
                              f"x{event['clients']}[{event['at']:.0f},"
                              f"{event['end']:.0f}))")
+            elif kind in ("disk_torn_write", "disk_bitrot"):
+                tag = "torn" if kind == "disk_torn_write" else "bitrot"
+                parts.append(f"{tag}({event['node']}@{event['at']:.0f})")
+            elif kind == "disk_slow":
+                parts.append(f"slowdisk({event['node']}"
+                             f"x{event['factor']:.0f}[{event['at']:.0f},"
+                             f"{event['end']:.0f}))")
+            elif kind == "power_loss":
+                parts.append(f"power({event['at']:.0f}"
+                             f"+{event['duration']:.0f})")
             elif kind in ("partition", "partition_oneway"):
                 arrow = "~" if kind == "partition" else ">"
                 parts.append(f"split{arrow}[{event['at']:.0f},"
@@ -148,6 +181,8 @@ class FaultSchedule:
             parts.append("+supervisor")
         if self.qos:
             parts.append("+qos")
+        if self.durability:
+            parts.append("+durability")
         return " ".join(parts) if parts else "no-faults"
 
 
@@ -169,21 +204,21 @@ def normalize_schedule(schedule: FaultSchedule) -> FaultSchedule:
     for event in schedule.events:
         event = dict(event)
         kind = event["kind"]
-        if kind in MESSAGE_KINDS or kind == "overload":
-            # Windowed events (message faults and traffic bursts) are
-            # clipped to the horizon and dropped when empty.
+        if kind in MESSAGE_KINDS or kind in ("overload", "disk_slow"):
+            # Windowed events (message faults, traffic bursts and disk
+            # slowdowns) are clipped to the horizon and dropped when empty.
             if event["at"] >= horizon:
                 continue
             event["end"] = min(event["end"], horizon)
             if event["end"] <= event["at"]:
                 continue
-        elif kind == "crash":
+        elif kind in ("crash", "power_loss"):
             latest_recover = horizon - HEAL_MARGIN_MS
             if event["at"] + MIN_CRASH_MS > latest_recover:
                 continue
             event["duration"] = min(event["duration"],
                                     latest_recover - event["at"])
-        elif kind in ("join", "leave"):
+        elif kind in ("join", "leave", "disk_torn_write", "disk_bitrot"):
             if event["at"] >= horizon:
                 continue
         else:

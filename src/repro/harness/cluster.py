@@ -38,6 +38,9 @@ from repro.sim import Environment, LatencyRecorder, SeedStream
 from repro.smr import (ExecutionModel, KeyValueStateMachine, SmrClient,
                        SmrReplica, StateMachine)
 from repro.ssmr import SsmrClient, SsmrServer, StaticOracle, StaticPartitionMap
+from repro.store import (DiskFarm, DurabilityConfig, attach_durability,
+                         wipe_wal)
+from repro.store.durability import detach_durability
 
 SCHEMES = ("smr", "ssmr", "dssmr", "dynastar")
 
@@ -77,6 +80,13 @@ class ClusterConfig:
     # sequencer-side admission + adaptive batching on every group speaker
     # and an AIMD congestion window on every client.
     qos: Optional[QosConfig] = None
+    # Durable storage (repro.store): None builds no disks and keeps every
+    # hot path in its pre-durability shape (the perf gate pins that). A
+    # DurabilityConfig arms a simulated disk per server with a
+    # group-committed write-ahead log, durable checkpoints, and the
+    # cold-start recovery ladder (power_fail / power_restore /
+    # cold_restart_server).
+    durability: Optional[DurabilityConfig] = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -127,6 +137,24 @@ class Cluster:
 
         self.partition_map = StaticPartitionMap(
             self.partitions, assignment=config.initial_assignment)
+
+        # Durable storage (repro.store): one simulated disk per server,
+        # created lazily by the farm so disks survive server replacement
+        # — that persistence *is* the durability being modelled.
+        self.disks: Optional[DiskFarm] = None
+        if config.durability is not None:
+            self.disks = DiskFarm(self.env, self.seeds.child("disks"),
+                                  config.durability)
+        # Cold start re-seeds the preloaded base image before replaying
+        # a WAL (see repro.store.coldstart): preloads bypass the ordered
+        # log, so replay alone cannot reconstruct them.
+        self._initial_locations: dict = {}
+        self._initial_partition_state: dict = {}
+        # Terminal recovery failures (every source peer gone): recorded
+        # here and fanned out to hooks (the heal supervisor escalates).
+        self.recovery_failures: list = []
+        self.recovery_failure_hooks: list = []
+
         self.servers: dict[str, object] = {}
         self.oracles: list[OracleReplica] = []
         self._build_servers()
@@ -178,33 +206,39 @@ class Cluster:
         if self._dynamic:
             policy_factory = self._policy_factory()
             for name in self.directory.members(ORACLE_GROUP):
-                self.oracles.append(OracleReplica(
+                oracle = OracleReplica(
                     self.env, self.network, self.directory, name,
                     self.partitions, policy=policy_factory(),
                     oracle_issues_moves=config.scheme == "dynastar",
                     async_repartition=config.async_repartition,
-                    dedup=config.dedup, tracer=self.tracer))
+                    dedup=config.dedup, tracer=self.tracer)
+                if self.disks is not None:
+                    attach_durability(oracle, self.disks)
+                self.oracles.append(oracle)
 
     def _make_server(self, partition: str, name: str):
         config = self.config
         state_machine = config.state_machine_factory()
         if config.scheme == "smr":
-            return SmrReplica(self.env, self.network, self.directory,
-                              partition, name, state_machine,
-                              execution=config.execution,
-                              dedup=config.dedup, tracer=self.tracer)
-        if config.scheme == "ssmr":
-            server = SsmrServer(self.env, self.network, self.directory,
+            server = SmrReplica(self.env, self.network, self.directory,
                                 partition, name, state_machine,
                                 execution=config.execution,
                                 dedup=config.dedup, tracer=self.tracer)
         else:
-            server = DssmrServer(self.env, self.network, self.directory,
-                                 partition, name, state_machine,
-                                 execution=config.execution,
-                                 dedup=config.dedup, tracer=self.tracer)
-        PartitionCheckpointer(server)
-        CheckpointHost(server)
+            if config.scheme == "ssmr":
+                server = SsmrServer(self.env, self.network, self.directory,
+                                    partition, name, state_machine,
+                                    execution=config.execution,
+                                    dedup=config.dedup, tracer=self.tracer)
+            else:
+                server = DssmrServer(self.env, self.network, self.directory,
+                                     partition, name, state_machine,
+                                     execution=config.execution,
+                                     dedup=config.dedup, tracer=self.tracer)
+            PartitionCheckpointer(server)
+            CheckpointHost(server)
+        if self.disks is not None:
+            attach_durability(server, self.disks)
         return server
 
     def _attach_qos(self, group: str, owner) -> None:
@@ -318,6 +352,12 @@ class Cluster:
             reg.gauge("qos.retry_budget_denied", lambda: sum(
                 c.retry_budget.denied for c in self.clients
                 if getattr(c, "retry_budget", None) is not None))
+        if self.config.durability is not None:
+            # store.* gauges only exist on durable deployments, so the
+            # scrape output of every pre-existing campaign is unchanged.
+            reg.gauge("store", lambda: self.disks.stats.to_dict())
+            reg.gauge("store.recovery_failures",
+                      lambda: len(self.recovery_failures))
 
     def _policy_factory(self):
         config = self.config
@@ -353,6 +393,13 @@ class Cluster:
                 self.servers[name].load_state(by_partition[partition])
         for oracle in self.oracles:
             oracle.preload_locations(location)
+        # Cold starts re-seed these base images before replaying a WAL —
+        # preloads bypass the ordered log, so replay alone cannot
+        # reconstruct them.
+        self._initial_locations = dict(location)
+        self._initial_partition_state = {
+            partition: dict(contents)
+            for partition, contents in by_partition.items()}
 
     # -- clients -----------------------------------------------------------------
 
@@ -464,20 +511,106 @@ class Cluster:
 
         Installs a peer checkpoint and replays the log suffix (see
         :mod:`repro.reconfig.recovery`); the replacement takes over the
-        crashed server's slot in :attr:`servers`.
+        crashed server's slot in :attr:`servers`. Every other live
+        member is handed over as a fallback source, and a transfer that
+        exhausts all of them lands in :attr:`recovery_failures` (and
+        the registered hooks) instead of hanging silently.
         """
         crashed = self.servers[name]
         partition = crashed.partition
-        peer_name = next(
-            member for member in self.directory.members(partition)
-            if member != name and not self.servers[member].node.crashed)
-        replacement = recover_partition_server(crashed,
-                                               self.servers[peer_name])
+        live = [member for member in self.directory.members(partition)
+                if member != name
+                and not self.servers[member].node.crashed]
+        if not live:
+            raise RuntimeError(f"no live peer left in {partition!r} to "
+                               f"recover {name} from (durable deployments "
+                               "can cold_restart_server instead)")
+        if self.disks is not None:
+            detach_durability(crashed)
+        replacement = recover_partition_server(
+            crashed, self.servers[live[0]], fallback_peers=live[1:],
+            on_failure=self._on_recovery_failure)
+        if self.disks is not None:
+            # The on-disk history belongs to the previous incarnation;
+            # the transferred checkpoint supersedes it (and is persisted
+            # by the recovery install), so the stale WAL is wiped.
+            wipe_wal(self.disks.disk(name))
+            attach_durability(replacement, self.disks)
         self.servers[name] = replacement
         if (self.config.qos is not None
                 and name == self.directory.speaker(partition)):
             self._attach_qos(partition, replacement)
         return replacement
+
+    def _on_recovery_failure(self, recovery) -> None:
+        """A state transfer ran out of source peers: surface it."""
+        self.recovery_failures.append(recovery)
+        for hook in list(self.recovery_failure_hooks):
+            hook(recovery)
+
+    # -- durable storage (repro.store) -----------------------------------------
+
+    def cold_restart_server(self, name: str):
+        """Restart crashed replica ``name`` from its own disk.
+
+        Runs the recovery ladder of :mod:`repro.store.coldstart`: local
+        checkpoint + WAL replay when the on-disk history is intact,
+        peer transfer only for a corrupted or gapped prefix.
+        """
+        if self.disks is None:
+            raise RuntimeError("cold restart needs a durable deployment "
+                               "(set ClusterConfig.durability)")
+        from repro.store.coldstart import cold_start_member
+        replacement = cold_start_member(self, name)
+        group = replacement.log.group
+        if (self.config.qos is not None
+                and name == self.directory.speaker(group)):
+            self._attach_qos(group, replacement)
+        return replacement
+
+    def power_fail(self) -> None:
+        """Full-cluster power loss: every server and oracle crashes and
+        every disk drops (or tears) its un-fsynced writes."""
+        if self.disks is None:
+            raise RuntimeError("power_fail needs a durable deployment "
+                               "(set ClusterConfig.durability)")
+        for name in sorted(self.servers):
+            server = self.servers[name]
+            detach_durability(server)
+            if not server.node.crashed:
+                server.crash()
+        for oracle in self.oracles:
+            detach_durability(oracle)
+            if not oracle.node.crashed:
+                oracle.crash()
+        self.disks.power_fail_all()
+
+    def power_restore(self) -> None:
+        """Cold-start every partition — and the oracle group — from disk.
+
+        No peer has live state after :meth:`power_fail`, so each group
+        restores from the union of its members' durable WALs (see
+        :mod:`repro.store.coldstart`). Retired partitions stay down:
+        they hold no variables and serve no traffic.
+        """
+        if self.disks is None:
+            raise RuntimeError("power_restore needs a durable deployment "
+                               "(set ClusterConfig.durability)")
+        from repro.store.coldstart import (cold_start_oracles,
+                                           cold_start_partition)
+        for partition in self.partitions:
+            cold_start_partition(self, partition)
+        if self._dynamic:
+            cold_start_oracles(self)
+        if self.config.qos is not None:
+            for partition in self.partitions:
+                speaker = self.directory.speaker(partition)
+                self._attach_qos(partition, self.servers[speaker])
+            if self._dynamic:
+                speaker = self.directory.speaker(ORACLE_GROUP)
+                for oracle in self.oracles:
+                    if oracle.node.name == speaker:
+                        self._attach_qos(ORACLE_GROUP, oracle)
 
     # -- metrics access ------------------------------------------------------------
 

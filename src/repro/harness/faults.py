@@ -98,21 +98,27 @@ def recover_victim(cluster, victim: str):
 
     One helper for every scheme — classic SMR replicas come back through
     peer-snapshot recovery, partitioned replicas through the
-    checkpoint-install path (:meth:`Cluster.recover_server`). Returns the
+    checkpoint-install path (:meth:`Cluster.recover_server`). Durable
+    deployments (``ClusterConfig.durability``) restart from the victim's
+    own disk instead, falling back to peers only for a gapped or
+    corrupted local history (:mod:`repro.store.coldstart`). Returns the
     replacement server.
     """
+    if getattr(cluster, "disks", None) is not None:
+        return cluster.cold_restart_server(victim)
     if cluster.config.scheme == "smr":
         from repro.smr.recovery import RecoveryHost, recover_replica
         crashed = cluster.servers[victim]
         partition = crashed.group
-        peer_name = next(
-            member for member in cluster.directory.members(partition)
-            if member != victim
-            and not cluster.servers[member].node.crashed)
-        peer = cluster.servers[peer_name]
-        if getattr(peer, "recovery_host", None) is None:
-            peer.recovery_host = RecoveryHost(peer)
-        cluster.servers[victim] = recover_replica(crashed, peer)
+        live = [member for member in cluster.directory.members(partition)
+                if member != victim
+                and not cluster.servers[member].node.crashed]
+        for name in live:
+            peer = cluster.servers[name]
+            if getattr(peer, "recovery_host", None) is None:
+                peer.recovery_host = RecoveryHost(peer)
+        cluster.servers[victim] = recover_replica(
+            crashed, cluster.servers[live[0]], fallback_peers=live[1:])
         return cluster.servers[victim]
     return cluster.recover_server(victim)
 

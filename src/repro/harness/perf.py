@@ -14,6 +14,13 @@ Baselines live in ``benchmarks/baselines/*.json`` (format
 regression) and p95 latency (higher is a regression) against a relative
 tolerance; ``slowdown`` scales the execution cost model to prove the
 gate trips (CI injects a 20% synthetic slowdown and requires failure).
+
+The suite also carries a ``durability`` section: one extra dssmr run
+with the write-ahead log armed. The regular (WAL-off) scheme sections
+are produced by the exact pre-durability deployment, so a regenerated
+baseline proves the WAL default costs nothing — the scheme sections stay
+byte-identical — while the WAL-on run gates the absolute latency
+overhead against :data:`repro.harness.durability.OVERHEAD_BOUND_MS`.
 """
 
 from __future__ import annotations
@@ -22,7 +29,9 @@ import json
 import math
 from typing import Optional
 
+from repro.harness.durability import OVERHEAD_BOUND_MS
 from repro.harness.tracerun import run_traced_workload
+from repro.store import DurabilityConfig
 
 BASELINE_FORMAT = "repro-perf-baseline/1"
 DEFAULT_BASELINE_PATH = "benchmarks/baselines/perf_smoke.json"
@@ -74,6 +83,24 @@ def run_perf_suite(seed: int = 7, num_clients: int = 3,
             ops_per_client=ops_per_client, num_partitions=num_partitions,
             trace=False, slowdown=slowdown)
         results[scheme] = _scheme_metrics(run)
+    durability = None
+    if "dssmr" in results:
+        wal_run = run_traced_workload(
+            "dssmr", seed=seed, num_clients=num_clients,
+            ops_per_client=ops_per_client, num_partitions=num_partitions,
+            trace=False, slowdown=slowdown, durability=DurabilityConfig())
+        wal_on = _scheme_metrics(wal_run)
+        off_mean = results["dssmr"]["latency_mean_ms"] or 0.0
+        on_mean = wal_on["latency_mean_ms"] or 0.0
+        durability = {
+            "scheme": "dssmr",
+            "wal_on": wal_on,
+            # Absolute delta against the WAL-off dssmr run above (same
+            # parameters) — base latencies are sub-millisecond, so a
+            # relative bound would be meaningless.
+            "overhead_ms": _round(on_mean - off_mean),
+            "bound_ms": OVERHEAD_BOUND_MS,
+        }
     return {
         "format": BASELINE_FORMAT,
         "seed": seed,
@@ -82,6 +109,7 @@ def run_perf_suite(seed: int = 7, num_clients: int = 3,
         "num_partitions": num_partitions,
         "slowdown": _round(slowdown),
         "schemes": results,
+        "durability": durability,
     }
 
 
@@ -120,6 +148,31 @@ def compare_to_baseline(current: dict, baseline: dict,
                 f"above ceiling {ceiling:.3f}ms "
                 f"(baseline {base['latency_p95_ms']:.3f}ms, "
                 f"tolerance {tolerance:.0%})")
+    base_dur = baseline.get("durability")
+    if base_dur is not None:
+        cur_dur = current.get("durability")
+        if cur_dur is None:
+            failures.append("durability: missing from current run")
+        else:
+            on = cur_dur["wal_on"]
+            if on["ops_completed"] < on["ops_expected"]:
+                failures.append(
+                    f"durability: incomplete WAL-on run "
+                    f"({on['ops_completed']}/{on['ops_expected']} ops)")
+            bound = base_dur.get("bound_ms", OVERHEAD_BOUND_MS)
+            if cur_dur["overhead_ms"] > bound:
+                failures.append(
+                    f"durability: WAL latency overhead "
+                    f"{cur_dur['overhead_ms']:.3f}ms above documented "
+                    f"bound {bound:.3f}ms")
+            ceiling = base_dur["wal_on"]["latency_p95_ms"] * (1.0 + tolerance)
+            if on["latency_p95_ms"] > ceiling:
+                failures.append(
+                    f"durability: WAL-on p95 latency "
+                    f"{on['latency_p95_ms']:.3f}ms above ceiling "
+                    f"{ceiling:.3f}ms (baseline "
+                    f"{base_dur['wal_on']['latency_p95_ms']:.3f}ms, "
+                    f"tolerance {tolerance:.0%})")
     return failures
 
 

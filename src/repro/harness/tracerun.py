@@ -51,7 +51,8 @@ class TraceRun:
 def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
                         ops_per_client: int = 10, num_partitions: int = 2,
                         trace: bool = True, profiler=None,
-                        slowdown: float = 1.0) -> TraceRun:
+                        slowdown: float = 1.0,
+                        durability=None) -> TraceRun:
     """Run the seeded workload against ``scheme``, collecting spans.
 
     ``trace=False`` runs the identical workload with the null tracer —
@@ -59,7 +60,10 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
     ``profiler`` attaches a :class:`~repro.obs.profile.VirtualProfiler`
     (cost attribution rides the same hook sites as tracing). ``slowdown``
     scales the execution cost model — the perf gate's synthetic
-    regression knob (1.0 = the real model).
+    regression knob (1.0 = the real model). ``durability`` (a
+    :class:`~repro.store.DurabilityConfig`) arms the write-ahead log —
+    the perf gate's WAL-overhead measurement; the default ``None`` runs
+    the exact pre-durability deployment.
     """
     _reset_id_counters()
     tracer = CommandTracer() if trace else None
@@ -76,7 +80,7 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
         scheme=scheme, num_partitions=num_partitions,
         replicas_per_partition=2, seed=cluster_seed,
         retry_policy=RetryPolicy(), initial_assignment=assignment,
-        execution=execution),
+        execution=execution, durability=durability),
         tracer=tracer, profiler=profiler)
     cluster.preload(dict(INITIAL))
     status, done = _spawn_workload(

@@ -142,12 +142,18 @@ class ClusterHealer:
         self.suppressed = reg.counter("heal.suppressed")
         self.deferred = reg.counter("heal.deferred")
         self.spare_joins = reg.counter("heal.spare_joins")
+        self.recovery_failures = reg.counter("heal.recovery_failures")
         self.detect_hist = reg.histogram("heal.detect_ms")
         self.repair_hist = reg.histogram("heal.repair_ms")
         self.mttr_hist = reg.histogram("heal.mttr_ms")
         self.unavail_hist = reg.histogram("heal.unavailability_ms")
         reg.gauge("heal.epoch", lambda: max(
             (s.epoch for s in self.supervisors), default=0))
+
+        # A peer state transfer turning terminal (every source peer gone)
+        # must escalate, never hang: the cluster fans terminal recovery
+        # failures out to these hooks.
+        cluster.recovery_failure_hooks.append(self._on_recovery_failure)
 
     # -- wiring ----------------------------------------------------------
 
@@ -247,6 +253,29 @@ class ClusterHealer:
         self._lease_epochs.add(epoch)
         self.leases.append((epoch, holder))
         self._note(now, f"lease epoch {epoch} -> {holder}")
+
+    def _on_recovery_failure(self, recovery) -> None:
+        """Escalate a terminal state transfer (all source peers gone).
+
+        With a spare partition available the victim is abandoned in
+        favour of spare capacity (the same escalation the supervisors
+        reach after repeated replace attempts); otherwise the victim is
+        marked abandoned so the supervisors stop retrying a recovery
+        that can no longer succeed.
+        """
+        if self.stopped:
+            return
+        now = self.env.now
+        victim = recovery.server.node.name
+        self.recovery_failures.inc()
+        self._note(now, f"recovery of {victim} terminal: sources "
+                        f"{', '.join(recovery.peers_tried)} all gone")
+        episode = self._open.get(victim)
+        if self.spare_available():
+            self._execute_spare_join(victim, episode, now)
+        else:
+            for supervisor in self.supervisors:
+                supervisor.on_abandoned(victim)
 
     # -- action execution (decided log entries) ---------------------------
 
@@ -365,6 +394,7 @@ class ClusterHealer:
             "suppressed": self.suppressed.value,
             "deferred": self.deferred.value,
             "spare_joins": self.spare_joins.value,
+            "recovery_failures": self.recovery_failures.value,
             "leases": [[epoch, holder] for epoch, holder in self.leases],
             "episodes": [e.to_dict() for e in self.episodes],
             "unavailability_ms": unavailability,

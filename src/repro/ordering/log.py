@@ -62,12 +62,22 @@ class GroupLog(ABC):
         self.decided_entries: dict[int, dict] = {}
         self._backfill_scheduled = False
         self._backfill_suspended = False
+        self._wal = None
         node.on(f"log/{group}/backfill-req", self._on_backfill_request)
         node.on(f"log/{group}/backfill", self._on_backfill)
 
     def on_decide(self, callback: DecideCallback) -> None:
         """Register ``callback(seq, entry)``, called in order, exactly once."""
         self._decide_callbacks.append(callback)
+
+    def attach_wal(self, wal) -> None:
+        """Append every applied position to ``wal`` (see :mod:`repro.store`).
+
+        The append happens before the decide callbacks run — i.e. before
+        execution — so the ordered history on disk is always at least as
+        long as what the state machine has seen.
+        """
+        self._wal = wal
 
     @abstractmethod
     def submit(self, entry: dict) -> None:
@@ -85,6 +95,8 @@ class GroupLog(ABC):
             ready = self._pending_apply.pop(self._next_apply)
             seq_now = self._next_apply
             self._next_apply += 1
+            if self._wal is not None:
+                self._wal.append(seq_now, ready)
             uid = ready.get("uid")
             if uid is not None:
                 if uid in self._applied_uids:
@@ -227,6 +239,19 @@ class SequencerLog(GroupLog):
         self._batcher = batcher
         self._on_shed = on_shed
         self._classify = classify
+
+    def restore_sequencer_state(self, next_seq: int, uids) -> None:
+        """Rebuild sequencer counters after a durable cold start.
+
+        A power-lost speaker resurrects from its own disk: the replayed
+        WAL tells it the highest sequence number it ever handed out and
+        which uids it already ordered, so resent client commands dedup
+        instead of being sequenced twice. No-op on non-sequencers.
+        """
+        if not self._is_sequencer:
+            return
+        self._next_seq = max(self._next_seq, int(next_seq))
+        self._sequenced_uids.update(uids)
 
     def submit(self, entry: dict) -> None:
         if "uid" not in entry:

@@ -105,6 +105,9 @@ class PartitionCheckpointer:
         self.keep = keep
         self.history: list[PartitionCheckpoint] = []
         self.captures = 0
+        # Durable persistence (repro.store), attached by the harness when
+        # durability is armed; None keeps checkpoints memory-only.
+        self.store = None
         server.checkpointer = self
 
     def capture(self, reason: str = "manual") -> PartitionCheckpoint:
@@ -150,6 +153,8 @@ class PartitionCheckpointer:
         self.captures += 1
         self.history.append(checkpoint)
         del self.history[:-self.keep]
+        if self.store is not None:
+            self.store.save(checkpoint)
         if server.tracer.enabled:
             server.tracer.span(
                 f"ckpt:{server.node.name}:{self.captures}", "checkpoint",

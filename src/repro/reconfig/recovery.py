@@ -33,82 +33,139 @@ deployments when the speaker itself must be recoverable).
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.reconfig.checkpoint import PartitionCheckpoint, PartitionCheckpointer
-from repro.reconfig.transfer import CheckpointHost, StateTransfer
+from repro.reconfig.transfer import (CheckpointHost, StateTransfer,
+                                     StateTransferStalled)
+
+
+def install_checkpoint(server, checkpoint: PartitionCheckpoint) -> None:
+    """Install a checkpoint's state into a gated replacement server.
+
+    Atomic (no yields: one virtual instant). Shared by peer-transfer
+    recovery and the durable cold-start ladder (:mod:`repro.store`);
+    callers follow up with ``fast_forward``/backfill/gate themselves.
+    """
+    for key, value in checkpoint.store.items():
+        server.store.write(key, value)
+    server.executed = list(checkpoint.executed)
+    server.replies._replies.update(checkpoint.replies)
+    server.epoch = checkpoint.epoch
+    server.applied_reconfigs = set(
+        getattr(checkpoint, "applied_reconfigs", ()))
+    amcast = server.amcast
+    state = checkpoint.amcast
+    amcast._clock = state["clock"]
+    amcast._delivered_uids = set(state["delivered_uids"])
+    amcast._my_ts = dict(state["my_ts"])
+    amcast._pending = dict(state["pending"])
+    amcast._deliver_count = state["deliver_count"]
+    amcast.delivery_log = list(state["delivery_log"])
+    if amcast.heal_interval_ms:
+        for muid, pending in amcast._pending.items():
+            if (pending.proposed and pending.final_ts is None
+                    and len(pending.groups) > 1):
+                server.env.schedule_callback(
+                    amcast.heal_interval_ms,
+                    lambda m=muid: amcast._heal(m))
+    exchange = server.exchange
+    state = checkpoint.exchange
+    exchange._signals = {cid: set(senders)
+                         for cid, senders in state["signals"].items()}
+    exchange._vars = dict(state["vars"])
+    exchange._done = set(state["done"])
+    exchange._sent = dict(state["sent"])
+    server._deliveries._items.clear()
+    server._deliveries._items.extend(checkpoint.queued)
 
 
 class PartitionRecovery:
-    """Drives one replacement server from construction to caught-up."""
+    """Drives one replacement server from construction to caught-up.
 
-    def __init__(self, server, peer_name: str):
+    Tries the primary peer first and walks ``fallback_peers`` when a
+    transfer stalls (source peer gone). With every source exhausted the
+    recovery turns *terminal*: ``failed`` is set, a flight-recorder
+    event is logged and ``on_failure`` fires so the heal supervisor can
+    escalate to spare-join or abandon — no silent hang.
+    """
+
+    #: No transfer progress for this long means the source peer is gone.
+    STALL_AFTER_MS = 500.0
+
+    def __init__(self, server, peer_name: str,
+                 fallback_peers: Sequence[str] = (),
+                 stall_after_ms: Optional[float] = STALL_AFTER_MS,
+                 on_failure=None):
         if server._start_gate is None:
             raise ValueError("the replacement server must be constructed "
                              "with a start_gate (use "
                              "recover_partition_server)")
         self.server = server
         self.peer_name = peer_name
+        self.peers = [peer_name] + [p for p in fallback_peers
+                                    if p != peer_name]
+        self.stall_after_ms = stall_after_ms
+        self.on_failure = on_failure
         self.transfer = StateTransfer(server.node, tracer=server.tracer)
         self.installed = False
+        self.failed = False
+        self.peers_tried: list[str] = []
         self.checkpoint: PartitionCheckpoint | None = None
         self._process = server.env.process(
             self._run(), name=f"{server.node.name}/recovery")
 
     def _run(self):
-        checkpoint = yield from self.transfer.fetch(self.peer_name)
-        self._install(checkpoint)
+        for peer in self.peers:
+            self.peer_name = peer
+            self.peers_tried.append(peer)
+            try:
+                checkpoint = yield from self.transfer.fetch(
+                    peer, stall_after_ms=self.stall_after_ms)
+            except StateTransferStalled as stalled:
+                self.server.node.flight(
+                    "recovery",
+                    f"transfer from {peer} stalled in {stalled.phase} "
+                    f"phase; trying next peer")
+                continue
+            self._install(checkpoint)
+            return
+        self.failed = True
+        self.server.node.flight(
+            "recovery", f"state transfer failed: all "
+            f"{len(self.peers)} source peer(s) gone")
+        if self.on_failure is not None:
+            self.on_failure(self)
 
     def _install(self, checkpoint: PartitionCheckpoint) -> None:
-        """Install the checkpoint atomically (no yields: one instant)."""
         server = self.server
-        for key, value in checkpoint.store.items():
-            server.store.write(key, value)
-        server.executed = list(checkpoint.executed)
-        server.replies._replies.update(checkpoint.replies)
-        server.epoch = checkpoint.epoch
-        server.applied_reconfigs = set(
-            getattr(checkpoint, "applied_reconfigs", ()))
-        amcast = server.amcast
-        state = checkpoint.amcast
-        amcast._clock = state["clock"]
-        amcast._delivered_uids = set(state["delivered_uids"])
-        amcast._my_ts = dict(state["my_ts"])
-        amcast._pending = dict(state["pending"])
-        amcast._deliver_count = state["deliver_count"]
-        amcast.delivery_log = list(state["delivery_log"])
-        if amcast.heal_interval_ms:
-            for muid, pending in amcast._pending.items():
-                if (pending.proposed and pending.final_ts is None
-                        and len(pending.groups) > 1):
-                    server.env.schedule_callback(
-                        amcast.heal_interval_ms,
-                        lambda m=muid: amcast._heal(m))
-        exchange = server.exchange
-        state = checkpoint.exchange
-        exchange._signals = {cid: set(senders)
-                             for cid, senders in state["signals"].items()}
-        exchange._vars = dict(state["vars"])
-        exchange._done = set(state["done"])
-        exchange._sent = dict(state["sent"])
-        server._deliveries._items.clear()
-        server._deliveries._items.extend(checkpoint.queued)
+        install_checkpoint(server, checkpoint)
         server.log.fast_forward(max(server.log.applied_count,
                                     checkpoint.applied_count))
         server.log.resume_backfill()
         server.log.request_backfill(provider=self.peer_name)
         self.checkpoint = checkpoint
         self.installed = True
+        checkpointer = getattr(server, "checkpointer", None)
+        if checkpointer is not None and checkpointer.store is not None:
+            # Durable deployments persist the freshly installed state so
+            # the local disk can cold-start this incarnation.
+            checkpointer.capture(reason="recovery")
         server._start_gate.succeed(None)
 
 
-def recover_partition_server(crashed, peer):
+def recover_partition_server(crashed, peer, fallback_peers=(),
+                             on_failure=None):
     """Bring a crashed partition replica back under the same name.
 
     ``crashed`` is the dead server object (any :class:`SsmrServer`
     subclass); ``peer`` is a live replica of the *same partition* with a
-    checkpointer and :class:`CheckpointHost` attached. Returns the
-    replacement server (same class, same name), already recovering; its
-    ``recovery`` attribute exposes progress, and a fresh checkpointer and
-    host are attached so the replacement can later seed others.
+    checkpointer and :class:`CheckpointHost` attached, and
+    ``fallback_peers`` names alternates to try if the transfer from
+    ``peer`` stalls. Returns the replacement server (same class, same
+    name), already recovering; its ``recovery`` attribute exposes
+    progress, and a fresh checkpointer and host are attached so the
+    replacement can later seed others.
     """
     if crashed.partition != peer.partition:
         raise ValueError(f"peer {peer.node.name} replicates "
@@ -130,5 +187,7 @@ def recover_partition_server(crashed, peer):
     replacement.log.suspend_backfill()
     PartitionCheckpointer(replacement)
     CheckpointHost(replacement)
-    replacement.recovery = PartitionRecovery(replacement, peer.node.name)
+    replacement.recovery = PartitionRecovery(
+        replacement, peer.node.name, fallback_peers=fallback_peers,
+        on_failure=on_failure)
     return replacement

@@ -48,6 +48,24 @@ def new_transfer_id(name: str) -> str:
     return f"xf-{name}-{next(_transfer_counter)}"
 
 
+class StateTransferStalled(RuntimeError):
+    """A transfer made no progress for ``stall_after_ms``.
+
+    Raised by :meth:`StateTransfer.fetch` instead of retrying forever,
+    so callers (the recovery ladder, the heal supervisor) can try an
+    alternate peer or escalate to spare-join/abandoned rather than
+    silently hanging a replacement replica behind its start gate.
+    """
+
+    def __init__(self, peer: str, phase: str, waited_ms: float):
+        super().__init__(
+            f"state transfer from {peer} stalled in {phase} phase "
+            f"({waited_ms:.0f}ms without progress)")
+        self.peer = peer
+        self.phase = phase
+        self.waited_ms = waited_ms
+
+
 class CheckpointHost:
     """Serves frozen checkpoints of one partition server, in chunks.
 
@@ -172,6 +190,8 @@ class StateTransfer:
         self.corrupt = 0
         self.retries = 0
         self.meta_retries = 0
+        self.stalls = 0
+        self._progress_at = 0.0
         node.on(XFER_META, self._on_meta)
         node.on(XFER_CHUNK, self._on_chunk)
 
@@ -182,6 +202,7 @@ class StateTransfer:
         if meta["transfer_id"] != self._transfer_id or self._meta is not None:
             return
         self._meta = meta
+        self._progress_at = self.env.now
         if self._meta_event is not None:
             event, self._meta_event = self._meta_event, None
             event.succeed(None)
@@ -202,14 +223,23 @@ class StateTransfer:
         self._chunks[index] = chunk
         self._outstanding.pop(index, None)
         self.chunks_received += 1
+        self._progress_at = self.env.now
         if self._wake is not None:
             wake, self._wake = self._wake, None
             wake.succeed(None)
 
     # -- driver -------------------------------------------------------------
 
-    def fetch(self, peer: str, transfer_id: Optional[str] = None):
-        """Generator: pull one full checkpoint from ``peer``."""
+    def fetch(self, peer: str, transfer_id: Optional[str] = None,
+              stall_after_ms: Optional[float] = None):
+        """Generator: pull one full checkpoint from ``peer``.
+
+        With ``stall_after_ms`` set, ``stall_after_ms`` of virtual time
+        without any progress (no metadata, no new chunk) raises
+        :class:`StateTransferStalled` — the terminal signal that the
+        source peer is gone — after resetting the receiver so the next
+        ``fetch`` can target an alternate peer.
+        """
         if self._transfer_id is not None:
             raise RuntimeError("a transfer is already in progress on "
                                f"{self.node.name}")
@@ -218,7 +248,9 @@ class StateTransfer:
         self._chunks = {}
         self._outstanding = {}
         started = self.env.now
+        self._progress_at = started
         while self._meta is None:
+            self._check_stall(peer, "meta", stall_after_ms)
             self._meta_event = self.env.event()
             self.node.send(peer, XFER_META_REQ,
                            {"transfer_id": self._transfer_id,
@@ -230,6 +262,7 @@ class StateTransfer:
                 self.meta_retries += 1
         num_chunks = self._meta["num_chunks"]
         while len(self._chunks) < num_chunks:
+            self._check_stall(peer, "chunk", stall_after_ms)
             now = self.env.now
             for index in [i for i, t in self._outstanding.items()
                           if now - t >= self.chunk_timeout_ms]:
@@ -260,6 +293,23 @@ class StateTransfer:
                              keys=checkpoint.num_keys)
         self._transfer_id = None
         return checkpoint
+
+    def _check_stall(self, peer: str, phase: str,
+                     stall_after_ms: Optional[float]) -> None:
+        if stall_after_ms is None:
+            return
+        waited = self.env.now - self._progress_at
+        if waited < stall_after_ms:
+            return
+        self.stalls += 1
+        # Reset so a retry against another peer starts clean.
+        self._transfer_id = None
+        self._meta = None
+        self._meta_event = None
+        self._chunks = {}
+        self._outstanding = {}
+        self._wake = None
+        raise StateTransferStalled(peer, phase, waited)
 
     def _assemble(self) -> PartitionCheckpoint:
         control = self._chunks[0]["payload"]["control"]

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import copy
 import itertools
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.net import Message
 from repro.smr.replica import SmrReplica
@@ -90,26 +90,50 @@ class RecoveringReplica:
     arrives: either message may be lost, and an un-retried request would
     leave the replacement replica gated forever. The request id stays the
     same across retries, so late duplicate responses install at most once.
+
+    The chosen peer is not a single point of failure: after
+    ``attempts_per_peer`` unanswered requests the recovery rotates to the
+    next name in ``fallback_peers`` (wrapping around), so a peer that
+    crashes between the request and its snapshot reply only delays the
+    install instead of hanging it forever.
     """
 
     def __init__(self, replica: SmrReplica, peer_name: str,
-                 retry_ms: Optional[float] = 60.0):
+                 retry_ms: Optional[float] = 60.0,
+                 fallback_peers: Sequence[str] = (),
+                 attempts_per_peer: int = 3):
         if replica._start_gate is None:
             raise ValueError("the replacement replica must be constructed "
                              "with a start_gate (use recover_replica)")
+        if attempts_per_peer < 1:
+            raise ValueError("attempts_per_peer must be >= 1")
         self.replica = replica
-        self.peer_name = peer_name
+        self.peers = [peer_name] + [p for p in fallback_peers
+                                    if p != peer_name]
+        self._peer_index = 0
         self.installed = False
         self.attempts = 0
         self.retry_ms = retry_ms
+        self.attempts_per_peer = attempts_per_peer
         self._request_id = f"rec-{next(_recovery_counter)}"
         self._gate = replica._start_gate
         replica.node.on(SNAPSHOT_RESPONSE, self._on_snapshot)
         self._send_request()
 
+    @property
+    def peer_name(self) -> str:
+        """The peer currently being asked for a snapshot."""
+        return self.peers[self._peer_index]
+
     def _send_request(self) -> None:
         if self.installed:
             return
+        if self.attempts and self.attempts % self.attempts_per_peer == 0 \
+                and len(self.peers) > 1:
+            self._peer_index = (self._peer_index + 1) % len(self.peers)
+            self.replica.node.flight(
+                "recovery", f"snapshot unanswered; rotating to "
+                f"{self.peer_name}")
         self.attempts += 1
         self.replica.node.send(self.peer_name, SNAPSHOT_REQUEST, {
             "request_id": self._request_id,
@@ -144,12 +168,14 @@ class RecoveringReplica:
 
 
 def recover_replica(crashed: SmrReplica, peer: SmrReplica,
-                    state_machine=None) -> SmrReplica:
+                    state_machine=None,
+                    fallback_peers: Sequence[str] = ()) -> SmrReplica:
     """Bring a crashed classic-SMR replica back under the same name.
 
     Returns the replacement :class:`SmrReplica`; it serves commands once
-    the peer's snapshot is installed and the log catch-up completes. The
-    peer must have a :class:`RecoveryHost` attached.
+    a peer's snapshot is installed and the log catch-up completes. The
+    peer (and any ``fallback_peers``, tried in rotation if the primary
+    stops answering) must have a :class:`RecoveryHost` attached.
     """
     network = crashed.node.network
     name = crashed.node.name
@@ -159,5 +185,6 @@ def recover_replica(crashed: SmrReplica, peer: SmrReplica,
         name, state_machine or crashed.state_machine,
         execution=crashed.execution, log_factory=type(crashed.log),
         start_gate=crashed.env.event())
-    RecoveringReplica(replacement, peer.node.name)
+    replacement.recovery = RecoveringReplica(
+        replacement, peer.node.name, fallback_peers=fallback_peers)
     return replacement

@@ -70,6 +70,9 @@ class SmrReplica:
         # Overload control (repro.qos), attached by the harness; None
         # keeps the intake/executor hot paths in their pre-QoS shape.
         self.qos = None
+        # Write-ahead log (repro.store), attached by the harness; None
+        # keeps the executor free of durability barriers.
+        self.wal = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._enqueue)
@@ -151,6 +154,11 @@ class SmrReplica:
                 yield self._start_gate
             while True:
                 delivery: AmcastDelivery = yield self._deliveries.get()
+                if self.wal is not None:
+                    # Durability barrier: the ordered entry must be
+                    # fsynced before its effects (and reply) can be
+                    # observed by anyone (see repro.store).
+                    yield self.wal.sync_barrier()
                 payload = delivery.payload
                 if isinstance(payload, dict):    # resilient-client envelope
                     command: Command = payload["command"]

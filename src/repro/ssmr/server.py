@@ -83,6 +83,9 @@ class SsmrServer:
         # Overload control (repro.qos), attached by the harness; None
         # keeps the intake/executor hot paths in their pre-QoS shape.
         self.qos = None
+        # Write-ahead log (repro.store), attached by the harness; None
+        # keeps the executor free of durability barriers.
+        self.wal = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         # The delivery the executor is currently inside (checkpoint
@@ -195,6 +198,13 @@ class SsmrServer:
                                 self.node.name, "queue",
                                 self.env.now - enqueued)
                 self._current_delivery = delivery
+                if self.wal is not None:
+                    # Durability barrier: the ordered entry must be
+                    # fsynced before its effects (and reply) can be
+                    # observed by anyone. _current_delivery is already
+                    # set, so a checkpoint captured during the wait
+                    # still counts this delivery as queued work.
+                    yield self.wal.sync_barrier()
                 yield from self._handle_delivery(delivery)
                 self._current_delivery = None
         except Interrupted:

@@ -1,0 +1,34 @@
+"""Durable storage: simulated disks, write-ahead log, checkpoints.
+
+The :mod:`repro.store` subsystem gives every node a crash-faithful
+local disk (:class:`SimulatedDisk` behind a :class:`DiskFarm`), a
+segmented CRC-checksummed write-ahead log (:class:`WriteAheadLog`) and
+a durable checkpoint store (:class:`DurableCheckpointStore`). Ordered
+deliveries are appended to the WAL before execution and fsynced by a
+group commit; reconfig checkpoints truncate WAL segments behind them;
+and cold start replays local state through a protocol-aware ladder
+(checkpoint -> WAL replay -> peer backfill -> peer state transfer)
+that distinguishes a torn tail ("never written") from corruption.
+"""
+
+from repro.store.disk import DiskFarm, DurabilityConfig, SimulatedDisk, StoreStats
+from repro.store.wal import (WalReplay, WriteAheadLog, encode_record,
+                             replay_wal, wipe_wal)
+from repro.store.checkpoints import (DurableCheckpointStore,
+                                     load_latest_checkpoint)
+from repro.store.durability import attach_durability
+
+__all__ = [
+    "DiskFarm",
+    "DurabilityConfig",
+    "DurableCheckpointStore",
+    "SimulatedDisk",
+    "StoreStats",
+    "WalReplay",
+    "WriteAheadLog",
+    "attach_durability",
+    "encode_record",
+    "load_latest_checkpoint",
+    "replay_wal",
+    "wipe_wal",
+]

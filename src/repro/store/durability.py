@@ -1,0 +1,61 @@
+"""Wiring durable storage onto live servers and oracles.
+
+``attach_durability(owner, farm)`` gives ``owner`` (an ``SmrReplica``,
+``SsmrServer``/``DssmrServer`` or ``OracleReplica``) a write-ahead log
+on its own disk in ``farm`` and hooks it into the ordered log: every
+applied position is appended before execution, and the executor yields
+a ``sync_barrier`` before executing (and therefore before replying), so
+acknowledged commands are always durable somewhere.
+
+Owners that carry a ``PartitionCheckpointer`` (the ssmr family) also
+get a :class:`~repro.store.checkpoints.DurableCheckpointStore`: every
+captured checkpoint is persisted and, once fsynced, truncates the WAL
+segments behind it. A decide-callback counter triggers a periodic
+capture every ``checkpoint_every`` applied entries so replay stays
+bounded. Checkpoint-less owners (smr replicas, oracles) replay their
+whole WAL from position zero on cold start.
+"""
+
+from __future__ import annotations
+
+from repro.store.checkpoints import DurableCheckpointStore
+from repro.store.disk import DiskFarm
+from repro.store.wal import WriteAheadLog
+
+
+def attach_durability(owner, farm: DiskFarm) -> None:
+    """Attach a WAL (and checkpoint store, if applicable) to ``owner``."""
+    config = farm.config
+    disk = farm.disk(owner.node.name)
+    wal = WriteAheadLog(owner.node.env, disk, farm.stats,
+                        group_commit_ms=config.group_commit_ms,
+                        segment_records=config.segment_records)
+    owner.wal = wal
+    owner.log.attach_wal(wal)
+    checkpointer = getattr(owner, "checkpointer", None)
+    if checkpointer is None:
+        owner.ckpt_store = None
+        return
+    store = DurableCheckpointStore(owner.node.env, disk, farm.stats,
+                                   keep=config.keep_checkpoints, wal=wal)
+    checkpointer.store = store
+    owner.ckpt_store = store
+
+    applied = {"count": 0}
+
+    def periodic_capture(seq, entry) -> None:
+        applied["count"] += 1
+        if applied["count"] % config.checkpoint_every == 0:
+            checkpointer.capture(reason="wal-periodic")
+
+    owner.log.on_decide(periodic_capture)
+
+
+def detach_durability(owner) -> None:
+    """Stop the owner's durable machinery (its process is dead)."""
+    wal = getattr(owner, "wal", None)
+    if wal is not None:
+        wal.close()
+    store = getattr(owner, "ckpt_store", None)
+    if store is not None:
+        store.close()

@@ -70,6 +70,45 @@ class TestGate:
         assert load_baseline(str(tmp_path / "nope.json")) is None
 
 
+class TestDurabilitySection:
+    """The WAL overhead guard (satellite of the durability PR)."""
+
+    def test_suite_carries_wal_on_run(self, suite):
+        section = suite["durability"]
+        assert section["scheme"] == "dssmr"
+        wal_on = section["wal_on"]
+        assert wal_on["ops_completed"] == wal_on["ops_expected"]
+        # Arming the WAL costs latency; it must stay under the bound.
+        assert 0.0 < section["overhead_ms"] <= section["bound_ms"]
+
+    def test_wal_off_sections_are_untouched_by_durability_run(self, suite):
+        """The scheme sections come from the exact pre-durability
+        deployment: re-running without the durability section changes
+        nothing (the zero-drift-when-disabled guarantee)."""
+        again = run_perf_suite()
+        assert canonical_json(again["schemes"]) == \
+            canonical_json(suite["schemes"])
+
+    def test_gate_trips_on_overhead_above_bound(self, suite):
+        broken = json.loads(canonical_json(suite))
+        broken["durability"]["overhead_ms"] = \
+            suite["durability"]["bound_ms"] + 1.0
+        failures = compare_to_baseline(broken, suite)
+        assert any("overhead" in f for f in failures)
+
+    def test_gate_skips_durability_for_old_baselines(self, suite):
+        old = json.loads(canonical_json(suite))
+        del old["durability"]   # pre-durability baseline on disk
+        assert compare_to_baseline(suite, old) == []
+
+    def test_missing_section_fails_against_new_baseline(self, suite):
+        broken = json.loads(canonical_json(suite))
+        broken["durability"] = None
+        failures = compare_to_baseline(broken, suite)
+        assert any("durability" in f and "missing" in f
+                   for f in failures)
+
+
 class TestCommittedBaseline:
     def test_repo_baseline_matches_current_code(self):
         """The committed baseline gates today's code at zero drift."""

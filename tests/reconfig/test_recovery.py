@@ -143,3 +143,68 @@ class TestPartitionRecovery:
         with pytest.raises(ValueError):
             recover_partition_server(cluster.servers["p0s1"],
                                      cluster.servers["p1s0"])
+
+
+class TestTerminalRecovery:
+    """Satellite of the durability PR: a transfer with every source
+    peer gone turns *terminal* — failed flag, flight record, failure
+    hook — instead of hanging forever."""
+
+    def test_all_sources_gone_marks_failed_and_fires_hook(self):
+        cluster = build_loaded_cluster()
+        cluster.servers["p0s1"].crash()
+        replacement = cluster.recover_server("p0s1")
+        # The only source (p0s0, the speaker) dies before answering.
+        cluster.servers["p0s0"].crash()
+        cluster.run(until=cluster.env.now + 3_000)
+        recovery = replacement.recovery
+        assert recovery.failed and not recovery.installed
+        assert recovery.peers_tried == ["p0s0"]
+        assert cluster.recovery_failures == [recovery]
+
+    def test_hooks_receive_the_terminal_recovery(self):
+        cluster = build_loaded_cluster()
+        seen = []
+        cluster.recovery_failure_hooks.append(seen.append)
+        cluster.servers["p0s1"].crash()
+        replacement = cluster.recover_server("p0s1")
+        cluster.servers["p0s0"].crash()
+        cluster.run(until=cluster.env.now + 3_000)
+        assert seen == [replacement.recovery]
+
+    def test_live_fallback_peer_prevents_terminal(self):
+        """Three replicas: the primary source dies mid-transfer, but a
+        fallback peer completes it — no terminal failure."""
+        from repro.harness import build_cluster
+        from repro.harness.chaos import _reset_id_counters
+
+        _reset_id_counters()
+        cluster = build_cluster(scheme="dssmr", num_partitions=2,
+                                replicas_per_partition=3, seed=3,
+                                initial_assignment={f"k{i}": i % 2
+                                                    for i in range(4)})
+        cluster.preload({f"k{i}": 0 for i in range(4)})
+        run_workload_terminal(cluster)
+        cluster.servers["p0s1"].crash()
+        replacement = cluster.recover_server("p0s1")
+        # recover_server picks the first live member as primary source;
+        # kill exactly that one.
+        primary = replacement.recovery.peer_name
+        cluster.servers[primary].crash()
+        cluster.run(until=cluster.env.now + 5_000)
+        recovery = replacement.recovery
+        assert recovery.installed and not recovery.failed
+        assert len(recovery.peers_tried) == 2
+        assert cluster.recovery_failures == []
+
+
+def run_workload_terminal(cluster, count=8, name="c0"):
+    client = cluster.new_client(name)
+
+    def proc(env):
+        for index in range(count):
+            key = f"k{index % 4}"
+            yield from client.run_command(incr(key))
+
+    cluster.env.process(proc(cluster.env))
+    cluster.run(until=cluster.env.now + 5_000)

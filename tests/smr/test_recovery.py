@@ -219,6 +219,111 @@ class TestRecoveryUnderLoss:
         assert holder[0].store.snapshot() == replicas[0].store.snapshot()
 
 
+class TestPeerRotation:
+    """Satellite of the durability PR: the snapshot source is not a
+    single point of failure. A primary peer that dies between the
+    request and its reply must only delay the install — the recovery
+    rotates through its fallback peers instead of retrying a dead node
+    forever."""
+
+    def _setup(self, env, seed=17):
+        net, directory, replicas = build_smr(env, replicas=3, seed=seed)
+        for replica in replicas:
+            replica.load_state({"x": 0})
+        # Hosts on the *fallback* candidates only; the doomed primary
+        # never gets to answer anyway.
+        hosts = [RecoveryHost(replicas[0]), RecoveryHost(replicas[1])]
+        client = SmrClient(env, net, directory, "c0", "smr")
+        return net, replicas, client, hosts
+
+    def test_rotation_to_fallback_when_primary_dies(self, env):
+        from repro.smr.recovery import RecoveringReplica
+        from repro.smr import SmrReplica
+
+        net, replicas, client, hosts = self._setup(env)
+        replies = []
+        run_commands(env, client, 5, replies, pause=2.0)
+        outcome = {}
+
+        def chaos(env):
+            yield env.timeout(25)          # workload finished
+            replicas[2].crash()
+            # The chosen snapshot source dies before it can answer.
+            replicas[1].crash()
+            yield env.timeout(2)
+            net.recover(replicas[2].node.name)
+            replacement = SmrReplica(
+                env, net, replicas[2].amcast.directory, replicas[2].group,
+                replicas[2].node.name, KeyValueStateMachine(),
+                execution=replicas[2].execution,
+                log_factory=type(replicas[2].log),
+                start_gate=env.event())
+            handle = RecoveringReplica(
+                replacement, replicas[1].node.name, retry_ms=10.0,
+                fallback_peers=[replicas[0].node.name],
+                attempts_per_peer=2)
+            yield env.timeout(2_000)
+            outcome.update(replacement=replacement, handle=handle)
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        handle = outcome["handle"]
+        assert handle.installed, "recovery hung on the dead primary"
+        # It burned its attempts on the dead peer, then rotated.
+        assert handle.peer_name == replicas[0].node.name
+        assert handle.attempts > handle.attempts_per_peer
+        assert hosts[0].snapshots_served >= 1
+        assert outcome["replacement"].store.snapshot() == \
+            replicas[0].store.snapshot()
+        assert outcome["replacement"].executed == replicas[0].executed
+
+    def test_rotation_wraps_around_while_all_sources_are_dead(self, env):
+        """With every source dead the rotation keeps cycling (primary →
+        fallback → primary …) instead of wedging on one peer: whichever
+        source comes back first will get the next request."""
+        from repro.smr.recovery import RecoveringReplica
+        from repro.smr import SmrReplica
+
+        net, replicas, client, hosts = self._setup(env, seed=19)
+        replies = []
+        run_commands(env, client, 3, replies, pause=2.0)
+        outcome = {}
+        seen_peers = []
+
+        def chaos(env):
+            yield env.timeout(20)
+            replicas[2].crash()
+            replicas[0].crash()
+            replicas[1].crash()
+            yield env.timeout(2)
+            net.recover(replicas[2].node.name)
+            replacement = SmrReplica(
+                env, net, replicas[2].amcast.directory, replicas[2].group,
+                replicas[2].node.name, KeyValueStateMachine(),
+                execution=replicas[2].execution,
+                log_factory=type(replicas[2].log),
+                start_gate=env.event())
+            handle = RecoveringReplica(
+                replacement, replicas[0].node.name, retry_ms=10.0,
+                fallback_peers=[replicas[1].node.name],
+                attempts_per_peer=2)
+            for _ in range(12):
+                seen_peers.append(handle.peer_name)
+                yield env.timeout(10.0)
+            outcome["handle"] = handle
+
+        env.process(chaos(env))
+        env.run(until=60_000)
+        handle = outcome["handle"]
+        assert not handle.installed        # nobody could answer
+        assert handle.attempts > 2 * handle.attempts_per_peer
+        # Both sources were asked, and the cycle wrapped back around.
+        primary = replicas[0].node.name
+        fallback = replicas[1].node.name
+        assert fallback in seen_peers
+        assert primary in seen_peers[seen_peers.index(fallback):]
+
+
 class TestLogBackfill:
     def test_gap_triggers_backfill(self, env):
         """A member that misses a decision fills the hole via backfill."""

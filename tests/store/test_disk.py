@@ -1,0 +1,141 @@
+"""Tests for the simulated crash-faithful disk (repro.store.disk)."""
+
+import random
+
+import pytest
+
+from repro.sim import Environment, SeedStream
+from repro.store import DiskFarm, DurabilityConfig
+from repro.store.disk import SimulatedDisk, StoreStats
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_disk(env, seed=1, **config_kwargs):
+    config = DurabilityConfig(**config_kwargs)
+    return SimulatedDisk(env, "d0", random.Random(seed), config,
+                         StoreStats())
+
+
+def fsync(env, disk, path):
+    done = {}
+
+    def proc():
+        yield from disk.fsync(path)
+        done["at"] = env.now
+
+    env.process(proc(), name="fsync")
+    env.run(until=env.now + 10_000)
+    return done["at"]
+
+
+class TestDurableImage:
+    def test_append_is_not_durable_until_fsync(self, env):
+        disk = make_disk(env)
+        disk.append("f", b"hello")
+        assert disk.read("f") == b""          # post-crash view: nothing
+        fsync(env, disk, "f")
+        assert disk.read("f") == b"hello"
+
+    def test_fsync_charges_virtual_time(self, env):
+        disk = make_disk(env, fsync_ms=0.3, bytes_per_ms=4096.0)
+        disk.append("f", b"x" * 4096)
+        at = fsync(env, disk, "f")
+        assert at == pytest.approx(0.3 + 1.0)
+
+    def test_slow_factor_multiplies_fsync_cost(self, env):
+        disk = make_disk(env, fsync_ms=0.3, bytes_per_ms=4096.0)
+        disk.slow_factor = 10.0
+        disk.append("f", b"x" * 4096)
+        at = fsync(env, disk, "f")
+        assert at == pytest.approx((0.3 + 1.0) * 10.0)
+
+    def test_fsync_commits_only_bytes_buffered_at_call_time(self, env):
+        disk = make_disk(env)
+        disk.append("f", b"aaaa")
+        racer = {}
+
+        def proc():
+            yield from disk.fsync("f")
+            racer["done"] = True
+
+        env.process(proc(), name="fsync")
+        # Appended while the fsync is mid-wait: stays pending.
+        env.schedule_callback(0.1, lambda: disk.append("f", b"bbbb"))
+        env.run(until=10_000)
+        assert disk.read("f") == b"aaaa"
+
+    def test_files_and_delete(self, env):
+        disk = make_disk(env)
+        for name in ("wal.2", "wal.1", "ckpt.1"):
+            disk.append(name, b"x")
+            fsync(env, disk, name)
+        assert disk.files("wal") == ["wal.1", "wal.2"]
+        disk.delete("wal.1")
+        assert disk.files("wal") == ["wal.2"]
+        assert not disk.exists("wal.1")
+
+
+class TestCrashSurface:
+    def test_power_fail_drops_or_tears_pending(self, env):
+        disk = make_disk(env, )
+        disk.append("f", b"0123456789" * 10)
+        disk.power_fail()
+        survived = disk.read("f")
+        # A seeded prefix (possibly empty, never more) survives.
+        assert len(survived) <= 100
+        assert survived == (b"0123456789" * 10)[:len(survived)]
+        assert not disk._pending
+
+    def test_power_fail_leaves_durable_bytes_alone(self, env):
+        disk = make_disk(env)
+        disk.append("f", b"durable")
+        fsync(env, disk, "f")
+        disk.append("f", b"pending")
+        disk.power_fail()
+        assert disk.read("f").startswith(b"durable")
+
+    def test_bitrot_flips_one_durable_byte(self, env):
+        disk = make_disk(env)
+        disk.append("f", b"payload")
+        fsync(env, disk, "f")
+        where = disk.inject_bitrot()
+        assert where is not None and where.startswith("f@")
+        corrupted = disk.read("f")
+        assert corrupted != b"payload"
+        assert sum(a != b for a, b in zip(corrupted, b"payload")) == 1
+
+    def test_bitrot_on_empty_disk_is_a_noop(self, env):
+        disk = make_disk(env)
+        assert disk.inject_bitrot() is None
+
+    def test_tear_tail_truncates_newest_durable_file(self, env):
+        disk = make_disk(env)
+        for name in ("wal.1", "wal.2"):
+            disk.append(name, b"z" * 100)
+            fsync(env, disk, name)
+        where = disk.tear_tail()
+        assert where.startswith("wal.2-")
+        assert len(disk.read("wal.2")) < 100
+        assert disk.read("wal.1") == b"z" * 100
+
+
+class TestDiskFarm:
+    def test_disks_persist_across_lookups(self, env):
+        farm = DiskFarm(env, SeedStream(1), DurabilityConfig())
+        disk = farm.disk("n0")
+        disk.append("f", b"x")
+        assert farm.disk("n0") is disk
+        assert farm.disk("n1") is not disk
+
+    def test_power_fail_all_hits_every_disk(self, env):
+        farm = DiskFarm(env, SeedStream(1), DurabilityConfig())
+        for name in ("n0", "n1"):
+            farm.disk(name).append("f", b"y" * 50)
+        farm.power_fail_all()
+        assert farm.stats.power_failures == 1
+        for name in ("n0", "n1"):
+            assert not farm.disk(name)._pending
