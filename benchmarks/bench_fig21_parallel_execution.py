@@ -1,0 +1,59 @@
+"""E22 — conflict-aware parallel execution: throughput vs workers.
+
+The parallelexec campaign runs in full: the open-loop equivalence proof
+(parallel execution over a fixed delivered log is byte-identical to
+sequential on all four schemes) plus the closed-loop throughput sweep —
+worker counts 1/2/4/8 against the sequential baseline across a hot-key
+conflict-rate ladder. The headline acceptance gate: at 4 workers and
+10% conflict a DS-SMR partition must deliver at least 2.5x sequential
+throughput.
+"""
+
+from repro.harness.figures import figure21_parallel_execution
+from repro.harness.parallelexec import (GATE_CONFLICT, GATE_MIN_SPEEDUP,
+                                        GATE_WORKERS)
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig21_parallel_execution(benchmark):
+    figure = run_figure(benchmark, figure21_parallel_execution)
+    data = figure.data
+
+    # The campaign self-gates: equivalence everywhere + headline speedup.
+    assert data["gate"]["passed"], data["gate"]
+
+    # Equivalence held on every scheme x seed x worker-count case.
+    assert data["equivalence"]["all_equal"]
+
+    # Headline claim: >= 2.5x at 4 workers / 10% conflict.
+    assert data["gate"]["gate_workers"] == GATE_WORKERS
+    assert data["gate"]["gate_conflict"] == GATE_CONFLICT
+    assert data["gate"]["speedup_at_gate"] >= GATE_MIN_SPEEDUP
+
+    cells = {(c["workers"], c["conflict"]): c
+             for c in data["sweep"]["cells"]}
+
+    # Scaling shape at low conflict: throughput rises monotonically with
+    # workers and 4 workers beat 2 beat 1.
+    for conflict in (0.0, GATE_CONFLICT):
+        series = [cells[(w, conflict)]["throughput_kcps"]
+                  for w in (0, 1, 2, 4, 8)]
+        assert all(b >= a for a, b in zip(series, series[1:])), series
+
+    # One worker through the parallel engine matches the sequential
+    # executor — the pool adds capacity, never reorders a single lane.
+    for conflict in (0.0, GATE_CONFLICT):
+        assert (cells[(1, conflict)]["completed"]
+                == cells[(0, conflict)]["completed"])
+
+    # Conflicts serialize: at full conflict every command shares the hot
+    # key, so extra workers cannot beat sequential by the gate margin.
+    full = cells[(GATE_WORKERS, 1.0)]
+    assert full["speedup"] < GATE_MIN_SPEEDUP
+
+    # The scheduler's own accounting agrees: rising conflict rates mean
+    # rising stall fractions at a fixed worker count.
+    stalls = [cells[(GATE_WORKERS, c)]["stall_fraction"]
+              for c in (0.0, 0.1, 0.5, 1.0)]
+    assert stalls[-1] > stalls[0], stalls

@@ -79,6 +79,71 @@ def test_network_message_throughput(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_callback_chain_throughput(benchmark):
+    """Event-heap churn through ``schedule_callback`` — the hottest
+    scheduling shape (every network delivery and parallel-execution
+    completion is one born-triggered callback event)."""
+
+    count = 20_000
+
+    def run():
+        env = Environment()
+        state = {"left": count}
+
+        def tick():
+            left = state["left"]
+            if left:
+                state["left"] = left - 1
+                env.schedule_callback(0.01, tick)
+
+        env.schedule_callback(0.0, tick)
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == pytest.approx(count * 0.01, rel=1e-6)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_message_delivery_fast_path(benchmark):
+    """End-to-end delivery on the rule-free fast path: slotted messages,
+    cached endpoint lookup, no fault-rule scans, callback delivery."""
+
+    count = 10_000
+
+    def run():
+        env = Environment()
+        net = Network(env, SeedStream(3), FixedLatency(0.05))
+        net.register("b")
+        net.register("a")
+        for i in range(count):
+            net.send("a", "b", "k", payload=i)
+        env.run()
+        return net.messages_delivered
+
+    delivered = benchmark(run)
+    assert delivered == count
+
+
+@pytest.mark.benchmark(group="micro")
+def test_substrate_floors(benchmark):
+    """The perfcheck substrate gate's own measurement: rates must beat
+    the committed floors (recorded with multiple-x headroom, so only a
+    genuine substrate slowdown trips this)."""
+
+    import json
+    from pathlib import Path
+
+    from repro.harness.perf import compare_substrate, run_substrate_micro
+
+    floors_path = (Path(__file__).parent / "baselines"
+                   / "substrate_micro.json")
+    floors = json.loads(floors_path.read_text())
+    rates = benchmark.pedantic(run_substrate_micro, rounds=1, iterations=1)
+    assert compare_substrate(rates, floors) == []
+
+
+@pytest.mark.benchmark(group="micro")
 def test_ordered_log_throughput(benchmark):
     """Entries sequenced and applied by a 3-member SequencerLog."""
 

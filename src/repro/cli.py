@@ -40,6 +40,7 @@ def _figure_registry() -> dict[str, Callable]:
         "fig18": figures.figure18_cost_attribution,
         "fig19": figures.figure19_overload,
         "fig20": figures.figure20_durability,
+        "fig21": figures.figure21_parallel_execution,
     }
 
 
@@ -136,9 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="scale the execution cost model (test "
                                 "knob: CI injects 1.2 and requires the "
                                 "gate to FAIL)")
+    perfcheck.add_argument("--substrate-baseline",
+                           default="benchmarks/baselines/"
+                                   "substrate_micro.json",
+                           metavar="PATH",
+                           help="wall-clock substrate floor file (event "
+                                "heap + message delivery rates); gating "
+                                "mode only — wall-clock numbers never "
+                                "enter the canonical JSON")
+    perfcheck.add_argument("--no-substrate", action="store_true",
+                           help="skip the wall-clock substrate gate")
     perfcheck.add_argument("--update-baseline", action="store_true",
                            help="write the current metrics to --baseline "
-                                "instead of gating")
+                                "(and refreshed substrate floors to "
+                                "--substrate-baseline) instead of gating")
     perfcheck.add_argument("--smoke", action="store_true",
                            help="print the canonical metrics JSON on "
                                 "stdout without gating (CI byte-compares "
@@ -191,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "storage armed (repro.store) and the "
                            "generator adds torn-write, bit-rot, "
                            "slow-disk and power-loss events")
+    fuzz.add_argument("--parallel", action="store_true",
+                      help="parallel-execution fuzzing: every server "
+                           "executes on a 4-worker conflict-aware pool "
+                           "(repro.smr.parallel); the linearizability "
+                           "checker fuzzes the sequential-equivalence "
+                           "argument under faults")
 
     qos = sub.add_parser(
         "qos", help="overload campaign: offered-load sweep with QoS "
@@ -246,6 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the canonical campaign JSON to "
                            "PATH")
 
+    parallelexec = sub.add_parser(
+        "parallelexec", help="parallel-execution campaign: sequential "
+                             "equivalence proof + worker/conflict "
+                             "throughput sweep")
+    parallelexec.add_argument("--seed", type=int, default=1)
+    parallelexec.add_argument("--smoke", action="store_true",
+                              help="short fixed campaign printing the "
+                                   "canonical JSON on stdout (CI "
+                                   "byte-compares two same-seed runs)")
+    parallelexec.add_argument("--json", action="store_true",
+                              help="print the canonical campaign JSON on "
+                                   "stdout (report goes to stderr)")
+    parallelexec.add_argument("--out", default=None, metavar="PATH",
+                              help="also write the canonical campaign "
+                                   "JSON to PATH")
+
     reconfig = sub.add_parser(
         "reconfig", help="elastic reconfiguration smoke: crash-restart "
                          "recovery + live partition join under chaos")
@@ -277,11 +311,13 @@ def cmd_figure(args) -> int:
     if args.duration_ms is not None:
         kwargs["duration_ms"] = args.duration_ms
     if args.figure_id in ("fig5", "fig10", "fig13", "fig14", "fig15",
-                          "fig16", "fig17", "fig18", "fig19", "fig20"):
+                          "fig16", "fig17", "fig18", "fig19", "fig20",
+                          "fig21"):
         # figures without duration parameters
         kwargs = {"seed": args.seed} \
             if args.figure_id in ("fig13", "fig14", "fig15", "fig16",
-                                  "fig17", "fig18", "fig19", "fig20") \
+                                  "fig17", "fig18", "fig19", "fig20",
+                                  "fig21") \
             else {}
     started = time.perf_counter()
     print(figure_fn(**kwargs))
@@ -453,8 +489,10 @@ def cmd_profile(args) -> int:
 def cmd_perfcheck(args) -> int:
     import json
 
-    from repro.harness.perf import (canonical_json, compare_to_baseline,
-                                    load_baseline, run_perf_suite)
+    from repro.harness.perf import (canonical_json, compare_substrate,
+                                    compare_to_baseline, load_baseline,
+                                    make_substrate_baseline,
+                                    run_perf_suite, run_substrate_micro)
 
     started = time.perf_counter()
     current = run_perf_suite(seed=args.seed, slowdown=args.slowdown)
@@ -464,6 +502,13 @@ def cmd_perfcheck(args) -> int:
             json.dump(current, sink, sort_keys=True, indent=2)
             sink.write("\n")
         print(f"wrote baseline to {args.baseline}", file=sys.stderr)
+        if not args.no_substrate:
+            floors = make_substrate_baseline(run_substrate_micro())
+            with open(args.substrate_baseline, "w") as sink:
+                json.dump(floors, sink, sort_keys=True, indent=2)
+                sink.write("\n")
+            print(f"wrote substrate floors to {args.substrate_baseline}",
+                  file=sys.stderr)
         print(f"(wall time: {time.perf_counter() - started:.1f}s)",
               file=sys.stderr)
         return 0
@@ -485,6 +530,23 @@ def cmd_perfcheck(args) -> int:
               f"ops/s (baseline {base.get('throughput_ops_per_s', 0):8.1f})  "
               f"p95 {metrics['latency_p95_ms']:.3f}ms "
               f"(baseline {base.get('latency_p95_ms', 0):.3f}ms)")
+    par = current.get("parallel")
+    if par is not None:
+        print(f"parallel  {par['speedup']:.3f}x at {par['workers']} "
+              f"workers / {par['conflict']:.0%} conflict "
+              f"(minimum {par['min_speedup']:.1f}x)")
+    if not args.no_substrate:
+        floors = load_baseline(args.substrate_baseline)
+        if floors is not None:
+            rates = run_substrate_micro()
+            failures.extend(compare_substrate(rates, floors))
+            print(f"substrate {rates['events_per_s']:,.0f} events/s "
+                  f"(floor {floors.get('events_per_s_floor', 0):,.0f}), "
+                  f"{rates['messages_per_s']:,.0f} msgs/s "
+                  f"(floor {floors.get('messages_per_s_floor', 0):,.0f})")
+        else:
+            print(f"no substrate floors at {args.substrate_baseline}; "
+                  f"create them with --update-baseline", file=sys.stderr)
     if failures:
         print(f"\nPERF GATE FAILED ({len(failures)} regression(s), "
               f"tolerance {args.tolerance:.0%}):")
@@ -519,7 +581,7 @@ def cmd_fuzz(args) -> int:
         num_clients=args.clients, ops_per_client=args.ops,
         inject_bug=args.inject_bug, shrink=not args.no_shrink,
         artifacts_dir=args.artifacts, supervisor=args.supervisor,
-        overload=args.overload, disk=args.disk)
+        overload=args.overload, disk=args.disk, parallel=args.parallel)
     payload = json.dumps(campaign.to_dict(), sort_keys=True,
                          separators=(",", ":"))
     emit_json = args.json or args.smoke
@@ -627,6 +689,28 @@ def cmd_heal(args) -> int:
     return 0 if campaign.ok else 1
 
 
+def cmd_parallelexec(args) -> int:
+    from repro.harness.parallelexec import (format_report, run_campaign,
+                                            to_json)
+
+    started = time.perf_counter()
+    data = run_campaign(seed=args.seed, smoke=args.smoke)
+    payload = to_json(data)
+    emit_json = args.json or args.smoke
+    # Report to stderr in JSON mode: stdout must stay byte-comparable.
+    print(format_report(data), file=sys.stderr if emit_json else sys.stdout)
+    if emit_json:
+        print(payload)
+    if args.out:
+        with open(args.out, "w") as sink:
+            sink.write(payload + "\n")
+        print(f"wrote campaign JSON to {args.out}", file=sys.stderr)
+    print(f"\n(wall time: {time.perf_counter() - started:.1f}s)",
+          file=sys.stderr)
+    # The campaign is also a self-check: equivalence + speedup gate.
+    return 0 if data["gate"]["passed"] else 1
+
+
 def cmd_reconfig(args) -> int:
     from repro.harness.elastic import run_elastic_scenario
 
@@ -664,6 +748,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "durability": cmd_durability,
         "heal": cmd_heal,
         "trace": cmd_trace,
+        "parallelexec": cmd_parallelexec,
         "reconfig": cmd_reconfig,
     }
     return handlers[args.command](args)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.obs.tracing import trace_id_of
 from repro.ordering import AmcastDelivery
 from repro.sim import Counter
-from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.command import Command, CommandType, Reply, ReplyStatus
 from repro.smr.replica import REPLY_KIND
 from repro.ssmr.server import SsmrServer
 from repro.core.oracle import ORACLE_GROUP
@@ -53,6 +53,45 @@ class DssmrServer(SsmrServer):
         # create/delete and fallback accesses reuse the S-SMR machinery,
         # with the oracle joining the signal exchange for create/delete.
         yield from super()._handle_delivery(delivery)
+
+    # -- parallel execution (repro.smr.parallel) ------------------------------
+
+    def _parallel_access(self, envelope):
+        """Pool-eligible: non-fallback accesses (always single-partition).
+
+        Fallback-mode accesses take the S-SMR multi-partition machinery
+        and serialize; moves, creates/deletes and reconfig fences mutate
+        the store key-set (or the epoch) and serialize too.
+        """
+        if "reconfig" in envelope:
+            return None
+        command = envelope.get("command")
+        if not isinstance(command, Command):
+            return None
+        if command.ctype is not CommandType.ACCESS:
+            return None
+        if envelope.get("mode") == "fallback":
+            return None
+        return command
+
+    def _dispatch_parallel(self, command: Command, envelope, delivery):
+        attempt = envelope.get("attempt", 1)
+        if (self.parallel.inflight_slot(command.cid) is None
+                and command.cid not in self.replies):
+            missing = [key for key in command.variables
+                       if key not in self.store]
+            if missing:
+                # Variables moved away since the client consulted: retry.
+                # Sound at dispatch time: moves (and creates/deletes)
+                # barrier on a drained pool, so the store key-set cannot
+                # change while work is in flight.
+                self.retries_sent.increment(self.env.now)
+                self._send_reply(command, Reply(
+                    cid=command.cid, status=ReplyStatus.RETRY,
+                    value={"missing": missing}, sender=self.node.name,
+                    partition=self.partition, attempt=attempt))
+                return
+        super()._dispatch_parallel(command, envelope, delivery)
 
     # -- access (single-partition fast path) ---------------------------------
 

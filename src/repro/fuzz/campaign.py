@@ -126,7 +126,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                       artifacts_dir: Optional[str] = None,
                       supervisor: bool = False,
                       overload: bool = False,
-                      disk: bool = False) -> FuzzCampaignResult:
+                      disk: bool = False,
+                      parallel: bool = False) -> FuzzCampaignResult:
     """Run ``num_schedules`` generated schedules; shrink any violation.
 
     With ``supervisor=True`` every schedule runs under the autonomous
@@ -145,6 +146,12 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
     (:mod:`repro.store`): crashes recover through the cold-start
     ladder, and the generator adds the storage-fault vocabulary —
     torn writes, bit rot, slow disks and whole-cluster power loss.
+
+    With ``parallel=True`` every server executes on a 4-worker
+    conflict-aware pool (:mod:`repro.smr.parallel`): the same fault
+    vocabulary then fuzzes the P-SMR equivalence argument — the
+    linearizability checker catches any schedule where parallel
+    execution diverges from the sequential specification.
     """
     runs: list[ScheduleRunResult] = []
     shrinks: dict[int, ShrinkResult] = {}
@@ -156,7 +163,8 @@ def run_fuzz_campaign(num_schedules: int = 10, seed: int = 0,
                                      inject_bug=inject_bug,
                                      supervisor=supervisor,
                                      overload=overload,
-                                     disk=disk)
+                                     disk=disk,
+                                     parallel=parallel)
         run = run_schedule(schedule)
         runs.append(run)
         if run.ok:

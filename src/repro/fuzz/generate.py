@@ -189,7 +189,8 @@ def generate_schedule(seed: int, index: int,
                       inject_bug: Optional[str] = None,
                       supervisor: bool = False,
                       overload: bool = False,
-                      disk: bool = False) -> FaultSchedule:
+                      disk: bool = False,
+                      parallel: bool = False) -> FaultSchedule:
     """Draw schedule ``index`` of campaign ``seed`` (pure function)."""
     rng = SeedStream(seed).child("fuzz-gen").stream(f"s{index}")
     scheme = schemes[rng.randrange(len(schemes))]
@@ -247,4 +248,4 @@ def generate_schedule(seed: int, index: int,
         horizon_ms=horizon, deadline_ms=DEADLINE_MS,
         num_clients=num_clients, ops_per_client=ops_per_client,
         num_keys=num_keys, inject_bug=inject_bug, supervisor=supervisor,
-        qos=overload, durability=disk))
+        qos=overload, durability=disk, parallel=parallel))

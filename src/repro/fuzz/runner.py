@@ -42,7 +42,7 @@ from repro.obs.report import slowest_traces
 from repro.qos import QosConfig
 from repro.resilience import RequestTimeout, RetryPolicy
 from repro.sim import SeedStream
-from repro.smr import Command, ReplyStatus
+from repro.smr import Command, ExecutionConfig, ReplyStatus
 from repro.store import DurabilityConfig
 
 #: Settle time after the cooldown round before invariant checking (ms).
@@ -144,7 +144,9 @@ def _build_cluster(schedule: FaultSchedule, keys: tuple,
         initial_assignment=assignment,
         dedup=schedule.inject_bug != "no_dedup",
         qos=QosConfig(rate_per_s=2_000.0) if schedule.qos else None,
-        durability=DurabilityConfig() if schedule.durability else None),
+        durability=DurabilityConfig() if schedule.durability else None,
+        parallel=ExecutionConfig(workers=4) if schedule.parallel
+        else None),
         tracer=tracer)
     cluster.preload({key: 0 for key in keys})
     return cluster

@@ -97,6 +97,11 @@ class FaultSchedule:
     # ladder, and the disk_* / power_loss event kinds become live. Off
     # by default so existing schedules replay unchanged.
     durability: bool = False
+    # Conflict-aware parallel execution (repro.smr.parallel): every
+    # server executes on a 4-worker pool. The linearizability checker
+    # then fuzzes the P-SMR equivalence argument under faults. Off by
+    # default so existing schedules replay unchanged.
+    parallel: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -113,6 +118,7 @@ class FaultSchedule:
             "supervisor": self.supervisor,
             "qos": self.qos,
             "durability": self.durability,
+            "parallel": self.parallel,
         }
 
     @classmethod
@@ -128,7 +134,8 @@ class FaultSchedule:
                    inject_bug=data.get("inject_bug"),
                    supervisor=data.get("supervisor", False),
                    qos=data.get("qos", False),
-                   durability=data.get("durability", False))
+                   durability=data.get("durability", False),
+                   parallel=data.get("parallel", False))
 
     def canonical_json(self) -> str:
         """Canonical serialisation (sorted keys, no whitespace) — the
@@ -183,6 +190,8 @@ class FaultSchedule:
             parts.append("+qos")
         if self.durability:
             parts.append("+durability")
+        if self.parallel:
+            parts.append("+parallel")
         return " ".join(parts) if parts else "no-faults"
 
 

@@ -35,8 +35,9 @@ from repro.reconfig import (CheckpointHost, PartitionCheckpointer,
                             recover_partition_server)
 from repro.resilience import RetryPolicy
 from repro.sim import Environment, LatencyRecorder, SeedStream
-from repro.smr import (ExecutionModel, KeyValueStateMachine, SmrClient,
-                       SmrReplica, StateMachine)
+from repro.smr import (ExecutionConfig, ExecutionModel,
+                       KeyValueStateMachine, ParallelExecutionModel,
+                       SmrClient, SmrReplica, StateMachine)
 from repro.ssmr import SsmrClient, SsmrServer, StaticOracle, StaticPartitionMap
 from repro.store import (DiskFarm, DurabilityConfig, attach_durability,
                          wipe_wal)
@@ -87,6 +88,12 @@ class ClusterConfig:
     # cold-start recovery ladder (power_fail / power_restore /
     # cold_restart_server).
     durability: Optional[DurabilityConfig] = None
+    # Parallel execution (repro.smr.parallel): None keeps every executor
+    # on the sequential code path, byte-identical to pre-parallel runs
+    # (the perf gate pins that). An ExecutionConfig arms a conflict-aware
+    # worker pool per server: non-conflicting single-partition accesses
+    # overlap on the configured number of simulated cores.
+    parallel: Optional[ExecutionConfig] = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -239,6 +246,9 @@ class Cluster:
             CheckpointHost(server)
         if self.disks is not None:
             attach_durability(server, self.disks)
+        if config.parallel is not None:
+            server.attach_parallel(
+                ParallelExecutionModel(self.env, config.parallel))
         return server
 
     def _attach_qos(self, group: str, owner) -> None:
@@ -358,6 +368,11 @@ class Cluster:
             reg.gauge("store", lambda: self.disks.stats.to_dict())
             reg.gauge("store.recovery_failures",
                       lambda: len(self.recovery_failures))
+        if self.config.parallel is not None:
+            # exec.* gauges only exist on parallel-enabled deployments,
+            # so the scrape output of every sequential campaign is
+            # unchanged.
+            reg.gauge("exec", self.exec_stats)
 
     def _policy_factory(self):
         config = self.config
@@ -640,6 +655,37 @@ class Cluster:
 
     def total_fallbacks(self) -> int:
         return sum(getattr(c, "fallback_count", 0) for c in self.clients)
+
+    def exec_stats(self) -> dict:
+        """Aggregate ``exec.*`` snapshot over every armed worker pool.
+
+        Core utilization is busy time over wall time summed across cores
+        and servers; the conflict-stall fraction is scheduler wait over
+        (wait + run). Both are virtual-time exact, hence deterministic.
+        """
+        pools = [server.parallel for name, server
+                 in sorted(self.servers.items())
+                 if getattr(server, "parallel", None) is not None]
+        if not pools:
+            return {}
+        now = self.env.now
+        stats = [pool.stats(now) for pool in pools]
+        busy = sum(s["busy_ms"] for s in stats)
+        serial = sum(s["serial_ms"] for s in stats)
+        stall = sum(s["stall_ms"] for s in stats)
+        span = now * sum(s["workers"] for s in stats)
+        run = busy + serial
+        return {
+            "workers": stats[0]["workers"],
+            "commands": sum(s["commands"] for s in stats),
+            "barriers": sum(s["barriers"] for s in stats),
+            "busy_ms": round(busy, 6),
+            "serial_ms": round(serial, 6),
+            "stall_ms": round(stall, 6),
+            "utilization": round(busy / span, 6) if span > 0 else 0.0,
+            "stall_fraction": (round(stall / (stall + run), 6)
+                               if stall + run > 0 else 0.0),
+        }
 
 
 def build_cluster(tracer=None, profiler=None, **kwargs) -> Cluster:

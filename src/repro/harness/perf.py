@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from typing import Optional
 
 from repro.harness.durability import OVERHEAD_BOUND_MS
@@ -37,6 +38,15 @@ BASELINE_FORMAT = "repro-perf-baseline/1"
 DEFAULT_BASELINE_PATH = "benchmarks/baselines/perf_smoke.json"
 DEFAULT_TOLERANCE = 0.05
 PERF_SCHEMES = ("smr", "ssmr", "dssmr", "dynastar")
+
+#: Wall-clock substrate baseline (separate file: these numbers are NOT
+#: byte-deterministic and must never enter the canonical perf payload).
+SUBSTRATE_FORMAT = "repro-substrate-baseline/1"
+DEFAULT_SUBSTRATE_BASELINE_PATH = \
+    "benchmarks/baselines/substrate_micro.json"
+#: Floors are committed at measured-rate / headroom, so the gate only
+#: trips on a multiple-x substrate slowdown, never on machine variance.
+SUBSTRATE_HEADROOM = 4.0
 
 
 def canonical_json(obj) -> str:
@@ -101,6 +111,37 @@ def run_perf_suite(seed: int = 7, num_clients: int = 3,
             "overhead_ms": _round(on_mean - off_mean),
             "bound_ms": OVERHEAD_BOUND_MS,
         }
+    parallel = None
+    if "dssmr" in results:
+        # Parallel-execution section: the scheme sections above run with
+        # parallel=None (byte-identical to the pre-parallel deployment —
+        # zero drift when off), and one executor-bound throughput pair
+        # proves the engine's headline speedup. Virtual-time numbers, so
+        # byte-stable like everything else in this payload. The sweep
+        # keeps its own heavy cost model (the ``slowdown`` knob targets
+        # the scheme gates; a uniformly slowed model would leave this
+        # ratio unchanged anyway).
+        from repro.harness.parallelexec import (GATE_CONFLICT,
+                                                GATE_MIN_SPEEDUP,
+                                                GATE_WORKERS,
+                                                run_throughput)
+        sweep_kwargs = dict(conflict=GATE_CONFLICT, seed=seed,
+                            num_clients=16, duration_ms=1500.0)
+        seq = run_throughput(0, **sweep_kwargs)
+        par = run_throughput(GATE_WORKERS, **sweep_kwargs)
+        speedup = (par["throughput_kcps"] / seq["throughput_kcps"]
+                   if seq["throughput_kcps"] > 0 else 0.0)
+        parallel = {
+            "scheme": "dssmr",
+            "workers": GATE_WORKERS,
+            "conflict": GATE_CONFLICT,
+            "seq_throughput_kcps": seq["throughput_kcps"],
+            "par_throughput_kcps": par["throughput_kcps"],
+            "speedup": _round(speedup, 3),
+            "min_speedup": GATE_MIN_SPEEDUP,
+            "utilization": par["utilization"],
+            "stall_fraction": par["stall_fraction"],
+        }
     return {
         "format": BASELINE_FORMAT,
         "seed": seed,
@@ -110,6 +151,7 @@ def run_perf_suite(seed: int = 7, num_clients: int = 3,
         "slowdown": _round(slowdown),
         "schemes": results,
         "durability": durability,
+        "parallel": parallel,
     }
 
 
@@ -173,6 +215,110 @@ def compare_to_baseline(current: dict, baseline: dict,
                     f"{ceiling:.3f}ms (baseline "
                     f"{base_dur['wal_on']['latency_p95_ms']:.3f}ms, "
                     f"tolerance {tolerance:.0%})")
+    base_par = baseline.get("parallel")
+    if base_par is not None:
+        cur_par = current.get("parallel")
+        if cur_par is None:
+            failures.append("parallel: missing from current run")
+        else:
+            # The speedup gate is absolute (against the committed
+            # minimum), not relative: the engine either delivers the
+            # headline multiple or it regressed.
+            minimum = base_par.get("min_speedup", cur_par["min_speedup"])
+            if cur_par["speedup"] < minimum:
+                failures.append(
+                    f"parallel: speedup {cur_par['speedup']:.3f}x at "
+                    f"{cur_par['workers']} workers / "
+                    f"{cur_par['conflict']:.0%} conflict below minimum "
+                    f"{minimum:.1f}x")
+            floor = base_par["seq_throughput_kcps"] * (1.0 - tolerance)
+            if cur_par["seq_throughput_kcps"] < floor:
+                failures.append(
+                    f"parallel: sequential-baseline throughput "
+                    f"{cur_par['seq_throughput_kcps']:.4f} kcmd/ms below "
+                    f"floor {floor:.4f} (baseline "
+                    f"{base_par['seq_throughput_kcps']:.4f}, tolerance "
+                    f"{tolerance:.0%})")
+    return failures
+
+
+# -- wall-clock substrate gate ---------------------------------------------
+
+def run_substrate_micro(events: int = 200_000,
+                        messages: int = 50_000) -> dict:
+    """Measure the simulation substrate's wall-clock rates.
+
+    Two microbenchmarks over the kernel's hottest shapes: event-heap
+    churn (a self-rescheduling ``schedule_callback`` chain — the shape
+    of every network delivery and parallel-execution completion) and
+    end-to-end message delivery through the network fast path. Rates
+    are events (messages) per wall-clock second — machine-dependent, so
+    they live in their own baseline file and never touch the canonical
+    perf payload.
+    """
+    from repro.net import FixedLatency, Network
+    from repro.sim import Environment, SeedStream
+
+    env = Environment()
+    state = {"left": events}
+
+    def tick():
+        left = state["left"]
+        if left:
+            state["left"] = left - 1
+            env.schedule_callback(0.01, tick)
+
+    env.schedule_callback(0.0, tick)
+    started = time.perf_counter()
+    env.run()
+    event_elapsed = time.perf_counter() - started
+
+    env = Environment()
+    net = Network(env, SeedStream(1), FixedLatency(0.05))
+    net.register("b")
+    started = time.perf_counter()
+    for i in range(messages):
+        net.send("a", "b", "k", payload=i)
+    env.run()
+    message_elapsed = time.perf_counter() - started
+    assert net.messages_delivered == messages
+
+    return {
+        "events": events,
+        "events_per_s": _round(events / event_elapsed, 1),
+        "messages": messages,
+        "messages_per_s": _round(messages / message_elapsed, 1),
+    }
+
+
+def make_substrate_baseline(current: dict,
+                            headroom: float = SUBSTRATE_HEADROOM) -> dict:
+    """Derive the committed floor file from one measurement."""
+    return {
+        "format": SUBSTRATE_FORMAT,
+        "headroom": headroom,
+        "events": current["events"],
+        "messages": current["messages"],
+        "events_per_s_floor": _round(current["events_per_s"] / headroom, 1),
+        "messages_per_s_floor": _round(
+            current["messages_per_s"] / headroom, 1),
+    }
+
+
+def compare_substrate(current: dict, baseline: dict) -> list[str]:
+    """Substrate gate: list of slowdown descriptions (empty == pass)."""
+    if baseline.get("format") != SUBSTRATE_FORMAT:
+        return [f"substrate baseline format {baseline.get('format')!r} "
+                f"!= {SUBSTRATE_FORMAT!r}"]
+    failures = []
+    for name in ("events", "messages"):
+        rate = current[f"{name}_per_s"]
+        floor = baseline[f"{name}_per_s_floor"]
+        if rate < floor:
+            failures.append(
+                f"substrate: {name} rate {rate:,.0f}/s below committed "
+                f"floor {floor:,.0f}/s ({baseline.get('headroom', 0):.0f}x "
+                f"headroom baseline)")
     return failures
 
 

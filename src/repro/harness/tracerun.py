@@ -52,7 +52,7 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
                         ops_per_client: int = 10, num_partitions: int = 2,
                         trace: bool = True, profiler=None,
                         slowdown: float = 1.0,
-                        durability=None) -> TraceRun:
+                        durability=None, parallel=None) -> TraceRun:
     """Run the seeded workload against ``scheme``, collecting spans.
 
     ``trace=False`` runs the identical workload with the null tracer —
@@ -63,7 +63,9 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
     regression knob (1.0 = the real model). ``durability`` (a
     :class:`~repro.store.DurabilityConfig`) arms the write-ahead log —
     the perf gate's WAL-overhead measurement; the default ``None`` runs
-    the exact pre-durability deployment.
+    the exact pre-durability deployment. ``parallel`` (a
+    :class:`~repro.smr.ExecutionConfig`) arms conflict-aware parallel
+    execution; the default ``None`` runs the sequential executors.
     """
     _reset_id_counters()
     tracer = CommandTracer() if trace else None
@@ -80,7 +82,7 @@ def run_traced_workload(scheme: str, seed: int = 7, num_clients: int = 3,
         scheme=scheme, num_partitions=num_partitions,
         replicas_per_partition=2, seed=cluster_seed,
         retry_policy=RetryPolicy(), initial_assignment=assignment,
-        execution=execution, durability=durability),
+        execution=execution, durability=durability, parallel=parallel),
         tracer=tracer, profiler=profiler)
     cluster.preload(dict(INITIAL))
     status, done = _spawn_workload(

@@ -19,7 +19,7 @@ _msg_counter = itertools.count()
 DEFAULT_MESSAGE_SIZE = 256
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight between two simulated processes.
 

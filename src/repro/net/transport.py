@@ -229,7 +229,9 @@ class Network:
         Unknown destinations are registered on the fly: their inbox buffers
         the message until the destination node attaches and starts reading.
         """
-        endpoint = self.register(dst)
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            endpoint = self.register(dst)
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           size=size, sent_at=self.env.now)
         self.messages_sent += 1
@@ -239,21 +241,26 @@ class Network:
         if src in self._crashed:
             self._trace("dropped", message)
             return None
-        if any(rule(message) for rule in self._drop_rules):
+        # Fault rules are the exception, not the rule: guard each class
+        # so a fault-free send never pays for generator/loop setup.
+        if self._drop_rules and any(rule(message)
+                                    for rule in self._drop_rules):
             self._trace("dropped", message)
             return None
         self._trace("sent", message)
         extra = 0.0
-        for rule in self._delay_rules:
-            added = rule(message)
-            if added:
-                extra += added
-        if extra:
-            self.messages_delayed += 1
+        if self._delay_rules:
+            for rule in self._delay_rules:
+                added = rule(message)
+                if added:
+                    extra += added
+            if extra:
+                self.messages_delayed += 1
         copies = 1
-        for rule in self._duplicate_rules:
-            copies += int(rule(message) or 0)
-        self.messages_duplicated += copies - 1
+        if self._duplicate_rules:
+            for rule in self._duplicate_rules:
+                copies += int(rule(message) or 0)
+            self.messages_duplicated += copies - 1
         for copy_index in range(copies):
             if copy_index:
                 self._trace("duplicated", message)
@@ -273,12 +280,12 @@ class Network:
     def _dispatch(self, endpoint: Endpoint, message: Message,
                   delay: float) -> None:
         """Route one delivery: through a reorder window or straight on."""
-        for window in self._reorder_windows:
-            if window.capture(endpoint, message, delay):
-                self.messages_reordered += 1
-                return
-        self.env.schedule_callback(delay,
-                                   lambda: self._deliver(endpoint, message))
+        if self._reorder_windows:
+            for window in self._reorder_windows:
+                if window.capture(endpoint, message, delay):
+                    self.messages_reordered += 1
+                    return
+        self.env.schedule_callback(delay, self._deliver, endpoint, message)
 
     def _deliver(self, endpoint: Endpoint, message: Message) -> None:
         # Crash may have happened while the message was in flight.

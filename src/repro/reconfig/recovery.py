@@ -187,6 +187,11 @@ def recover_partition_server(crashed, peer, fallback_peers=(),
     replacement.log.suspend_backfill()
     PartitionCheckpointer(replacement)
     CheckpointHost(replacement)
+    pool = getattr(crashed, "parallel", None)
+    if pool is not None:
+        from repro.smr.parallel import ParallelExecutionModel
+        replacement.attach_parallel(
+            ParallelExecutionModel(crashed.env, pool.config))
     replacement.recovery = PartitionRecovery(
         replacement, peer.node.name, fallback_peers=fallback_peers,
         on_failure=on_failure)

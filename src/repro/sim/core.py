@@ -50,6 +50,11 @@ class Event:
 
     PENDING = object()
 
+    # Events are the kernel's hottest allocation (every message delivery,
+    # timeout and process step makes at least one); slots keep them small
+    # and attribute access cheap.
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -121,6 +126,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` units of virtual time in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -138,6 +145,8 @@ class _Condition(Event):
     if they failed, fail the condition immediately); pending events register
     an observer callback.
     """
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -177,6 +186,8 @@ class AnyOf(_Condition):
     The value is a dict mapping the already-triggered events to their values.
     """
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
@@ -196,6 +207,8 @@ class AllOf(_Condition):
     The value is a dict mapping every event to its value.
     """
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
@@ -211,6 +224,34 @@ class AllOf(_Condition):
             self.succeed(self._results())
 
 
+class _Callback(Event):
+    """A bare scheduled function call (:meth:`Environment.schedule_callback`).
+
+    Cheaper than the ``Timeout`` + observer-lambda pair it replaces: the
+    event is born triggered, carries the function and its arguments in
+    slots, and its single callback is a bound method — no closure. This
+    is the hottest scheduling shape in the simulator (every network
+    delivery and every parallel-execution completion is one).
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, env: "Environment", delay: float,
+                 fn: Callable[..., None], args: tuple):
+        if delay < 0:
+            raise SimulationError(f"negative callback delay: {delay}")
+        self.env = env
+        self.callbacks = [self._run]
+        self._value = None
+        self._ok = True
+        self._fn = fn
+        self._args = args
+        env._schedule_event(self, delay)
+
+    def _run(self, _event: Event) -> None:
+        self._fn(*self._args)
+
+
 ProcessGenerator = Generator[Event, Any, Any]
 
 
@@ -222,6 +263,8 @@ class Process(Event):
     triggers with the generator's return value, so ``yield other_process``
     waits for that process to finish.
     """
+
+    __slots__ = ("name", "_generator", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str = ""):
@@ -342,14 +385,16 @@ class Environment:
     # -- scheduling -------------------------------------------------------
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._next_seq, event))
-        self._next_seq += 1
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, event))
 
     def schedule_callback(self, delay: float,
-                          callback: Callable[[], None]) -> None:
-        """Run ``callback()`` after ``delay`` time units (no process needed)."""
-        event = Timeout(self, delay)
-        event.add_callback(lambda _evt: callback())
+                          callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` time units (no process
+        needed). Passing the arguments here instead of closing over them
+        keeps the hot send path free of closure allocations."""
+        _Callback(self, delay, callback, args)
 
     # -- execution --------------------------------------------------------
 

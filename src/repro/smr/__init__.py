@@ -13,6 +13,8 @@ from repro.smr.state_machine import (
     VariableStore,
 )
 from repro.smr.execution import ExecutionModel
+from repro.smr.parallel import (ConflictScheduler, Dispatch, ExecutionConfig,
+                                ParallelExecutionModel)
 from repro.smr.replica import SmrReplica
 from repro.smr.recovery import (RecoveryHost, RecoveringReplica,
                                 recover_replica)
@@ -24,7 +26,11 @@ __all__ = [
     "BaseClient",
     "Command",
     "CommandType",
+    "ConflictScheduler",
+    "Dispatch",
+    "ExecutionConfig",
     "ExecutionModel",
+    "ParallelExecutionModel",
     "KeyValueStateMachine",
     "ObjectDirectory",
     "ObjectStateMachine",

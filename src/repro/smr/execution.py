@@ -5,11 +5,16 @@ each command consuming simulated CPU time. The cost model is the simulation
 analogue of the Java prototype's per-command service time, and is what makes
 replicas saturate: a partition's maximum throughput is roughly
 ``1 / cost_ms`` commands per millisecond, before any coordination overhead.
+
+The parallel execution engine (:mod:`repro.smr.parallel`) reuses the same
+model per simulated core: a replica with ``N`` workers saturates at roughly
+``N / cost_ms`` when commands do not conflict.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.smr.command import Command
 
@@ -21,10 +26,26 @@ class ExecutionModel:
     ``base_ms`` is paid by every command; ``per_variable_ms`` scales with
     the number of variables the command touches (a post that writes many
     followers' timelines costs more than a single read).
+
+    ``per_read_ms`` prices read-only variable accesses separately: a
+    command pays ``per_variable_ms`` per *written* variable and
+    ``per_read_ms`` per variable it only reads (``getTimeline`` walks
+    many timelines but mutates none). The default ``None`` keeps the
+    historical behaviour — every variable priced at ``per_variable_ms``
+    regardless of access mode — so existing seeded results are
+    byte-identical unless the knob is set.
     """
 
     base_ms: float = 0.08
     per_variable_ms: float = 0.01
+    per_read_ms: Optional[float] = None
 
     def cost(self, command: Command) -> float:
-        return self.base_ms + self.per_variable_ms * len(command.variables)
+        if self.per_read_ms is None:
+            return self.base_ms + self.per_variable_ms * len(command.variables)
+        writes = len(command.writes)
+        reads = len(command.variables) - writes
+        if reads < 0:  # writes is not enforced to be a subset of variables
+            reads = 0
+        return (self.base_ms + self.per_variable_ms * writes
+                + self.per_read_ms * reads)

@@ -1,0 +1,297 @@
+"""Conflict-aware parallel command execution (P-SMR-style worker pools).
+
+Classic SMR executes the ordered log on one simulated core, so a hot
+partition saturates at roughly ``1 / cost_ms`` commands per millisecond no
+matter how capable the replica's hardware is. "Rethinking State-Machine
+Replication for Parallelism" (Marandi et al.) observes that two commands
+whose read/write sets do not conflict can execute concurrently without
+breaking SMR's determinism guarantee — their applies commute, so every
+interleaving yields the same state. DS-SMR already carries per-command
+variable and write sets (the oracle contract), which makes the conflict
+relation first-class here.
+
+This module supplies the engine the four schemes share:
+
+* :class:`ExecutionConfig` — the opt-in knob set carried by
+  ``ClusterConfig.parallel`` (``None`` keeps every executor byte-identical
+  to the sequential code path).
+* :class:`ConflictScheduler` — a pure, deterministic dependency scheduler:
+  given the dispatch time and a command's read/write sets it computes the
+  earliest conflict-respecting ``(start, finish, core)`` slot over ``N``
+  simulated cores.
+* :class:`ParallelExecutionModel` — the per-replica worker pool: wraps the
+  scheduler with in-flight bookkeeping, a drain barrier for commands that
+  must serialize against everything (moves, creates/deletes, fallback and
+  multi-partition accesses, reconfiguration fences), and the ``exec.*``
+  stats the metrics registry scrapes.
+
+Why this stays deterministic (the full argument lives in DESIGN.md): two
+commands overlap in time only when their read/write sets are disjoint, so
+every pair of *conflicting* commands executes in log order on all replicas.
+The parallel schedule is therefore conflict-equivalent to the sequential
+log-order schedule; since non-conflicting applies commute, each replica's
+state and reply values equal the sequential execution's — byte for byte.
+The execution *history* list is appended at dispatch time (log order), so
+the cross-replica ``executed`` comparison of the invariant checker is
+unchanged as well.
+
+Everything is virtual-time analytic: costs are deterministic, so the slot
+of a command is fully known at dispatch. The executor never blocks on a
+parallel-eligible command — apply and reply are scheduled as callbacks at
+the computed finish time — which is what converts idle cores into
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import Environment, Event
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Opt-in parallel execution knobs (``ClusterConfig.parallel``).
+
+    ``workers`` is the number of simulated cores per replica. ``1`` is a
+    useful degenerate case: scheduling runs through the parallel engine
+    but every command serializes, which the equivalence tests use to show
+    the engine itself adds no virtual time.
+
+    ``conservative`` treats every declared variable as written, collapsing
+    the conflict relation to "any shared variable" — the safe fallback for
+    workloads whose commands under-declare their write sets.
+    """
+
+    workers: int = 2
+    conservative: bool = False
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """The slot the scheduler assigned to one command."""
+
+    start: float    # virtual ms the command begins executing
+    finish: float   # virtual ms the command's apply + reply become visible
+    core: int       # simulated core index (0-based)
+    cost: float     # execution cost charged (finish - start)
+    stall: float    # wait for a core / conflicting predecessor before start
+
+
+class ConflictScheduler:
+    """Deterministic dependency scheduler over ``workers`` simulated cores.
+
+    Pure bookkeeping — no events, no RNG. For each dispatched command it
+    tracks, per variable, the finish time of the last dispatched writer and
+    the latest finish among dispatched readers. A new command may start
+    only once every conflicting predecessor has finished:
+
+    * RAW — it reads a variable a predecessor writes,
+    * WAW — it writes a variable a predecessor writes,
+    * WAR — it writes a variable a predecessor reads.
+
+    Commands are dispatched in log order, so these three rules serialize
+    every conflicting pair in log order — the determinism invariant.
+    Among the cores, the earliest-free one wins, lowest index breaking
+    ties, so the assignment is a pure function of the dispatch history.
+    """
+
+    __slots__ = ("workers", "cores", "_write_ready", "_read_ready",
+                 "commands", "barriers", "stall_ms", "busy_ms", "serial_ms")
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cores = [0.0] * workers        # busy-until, per core
+        self._write_ready: dict = {}        # key -> last writer's finish
+        self._read_ready: dict = {}         # key -> latest reader finish
+        self.commands = 0                   # parallel dispatches
+        self.barriers = 0                   # serializing drains
+        self.stall_ms = 0.0                 # conflict + core wait, summed
+        self.busy_ms = [0.0] * workers      # execution time, per core
+        self.serial_ms = 0.0                # barriered (sequential) cost
+
+    def plan(self, now: float, reads, writes, cost: float) -> Dispatch:
+        """Assign the earliest conflict-respecting slot; update state."""
+        ready = now
+        write_ready = self._write_ready
+        read_ready = self._read_ready
+        for key in reads:                       # RAW (covers WAW: writes
+            when = write_ready.get(key)         # are declared in reads)
+            if when is not None and when > ready:
+                ready = when
+        for key in writes:                      # WAR
+            when = read_ready.get(key)
+            if when is not None and when > ready:
+                ready = when
+        core = 0
+        free_at = self.cores[0]
+        for index in range(1, self.workers):    # earliest-free, lowest index
+            when = self.cores[index]
+            if when < free_at:
+                core, free_at = index, when
+        start = ready if ready > free_at else free_at
+        finish = start + cost
+        self.cores[core] = finish
+        for key in writes:
+            write_ready[key] = finish
+        for key in reads:
+            if finish > read_ready.get(key, 0.0):
+                read_ready[key] = finish
+        self.commands += 1
+        self.stall_ms += start - now
+        self.busy_ms[core] += cost
+        return Dispatch(start=start, finish=finish, core=core, cost=cost,
+                        stall=start - now)
+
+    def note_barrier(self, now: float) -> None:
+        """Everything in flight has drained: reset the conflict horizon.
+
+        Called with no command in flight, so every tracked finish time is
+        in the past; clearing the maps bounds their size without changing
+        any future decision.
+        """
+        self.barriers += 1
+        self._write_ready.clear()
+        self._read_ready.clear()
+        for index in range(self.workers):
+            if self.cores[index] < now:
+                self.cores[index] = now
+
+    def note_serial(self, cost: float) -> None:
+        """Account a barriered command executed on the sequential path."""
+        self.serial_ms += cost
+
+
+class ParallelExecutionModel:
+    """A replica's simulated worker pool.
+
+    Owns one :class:`ConflictScheduler` plus the runtime bookkeeping the
+    executor loops need: which command ids are still in flight (so a
+    duplicate delivery of a running command can re-send its reply at the
+    original finish instead of re-executing), and a drain barrier for the
+    command classes that must serialize against everything.
+
+    One instance per server object — replicas are separate machines, and a
+    replacement server built by recovery gets a fresh pool.
+    """
+
+    def __init__(self, env: Environment, config: Optional[ExecutionConfig]
+                 = None, workers: Optional[int] = None):
+        if config is None:
+            config = ExecutionConfig(workers=workers if workers is not None
+                                     else 2)
+        elif workers is not None and workers != config.workers:
+            raise ValueError("pass workers either directly or via config")
+        self.env = env
+        self.config = config
+        self.scheduler = ConflictScheduler(config.workers)
+        # cid -> (slot, delivery), insertion order == log order. The
+        # delivery is kept so a checkpoint captured mid-flight can
+        # re-queue the command instead of losing its effects.
+        self._inflight: dict = {}
+        self._drain_waiters: list[Event] = []
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def pending(self) -> int:
+        """Number of commands dispatched but not yet finished."""
+        return len(self._inflight)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def conflict_sets(self, command) -> tuple:
+        """The (reads, writes) the conflict relation uses for ``command``.
+
+        ``reads`` is the full declared variable set (a writer also reads,
+        so RAW against it subsumes WAW); ``writes`` collapses to the full
+        set under :attr:`ExecutionConfig.conservative`.
+        """
+        reads = command.variables
+        writes = reads if self.config.conservative else command.writes
+        return reads, writes
+
+    def dispatch(self, command, cost: float, delivery=None) -> Dispatch:
+        """Assign ``command`` its slot and mark it in flight."""
+        reads, writes = self.conflict_sets(command)
+        slot = self.scheduler.plan(self.env.now, reads, writes, cost)
+        self._inflight[command.cid] = (slot, delivery)
+        return slot
+
+    def complete(self, cid: str) -> None:
+        """Mark a dispatched command finished (called at its finish time)."""
+        self._inflight.pop(cid, None)
+        if not self._inflight and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def inflight_slot(self, cid: str) -> Optional[Dispatch]:
+        """The slot of an in-flight command, or None once it finished."""
+        entry = self._inflight.get(cid)
+        return entry[0] if entry is not None else None
+
+    def inflight_cids(self) -> list:
+        """Command ids in flight, in dispatch (= log) order.
+
+        A state capture (checkpoint, recovery snapshot) taken mid-flight
+        must treat these as *not yet executed*: they sit in ``executed``
+        already (appended at dispatch) but their store effects land only
+        at their finish times.
+        """
+        return list(self._inflight)
+
+    def inflight_deliveries(self) -> list:
+        """The tracked deliveries in flight, in dispatch (= log) order."""
+        return [entry[1] for entry in self._inflight.values()
+                if entry[1] is not None]
+
+    # -- barriers ----------------------------------------------------------
+
+    def drain(self):
+        """Generator: wait until every in-flight command has finished.
+
+        Barriered command classes (moves, creates/deletes, fallback and
+        multi-partition accesses, reconfiguration fences) run this first:
+        they observe — and are observed by — *all* log predecessors, so
+        they serialize against the whole pool. While the sequential
+        handler then runs, the executor loop is blocked, which is the
+        other half of the barrier: nothing dispatches past it.
+        """
+        while self._inflight:
+            event = Event(self.env)
+            self._drain_waiters.append(event)
+            yield event
+        self.scheduler.note_barrier(self.env.now)
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self, now: Optional[float] = None) -> dict:
+        """Scrape-time ``exec.*`` snapshot (virtual-time, deterministic)."""
+        sched = self.scheduler
+        if now is None:
+            now = self.env.now
+        busy = sum(sched.busy_ms)
+        span = now * sched.workers
+        run_ms = busy + sched.serial_ms
+        return {
+            "workers": sched.workers,
+            "commands": sched.commands,
+            "barriers": sched.barriers,
+            "busy_ms": round(busy, 6),
+            "serial_ms": round(sched.serial_ms, 6),
+            "stall_ms": round(sched.stall_ms, 6),
+            "utilization": round(busy / span, 6) if span > 0 else 0.0,
+            "stall_fraction": (round(sched.stall_ms / (sched.stall_ms
+                                                       + run_ms), 6)
+                               if sched.stall_ms + run_ms > 0 else 0.0),
+        }

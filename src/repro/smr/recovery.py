@@ -57,11 +57,22 @@ class RecoveryHost:
         # queued deliveries, and those commands' effects are not yet in the
         # snapshotted store. (In classic SMR over a sequencer log every log
         # position is one command, so the two units coincide.)
+        executed = list(replica.executed)
+        pool = getattr(replica, "parallel", None)
+        if pool is not None and pool.pending:
+            # Worker-pool commands in flight sit in `executed` (appended
+            # at dispatch) but their effects are not yet in the store.
+            # They are a contiguous tail of the history (the sequential
+            # path drains the pool first), so filtering them yields the
+            # consistent prefix; the peer re-fetches the rest via the
+            # log's backfill protocol.
+            inflight = set(pool.inflight_cids())
+            executed = [cid for cid in executed if cid not in inflight]
         snapshot = {
             "request_id": message.payload["request_id"],
             "store": copy.deepcopy(replica.store.snapshot()),
-            "executed": list(replica.executed),
-            "applied_count": len(replica.executed),
+            "executed": executed,
+            "applied_count": len(executed),
         }
         # Size scales with the state: recovery is not free on the wire.
         size = 256 + 64 * len(snapshot["store"])
@@ -185,6 +196,11 @@ def recover_replica(crashed: SmrReplica, peer: SmrReplica,
         name, state_machine or crashed.state_machine,
         execution=crashed.execution, log_factory=type(crashed.log),
         start_gate=crashed.env.event())
+    pool = getattr(crashed, "parallel", None)
+    if pool is not None:
+        from repro.smr.parallel import ParallelExecutionModel
+        replacement.attach_parallel(
+            ParallelExecutionModel(crashed.env, pool.config))
     replacement.recovery = RecoveringReplica(
         replacement, peer.node.name, fallback_peers=fallback_peers)
     return replacement

@@ -18,7 +18,7 @@ from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
 from repro.ordering.log import GroupLog
 from repro.resilience import ReplyCache
 from repro.sim import Channel, Environment, Interrupted
-from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.command import Command, CommandType, Reply, ReplyStatus
 from repro.smr.execution import ExecutionModel
 from repro.smr.state_machine import (ExecutionView, StateMachine,
                                      VariableStore)
@@ -73,6 +73,9 @@ class SmrReplica:
         # Write-ahead log (repro.store), attached by the harness; None
         # keeps the executor free of durability barriers.
         self.wal = None
+        # Parallel worker pool (repro.smr.parallel), attached by the
+        # harness; None keeps the executor on the sequential fast path.
+        self.parallel = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         self.amcast.on_deliver(self._enqueue)
@@ -148,6 +151,75 @@ class SmrReplica:
             attempt=attempt), size=96)
         self.node.flight("qos", f"shed {command.cid} ({reason})")
 
+    # -- parallel execution (repro.smr.parallel) ------------------------------
+
+    def attach_parallel(self, pool) -> None:
+        """Arm the conflict-aware worker pool (see repro.smr.parallel)."""
+        self.parallel = pool
+
+    def _dispatch_parallel(self, command: Command, attempt: int,
+                           enqueued) -> None:
+        """Dispatch one access command onto the worker pool.
+
+        The slot is fully determined at dispatch (costs are deterministic),
+        so the executor schedules the apply + reply as a callback at the
+        finish time and immediately dequeues the next entry — this is what
+        lets non-conflicting commands overlap. ``executed`` is appended
+        *now*, in log order, keeping the cross-replica execution-order
+        invariant independent of finish interleavings.
+        """
+        env = self.env
+        pool = self.parallel
+        if self.replies.enabled and command.cid in self._executed_set:
+            slot = pool.inflight_slot(command.cid)
+            if slot is None:
+                cached = self.replies.lookup(command.cid, attempt)
+                if cached is not None and command.client:
+                    self.node.send(command.client, REPLY_KIND, cached,
+                                   size=128)
+            else:
+                # The original is still on a core: its reply does not
+                # exist yet, so resend it when the original lands.
+                def resend():
+                    if self.node.crashed:
+                        return
+                    cached = self.replies.lookup(command.cid, attempt)
+                    if cached is not None and command.client:
+                        self.node.send(command.client, REPLY_KIND, cached,
+                                       size=128)
+                env.schedule_callback(slot.finish - env.now, resend)
+            return
+        slot = pool.dispatch(command, self.execution.cost(command))
+        self.executed.append(command.cid)
+        self._executed_set.add(command.cid)
+        if enqueued is not None and slot.start > enqueued:
+            if self.tracer.enabled:
+                self.tracer.span(trace_id_of(command.cid), "queue",
+                                 self.node.name, enqueued, slot.start)
+        if self.node.profiler.enabled and slot.stall > 0:
+            self.node.profiler.account(self.node.name, "exec.queue",
+                                       slot.stall)
+
+        def complete():
+            if self.node.crashed:
+                return
+            reply = self._apply(command)
+            reply.attempt = attempt
+            if self.tracer.enabled:
+                self.tracer.span(trace_id_of(command.cid), "execute",
+                                 self.node.name, slot.start, env.now,
+                                 core=slot.core)
+            if self.node.profiler.enabled:
+                self.node.profiler.account(self.node.name,
+                                           f"exec.run.c{slot.core}",
+                                           slot.cost)
+            self.replies.store(command.cid, reply)
+            if command.client:
+                self.node.send(command.client, REPLY_KIND, reply, size=128)
+            pool.complete(command.cid)
+
+        env.schedule_callback(slot.finish - env.now, complete)
+
     def _execute_loop(self):
         try:
             if self._start_gate is not None:
@@ -166,21 +238,29 @@ class SmrReplica:
                 else:                            # legacy raw Command
                     command = payload
                     attempt = 1
+                enqueued = None
                 if (self.tracer.enabled or self.node.profiler.enabled
                         or self.qos is not None):
                     enqueued = self._enqueue_times.pop(delivery.uid, None)
                     if self.qos is not None and enqueued is not None:
                         self.qos.note_sojourn(self.env.now,
                                               self.env.now - enqueued)
-                    if enqueued is not None and self.env.now > enqueued:
-                        if self.tracer.enabled:
-                            self.tracer.span(trace_id_of(command.cid),
-                                             "queue", self.node.name,
-                                             enqueued, self.env.now)
-                        if self.node.profiler.enabled:
-                            self.node.profiler.account(
-                                self.node.name, "queue",
-                                self.env.now - enqueued)
+                if self.parallel is not None:
+                    if command.ctype is CommandType.ACCESS:
+                        self._dispatch_parallel(command, attempt, enqueued)
+                        continue
+                    # Creates/deletes serialize against everything: wait
+                    # for the pool to drain, then run the sequential path.
+                    yield from self.parallel.drain()
+                if enqueued is not None and self.env.now > enqueued:
+                    if self.tracer.enabled:
+                        self.tracer.span(trace_id_of(command.cid),
+                                         "queue", self.node.name,
+                                         enqueued, self.env.now)
+                    if self.node.profiler.enabled:
+                        self.node.profiler.account(
+                            self.node.name, "queue",
+                            self.env.now - enqueued)
                 if self.replies.enabled and command.cid in self._executed_set:
                     # Already covered: a client resend, or recovery-snapshot
                     # overlap with backfilled log entries. Re-executing
@@ -196,6 +276,9 @@ class SmrReplica:
                 yield self.env.timeout(self.execution.cost(command))
                 reply = self._apply(command)
                 reply.attempt = attempt
+                if self.parallel is not None:
+                    self.parallel.scheduler.note_serial(
+                        self.env.now - exec_start)
                 if self.tracer.enabled:
                     self.tracer.span(trace_id_of(command.cid), "execute",
                                      self.node.name, exec_start, self.env.now)

@@ -30,7 +30,7 @@ from repro.ordering import (AmcastDelivery, AtomicMulticast, GroupDirectory,
                             ProtocolNode, ReliableMulticast, SequencerLog)
 from repro.resilience import ReplyCache
 from repro.sim import Channel, Environment, Interrupted
-from repro.smr.command import Command, Reply, ReplyStatus
+from repro.smr.command import Command, CommandType, Reply, ReplyStatus
 from repro.smr.execution import ExecutionModel
 from repro.smr.replica import REPLY_KIND, delivery_command
 from repro.smr.state_machine import (ExecutionView, StateMachine,
@@ -86,6 +86,9 @@ class SsmrServer:
         # Write-ahead log (repro.store), attached by the harness; None
         # keeps the executor free of durability barriers.
         self.wal = None
+        # Parallel worker pool (repro.smr.parallel), attached by the
+        # harness; None keeps the executor on the sequential fast path.
+        self.parallel = None
         self._enqueue_times: dict[str, float] = {}
         self._deliveries = Channel(env, name=f"{name}/deliveries")
         # The delivery the executor is currently inside (checkpoint
@@ -205,10 +208,132 @@ class SsmrServer:
                     # set, so a checkpoint captured during the wait
                     # still counts this delivery as queued work.
                     yield self.wal.sync_barrier()
+                if self.parallel is not None:
+                    command = self._parallel_access(delivery.payload)
+                    if command is not None:
+                        # Once dispatched, the pool tracks the delivery
+                        # for checkpoint consistency; the executor moves
+                        # straight on to the next entry.
+                        self._dispatch_parallel(command, delivery.payload,
+                                                delivery)
+                        self._current_delivery = None
+                        continue
+                    # Everything else (creates/deletes, multi-partition
+                    # accesses, reconfig fences) serializes against the
+                    # whole pool: drain, then run the sequential path.
+                    yield from self.parallel.drain()
+                    serial = delivery_command(delivery.payload)
+                    if serial is not None:
+                        self.parallel.scheduler.note_serial(
+                            self.execution.cost(serial))
                 yield from self._handle_delivery(delivery)
                 self._current_delivery = None
         except Interrupted:
             return
+
+    # -- parallel execution (repro.smr.parallel) ------------------------------
+
+    def attach_parallel(self, pool) -> None:
+        """Arm the conflict-aware worker pool (see repro.smr.parallel)."""
+        self.parallel = pool
+
+    def _parallel_access(self, envelope) -> Optional[Command]:
+        """The command, iff this delivery may bypass the serial path.
+
+        Eligible: single-partition access commands addressed to this
+        partition alone — no signal exchange, no store-shape change, no
+        epoch fence. Everything else returns None and serializes.
+        """
+        if "reconfig" in envelope:
+            return None
+        command = envelope.get("command")
+        if not isinstance(command, Command):
+            return None
+        if command.ctype is not CommandType.ACCESS:
+            return None
+        for dest in envelope["dests"]:
+            if dest != self.partition:
+                return None
+        return command
+
+    def _dispatch_parallel(self, command: Command, envelope,
+                           delivery: AmcastDelivery) -> None:
+        """Dispatch one single-partition access onto the worker pool.
+
+        The slot is fully determined at dispatch (costs are
+        deterministic), so apply + reply run as a callback at the finish
+        time and the executor immediately dequeues the next entry.
+        ``executed`` is appended now, in log order, keeping the
+        cross-replica execution-order invariant independent of finish
+        interleavings; a checkpoint captured before the finish filters
+        the cid back out (see PartitionCheckpointer.capture).
+        """
+        env = self.env
+        pool = self.parallel
+        attempt = envelope.get("attempt", 1)
+        if self.replies.enabled:
+            slot = pool.inflight_slot(command.cid)
+            if slot is not None:
+                # A client resend raced the original, which is still on a
+                # core: its reply does not exist yet, so re-send it when
+                # the original lands.
+                def resend():
+                    if self.node.crashed:
+                        return
+                    cached = self.replies.lookup(command.cid, attempt)
+                    if cached is not None:
+                        self._send_reply(command, cached)
+                env.schedule_callback(slot.finish - env.now, resend)
+                return
+        cached = self.replies.lookup(command.cid, attempt)
+        if cached is not None:
+            self._send_reply(command, cached)
+            return
+        slot = pool.dispatch(command, self.execution.cost(command),
+                             delivery=delivery)
+        self.executed.append(command.cid)
+        if self.node.profiler.enabled and slot.stall > 0:
+            self.node.profiler.account(self.node.name, "exec.queue",
+                                       slot.stall)
+
+        def complete():
+            if self.node.crashed:
+                return
+            reply = self._apply_parallel(command)
+            reply.attempt = attempt
+            if self.tracer.enabled:
+                self.tracer.span(trace_id_of(command.cid), "execute",
+                                 self.node.name, slot.start, env.now,
+                                 core=slot.core)
+            if self.node.profiler.enabled:
+                self.node.profiler.account(self.node.name,
+                                           f"exec.run.c{slot.core}",
+                                           slot.cost)
+            self.replies.store(command.cid, reply)
+            pool.complete(command.cid)
+            self._send_reply(command, reply)
+
+        env.schedule_callback(slot.finish - env.now, complete)
+
+    def _apply_parallel(self, command: Command) -> Reply:
+        """Apply a pool-dispatched access (mirror of `_exec_access`'s
+        single-partition tail, minus the cost timeout the scheduler
+        already charged)."""
+        missing = [key for key in command.variables
+                   if key not in self.store]
+        if missing:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value=f"missing variables: {missing[:3]}",
+                         sender=self.node.name, partition=self.partition)
+        view = ExecutionView(self.store)
+        try:
+            value = self.state_machine.apply(command, view)
+        except KeyError as error:
+            return Reply(cid=command.cid, status=ReplyStatus.NOK,
+                         value=f"undeclared variable access: {error}",
+                         sender=self.node.name, partition=self.partition)
+        return Reply(cid=command.cid, status=ReplyStatus.OK, value=value,
+                     sender=self.node.name, partition=self.partition)
 
     def _handle_delivery(self, delivery: AmcastDelivery):
         envelope = delivery.payload

@@ -81,6 +81,10 @@ def _rebuild_server(cluster, crashed):
             start_gate=crashed.env.event(), tracer=crashed.tracer)
         PartitionCheckpointer(replacement)
         CheckpointHost(replacement)
+    if cluster.config.parallel is not None:
+        from repro.smr.parallel import ParallelExecutionModel
+        replacement.attach_parallel(
+            ParallelExecutionModel(crashed.env, cluster.config.parallel))
     replacement.log.suspend_backfill()
     return replacement
 

@@ -72,6 +72,6 @@ class TestFigureSmoke:
     def test_registry_covers_all_figures(self):
         from repro.cli import _figure_registry
         registry = _figure_registry()
-        assert len(registry) == 20
+        assert len(registry) == 21
         for name, fn in registry.items():
             assert fn.__doc__, f"{name} lacks a docstring"
